@@ -1,0 +1,408 @@
+// The paper-figure benchmark harness: one benchmark per figure of the
+// evaluation section, each regenerating (a scaled version of) the figure's
+// series and logging the headline numbers, plus transform/ablation
+// benchmarks.  cmd/whtrepro produces the full-scale CSVs; these benchmarks
+// are the `go test -bench` entry point demanded of a reproduction.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/stats"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/wht"
+)
+
+// benchCfg is the scaled configuration the benchmarks run at; the shapes
+// are identical to the paper-scale run of cmd/whtrepro.
+func benchCfg() figures.Config {
+	cfg := figures.Quick()
+	cfg.Samples = 150
+	cfg.MaxSize = 12
+	return cfg
+}
+
+// The two sample studies are shared across the figure benchmarks: the
+// measurement campaign runs once; each benchmark then times its own
+// figure-generation step.
+var (
+	onceSmall, onceLarge   sync.Once
+	studySmall, studyLarge figures.SampleStudy
+)
+
+func smallStudy() figures.SampleStudy {
+	onceSmall.Do(func() { studySmall = figures.Sample(benchCfg(), benchCfg().SmallN) })
+	return studySmall
+}
+
+func largeStudy() figures.SampleStudy {
+	onceLarge.Do(func() { studyLarge = figures.Sample(benchCfg(), benchCfg().LargeN) })
+	return studyLarge
+}
+
+// --- Figures 1-3: canonical algorithms vs DP best, n = 1..MaxSize ---
+
+func BenchmarkFig01CanonicalCycleRatios(b *testing.B) {
+	cfg := benchCfg()
+	var st figures.CanonicalStudy
+	for i := 0; i < b.N; i++ {
+		st = figures.Canonicals(cfg)
+	}
+	for i, n := range st.Sizes {
+		b.Logf("n=%2d iterative/best=%.2f left/best=%.2f right/best=%.2f (best %s)",
+			n, st.CycleRatio["iterative"][i], st.CycleRatio["left"][i], st.CycleRatio["right"][i], st.BestPlans[i])
+	}
+}
+
+func BenchmarkFig02InstructionRatios(b *testing.B) {
+	cfg := benchCfg()
+	var st figures.CanonicalStudy
+	for i := 0; i < b.N; i++ {
+		st = figures.Canonicals(cfg)
+	}
+	for i, n := range st.Sizes {
+		b.Logf("n=%2d iterative/best=%.2f left/best=%.2f right/best=%.2f",
+			n, st.InstrRatio["iterative"][i], st.InstrRatio["left"][i], st.InstrRatio["right"][i])
+	}
+}
+
+func BenchmarkFig03CacheMissRatios(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxSize = 16 // must pass the L1 boundary (n=14) to show the regime change
+	var st figures.CanonicalStudy
+	for i := 0; i < b.N; i++ {
+		st = figures.Canonicals(cfg)
+	}
+	for i, n := range st.Sizes {
+		b.Logf("n=%2d log10 ratios: iterative=%.2f left=%.2f right=%.2f",
+			n, math.Log10(st.MissRatio["iterative"][i]), math.Log10(st.MissRatio["left"][i]),
+			math.Log10(st.MissRatio["right"][i]))
+	}
+}
+
+// --- Figures 4-5: histograms over the random samples ---
+
+func BenchmarkFig04HistogramsWHT9(b *testing.B) {
+	st := smallStudy()
+	var ch, ih stats.Histogram
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch = stats.NewHistogram(st.Cycles, 50)
+		ih = stats.NewHistogram(st.Instr, 50)
+	}
+	b.Logf("cycles hist: [%.3g, %.3g] total %d; instr hist: [%.3g, %.3g] total %d",
+		ch.Min, ch.Max, ch.Total(), ih.Min, ih.Max, ih.Total())
+}
+
+func BenchmarkFig05HistogramsWHT18(b *testing.B) {
+	st := largeStudy()
+	var ch, ih, mh stats.Histogram
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch = stats.NewHistogram(st.Cycles, 50)
+		ih = stats.NewHistogram(st.Instr, 50)
+		mh = stats.NewHistogram(st.Misses, 50)
+	}
+	b.Logf("n=%d cycles [%.3g, %.3g]; instr [%.3g, %.3g]; misses [%.3g, %.3g] (all %d samples)",
+		st.N, ch.Min, ch.Max, ih.Min, ih.Max, mh.Min, mh.Max, ch.Total())
+}
+
+// --- Figures 6-8: correlation scatters ---
+
+func BenchmarkFig06CorrelationWHT9(b *testing.B) {
+	st := smallStudy()
+	var rho float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rho, _ = stats.Pearson(st.Instr, st.Cycles)
+	}
+	b.Logf("rho(instructions, cycles) at n=%d: %.3f (paper: 0.96)", st.N, rho)
+}
+
+func BenchmarkFig07InstrCorrWHT18(b *testing.B) {
+	st := largeStudy()
+	var rho float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rho, _ = stats.Pearson(st.Instr, st.Cycles)
+	}
+	b.Logf("rho(instructions, cycles) at n=%d: %.3f (paper: 0.77 at n=18)", st.N, rho)
+}
+
+func BenchmarkFig08MissCorrWHT18(b *testing.B) {
+	st := largeStudy()
+	var rho float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rho, _ = stats.Pearson(st.Misses, st.Cycles)
+	}
+	b.Logf("rho(L1 misses, cycles) at n=%d: %.3f (paper: 0.66 at n=18)", st.N, rho)
+}
+
+// --- Figure 9: the (alpha, beta) correlation grid ---
+
+func BenchmarkFig09AlphaBetaGrid(b *testing.B) {
+	st := largeStudy()
+	var res stats.GridResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = stats.GridSearch(st.Instr, st.Misses, st.Cycles, 0.05, false)
+	}
+	ratio, olsRho := stats.OptimalRatio(st.Instr, st.Misses, st.Cycles)
+	b.Logf("max rho %.3f at (alpha=%.2f, beta=%.2f) raw units; OLS ratio %.1f rho %.3f (paper: 0.92)",
+		res.Best.Rho, res.Best.Alpha, res.Best.Beta, ratio, olsRho)
+}
+
+// --- Figures 10-11: percentile pruning curves ---
+
+func BenchmarkFig10PruningCDFWHT9(b *testing.B) {
+	st := smallStudy()
+	var curves []stats.PruneCurve
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves = stats.PruneCurves(st.Instr, st.Cycles, []float64{1, 5, 10})
+	}
+	thr := stats.PruneThreshold(st.Instr, st.Cycles, 5, 1.0)
+	b.Logf("n=%d: %d curves; keep-all-of-top-5%% threshold: %.3g instructions (paper: 7e4 at n=9)",
+		st.N, len(curves), thr)
+}
+
+func BenchmarkFig11PruningCDFWHT18(b *testing.B) {
+	st := largeStudy()
+	alpha, beta := st.GridRaw.Best.Alpha, st.GridRaw.Best.Beta
+	combined := make([]float64, len(st.Instr))
+	for i := range combined {
+		combined[i] = alpha*st.Instr[i] + beta*st.Misses[i]
+	}
+	var curves []stats.PruneCurve
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves = stats.PruneCurves(combined, st.Cycles, []float64{1, 5, 10})
+	}
+	for _, c := range curves {
+		b.Logf("n=%d p=%g%%: limit %.3f (expect %.2f)", st.N, c.Percentile, c.Y[len(c.Y)-1], 1-c.Percentile/100)
+	}
+}
+
+// --- Section 2: the algorithm-space census and the theory of [5] ---
+
+func BenchmarkAlgorithmSpaceCensus(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = theory.GrowthRatio(30, plan.MaxLeafLog)
+	}
+	b.Logf("a(30)/a(29) = %.3f; a(20) = %s (paper: ~O(7^n))",
+		ratio, theory.Count(20, plan.MaxLeafLog))
+}
+
+func BenchmarkTheoryMoments(b *testing.B) {
+	cost := machine.VirtualOpteron224().Cost
+	var mom theory.Moments
+	for i := 0; i < b.N; i++ {
+		mom = theory.InstructionMoments(18, plan.MaxLeafLog, cost)
+	}
+	b.Logf("n=18: mean %.4g sd %.4g; n=9: mean %.4g sd %.4g",
+		mom.Mean[18], math.Sqrt(mom.Variance[18]), mom.Mean[9], math.Sqrt(mom.Variance[9]))
+}
+
+// --- Transform engine benchmarks (real execution, not simulation) ---
+
+func BenchmarkTransform(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	for _, n := range []int{10, 14, 18, 20} {
+		best := search.DP(n, search.VirtualCycles(mach), search.Options{})
+		x := make([]float64, 1<<n)
+		for i := range x {
+			x[i] = float64(i&7) - 3.5
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				wht.MustApply(best.Plan, x)
+			}
+		})
+	}
+}
+
+// Canonical-plan ablation: the real Go runtime ordering at an out-of-cache
+// size should mirror Figure 1 (left-recursive worst).
+func BenchmarkCanonicalPlans(b *testing.B) {
+	const n = 18
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i&15) - 7.5
+	}
+	for name, p := range map[string]*plan.Node{
+		"iterative": plan.Iterative(n),
+		"right":     plan.RightRecursive(n),
+		"left":      plan.LeftRecursive(n),
+		"balanced6": plan.Balanced(n, 6),
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				wht.MustApply(p, x)
+			}
+		})
+	}
+}
+
+// Leaf-size ablation: single-level radix-2^k plans, k = 1..8.  The sweet
+// spot (amortized loop overhead vs. register spills) is what makes the DP
+// "best" plans use mid-sized codelets.
+func BenchmarkLeafSizeAblation(b *testing.B) {
+	const n = 16
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i & 31)
+	}
+	for k := 1; k <= plan.MaxLeafLog; k++ {
+		p := plan.RadixIterative(n, k)
+		b.Run(fmt.Sprintf("radix2^%d", k), func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				wht.MustApply(p, x)
+			}
+		})
+	}
+}
+
+func BenchmarkApplyParallel(b *testing.B) {
+	const n = 20
+	p := plan.Balanced(n, 6)
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i & 63)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				if err := wht.ApplyParallel(p, x, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Simulator and search cost benchmarks ---
+
+func BenchmarkVirtualMeasurementWHT18(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	tr := trace.New(mach)
+	p := plan.Balanced(18, 6)
+	for i := 0; i < b.N; i++ {
+		core.Measure(tr, p)
+	}
+}
+
+func BenchmarkInstructionModel(b *testing.B) {
+	cost := machine.VirtualOpteron224().Cost
+	s := plan.NewSampler(5, plan.MaxLeafLog)
+	plans := s.Plans(18, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Instructions(plans[i&63], cost)
+	}
+}
+
+func BenchmarkDPSearch(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	for i := 0; i < b.N; i++ {
+		search.DP(14, search.VirtualCycles(mach), search.Options{})
+	}
+}
+
+// Context-aware vs plain DP: the paper notes DP is a heuristic because
+// sub-plan cost depends on calling context; the stride-aware table closes
+// that gap at higher search cost.
+func BenchmarkDPContextAblation(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	b.Run("plain", func(b *testing.B) {
+		var res search.Result
+		for i := 0; i < b.N; i++ {
+			res = search.DP(14, search.VirtualCycles(mach), search.Options{})
+		}
+		b.Logf("plain DP: %.4g cycles (%s)", res.Cost, res.Plan)
+	})
+	b.Run("context", func(b *testing.B) {
+		var res search.Result
+		for i := 0; i < b.N; i++ {
+			res = search.DPContext(14, mach, search.Options{})
+		}
+		b.Logf("context DP: %.4g cycles (%s)", res.Cost, res.Plan)
+	})
+}
+
+// Prefetcher ablation: the sequential prefetcher rescues streaming plans
+// (iterative) and leaves stride-doubling plans (left-recursive) behind.
+func BenchmarkPrefetchAblation(b *testing.B) {
+	for _, prefetch := range []bool{false, true} {
+		mach := machine.VirtualOpteron224()
+		mach.NextLinePrefetch = prefetch
+		name := "off"
+		if prefetch {
+			name = "on"
+		}
+		b.Run("prefetch="+name, func(b *testing.B) {
+			tr := trace.New(mach)
+			var iter, left uint64
+			for i := 0; i < b.N; i++ {
+				iter = tr.Run(plan.Iterative(18)).Mem.L1Misses
+				left = tr.Run(plan.LeftRecursive(18)).Mem.L1Misses
+			}
+			b.Logf("n=18 L1 misses: iterative=%d left=%d", iter, left)
+		})
+	}
+}
+
+// Float32 vs float64 engines on identical plans (real execution).
+func BenchmarkElementTypeAblation(b *testing.B) {
+	const n = 16
+	p := plan.Balanced(n, 6)
+	x64 := make([]float64, 1<<n)
+	x32 := make([]float32, 1<<n)
+	for i := range x64 {
+		x64[i] = float64(i & 31)
+		x32[i] = float32(i & 31)
+	}
+	b.Run("float64", func(b *testing.B) {
+		b.SetBytes(int64(8 << n))
+		for i := 0; i < b.N; i++ {
+			wht.MustApply(p, x64)
+		}
+	})
+	b.Run("float32", func(b *testing.B) {
+		b.SetBytes(int64(4 << n))
+		for i := 0; i < b.N; i++ {
+			if err := wht.Apply32(p, x32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// DP arity ablation: wider splits enlarge the candidate set; the bench
+// shows the cost growth, the log shows the (small) quality gain.
+func BenchmarkDPArityAblation(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	for _, arity := range []int{2, 3} {
+		b.Run(fmt.Sprintf("arity=%d", arity), func(b *testing.B) {
+			var res search.Result
+			for i := 0; i < b.N; i++ {
+				res = search.DP(12, search.VirtualCycles(mach), search.Options{MaxArity: arity})
+			}
+			b.Logf("arity %d: best %.4g cycles (%s)", arity, res.Cost, res.Plan)
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command whtcount prints a census of the WHT algorithm space: the exact
+// number of algorithms per size (the ~O(7^n) result of [5] quoted in the
+// paper's Section 2), the growth ratio, and the theoretical minimum,
+// maximum, mean and standard deviation of the instruction-count model
+// under the recursive split uniform distribution.
+//
+// Usage:
+//
+//	whtcount [-n 20] [-leafmax 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/theory"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whtcount: ")
+	n := flag.Int("n", 20, "largest transform log-size")
+	leafMax := flag.Int("leafmax", 8, "largest unrolled codelet log-size")
+	flag.Parse()
+	if *n < 1 || *n > 64 {
+		log.Fatalf("-n %d outside [1, 64]", *n)
+	}
+
+	counts := theory.Counts(*n, *leafMax)
+	cost := machine.VirtualOpteron224().Cost
+	momN := *n
+	if momN > 22 {
+		momN = 22 // the moment recurrence enumerates 2^(n-1) compositions
+	}
+	ext := theory.InstructionExtremes(momN, *leafMax, cost)
+	mom := theory.InstructionMoments(momN, *leafMax, cost)
+
+	fmt.Printf("%-4s %28s %8s %14s %14s %14s %14s\n",
+		"n", "algorithms", "ratio", "min instr", "mean instr", "max instr", "stddev")
+	prev := counts[1]
+	for k := 1; k <= *n; k++ {
+		ratio := ""
+		if k > 1 {
+			r := new(bigRat)
+			ratio = fmt.Sprintf("%.3f", r.quo(counts[k], prev))
+		}
+		if k <= momN {
+			fmt.Printf("%-4d %28s %8s %14d %14.0f %14d %14.0f\n",
+				k, counts[k], ratio, ext.Min[k], mom.Mean[k], ext.Max[k], math.Sqrt(mom.Variance[k]))
+		} else {
+			fmt.Printf("%-4d %28s %8s\n", k, counts[k], ratio)
+		}
+		prev = counts[k]
+	}
+	fmt.Printf("\ngrowth base (a(n)/a(n-1) at n=%d): %.4f  — the paper quotes ~O(7^n)\n",
+		*n, theory.GrowthRatio(*n, *leafMax))
+}
+
+// bigRat is a tiny helper to print count ratios without importing big.Rat
+// machinery all over.
+type bigRat struct{}
+
+func (*bigRat) quo(a, b fmt.Stringer) float64 {
+	var x, y float64
+	fmt.Sscan(a.String(), &x)
+	fmt.Sscan(b.String(), &y)
+	if y == 0 {
+		return math.Inf(1)
+	}
+	return x / y
+}

@@ -1,0 +1,91 @@
+// Command whtmodel analyzes one WHT plan: it prints the high-level model
+// values (instruction classes, direct-mapped misses) next to the virtual
+// measurement (simulated L1/L2/TLB misses and cycles), demonstrating the
+// paper's premise that the models are computable without running anything.
+//
+// Usage:
+//
+//	whtmodel -plan 'split[small[4],split[small[6],small[8]]]'
+//	whtmodel -n 16 -canonical right
+//	whtmodel -plan ... -prefetch -elem 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/theory"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whtmodel: ")
+	planStr := flag.String("plan", "", "plan in WHT grammar (small[k] / split[...])")
+	n := flag.Int("n", 0, "build a canonical plan of this log-size instead")
+	canonical := flag.String("canonical", "iterative", "iterative | right | left | balanced | mininstr")
+	dmLg := flag.Int("dmcache", 13, "log2 lines of the direct-mapped model cache")
+	prefetch := flag.Bool("prefetch", false, "enable the sequential prefetcher")
+	elem := flag.Int("elem", 0, "override element size in bytes (default: machine preset)")
+	flag.Parse()
+
+	mach := machine.VirtualOpteron224()
+	mach.NextLinePrefetch = *prefetch
+	if *elem > 0 {
+		mach.ElemSize = *elem
+	}
+
+	var p *plan.Node
+	var err error
+	switch {
+	case *planStr != "":
+		p, err = plan.Parse(*planStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *n > 0:
+		switch *canonical {
+		case "iterative":
+			p = plan.Iterative(*n)
+		case "right":
+			p = plan.RightRecursive(*n)
+		case "left":
+			p = plan.LeftRecursive(*n)
+		case "balanced":
+			p = plan.Balanced(*n, plan.MaxLeafLog)
+		case "mininstr":
+			p = theory.MinInstructionPlan(*n, plan.MaxLeafLog, mach.Cost)
+		default:
+			log.Fatalf("unknown canonical %q", *canonical)
+		}
+	default:
+		log.Fatal("provide -plan or -n (see -help)")
+	}
+
+	fmt.Printf("plan:   %s\n", p)
+	fmt.Printf("size:   2^%d = %d points; %d nodes, %d leaves, depth %d\n",
+		p.Log2Size(), p.Size(), p.CountNodes(), p.CountLeaves(), p.Depth())
+
+	model := core.Model(p, mach.Cost)
+	fmt.Printf("\n-- models (from the high-level description, nothing executed) --\n")
+	fmt.Printf("instructions: %d  (arith %d, load %d, store %d, addr %d, loop %d, call %d, spill %d)\n",
+		model.Instructions(), model.Ops.Arith, model.Ops.Load, model.Ops.Store,
+		model.Ops.Addr, model.Ops.Loop, model.Ops.Call, model.Ops.SpillLd+model.Ops.SpillSt)
+	fmt.Printf("dm-cache misses (2^%d lines, block 1): %d\n", *dmLg, core.DirectMappedMisses(p, *dmLg))
+
+	tr := trace.New(mach)
+	m := core.Measure(tr, p)
+	fmt.Printf("\n-- virtual measurement on %s (elem %d B, prefetch %v) --\n",
+		mach.Name, mach.ElemSize, mach.NextLinePrefetch)
+	fmt.Printf("instructions: %d (model and measurement agree by construction: %v)\n",
+		m.Instructions, m.Instructions == model.Instructions())
+	fmt.Printf("L1 misses:    %d\n", m.L1Misses)
+	fmt.Printf("L2 misses:    %d\n", m.L2Misses)
+	fmt.Printf("TLB misses:   %d\n", m.TLBMisses)
+	fmt.Printf("cycles:       %.0f  (%.3f cycles/instruction; %.2f ms at %.1f GHz)\n",
+		m.Cycles, m.Cycles/float64(m.Instructions), 1e3*m.Cycles/mach.ClockHz, mach.ClockHz/1e9)
+}

@@ -1,0 +1,103 @@
+// Command whtsearch finds fast WHT plans on the virtual machine, the
+// analogue of the WHT package's search driver.
+//
+// Usage:
+//
+//	whtsearch -n 18 [-method dp|exhaustive|random|pruned] [-arity 2]
+//	          [-count 1000] [-keep 0.1] [-seed 1] [-cost cycles|instructions]
+//
+// It prints the best plan found, its cost, and how it compares with the
+// three canonical algorithms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whtsearch: ")
+	n := flag.Int("n", 16, "transform log-size")
+	method := flag.String("method", "dp", "dp | dpctx | exhaustive | random | pruned | anneal")
+	arity := flag.Int("arity", 2, "maximum split arity for DP")
+	count := flag.Int("count", 1000, "candidates for random/pruned search")
+	keep := flag.Float64("keep", 0.1, "fraction kept by the model filter in pruned search")
+	seed := flag.Uint64("seed", 1, "sampling seed")
+	costName := flag.String("cost", "cycles", "cycles | instructions")
+	flag.Parse()
+
+	if *n < 1 || *n > 26 {
+		log.Fatalf("-n %d outside [1, 26]", *n)
+	}
+	mach := machine.VirtualOpteron224()
+	var cost search.Cost
+	switch *costName {
+	case "cycles":
+		cost = search.VirtualCycles(mach)
+	case "instructions":
+		cost = search.ModelInstructions(mach.Cost)
+	default:
+		log.Fatalf("unknown cost %q", *costName)
+	}
+
+	opts := search.Options{MaxArity: *arity}
+	var res search.Result
+	evaluations := 0
+	switch *method {
+	case "dp":
+		res = search.DP(*n, cost, opts)
+	case "dpctx":
+		res = search.DPContext(*n, mach, opts)
+	case "exhaustive":
+		if *n > 7 {
+			log.Fatalf("exhaustive search is infeasible beyond n=7 (the space grows like ~7^n)")
+		}
+		res = search.Exhaustive(*n, cost, opts)
+	case "random":
+		res, _ = search.Random(*n, *count, *seed, cost, opts)
+		evaluations = *count
+	case "pruned":
+		res, evaluations = search.Pruned(*n, *count, *seed,
+			search.ModelInstructions(mach.Cost), cost, *keep, opts)
+	case "anneal":
+		res, evaluations = search.Anneal(*n, plan.Balanced(*n, plan.MaxLeafLog),
+			cost, *seed, search.AnnealOptions{Iterations: *count})
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	if res.Plan == nil {
+		log.Fatal("no plan found")
+	}
+
+	fmt.Printf("method:      %s (cost: %s)\n", *method, *costName)
+	fmt.Printf("best plan:   %s\n", res.Plan)
+	fmt.Printf("best cost:   %.4g\n", res.Cost)
+	if evaluations > 0 {
+		fmt.Printf("evaluations: %d\n", evaluations)
+	}
+
+	tr := trace.New(mach)
+	fmt.Printf("\n%-12s %14s %14s %12s %10s\n", "plan", "cycles", "instructions", "l1 misses", "vs best")
+	for _, ref := range []struct {
+		name string
+		p    *plan.Node
+	}{
+		{"best", res.Plan},
+		{"iterative", plan.Iterative(*n)},
+		{"right", plan.RightRecursive(*n)},
+		{"left", plan.LeftRecursive(*n)},
+	} {
+		m := core.Measure(tr, ref.p)
+		fmt.Fprintf(os.Stdout, "%-12s %14.0f %14d %12d %9.2fx\n",
+			ref.name, m.Cycles, m.Instructions, m.L1Misses, m.Cycles/res.Cost)
+	}
+}

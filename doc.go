@@ -1,0 +1,6 @@
+// Package repro is the root of the WHT performance-analysis reproduction
+// (Andrews & Johnson, "Performance Analysis of a Family of WHT
+// Algorithms", IPPS 2007).  The public API lives in package repro/wht;
+// the root package exists to host the paper-figure benchmark harness
+// (bench_test.go).  See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,134 @@
+// Package cache implements the trace-driven memory-hierarchy simulator that
+// stands in for the paper's PAPI cache-miss counters: set-associative LRU
+// caches (direct-mapped as the 1-way case), composed into a two-level data
+// cache plus a two-level TLB, with the geometry of the Opteron 224 the
+// paper measured on.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	Sets      int // number of sets; power of two
+	Ways      int // associativity; Sets == 1 && large Ways models full associativity
+	LineBytes int // line size in bytes; power of two (use the page size for TLBs)
+}
+
+// SizeBytes returns the total capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets < 1 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets %d must be a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.LineBytes < 1 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d must be a positive power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// Cache is a single set-associative LRU cache level.  The zero value is not
+// usable; construct with New.  Addresses given to AccessLine are already in
+// line (or page) units; the caller performs the byte-to-line shift so that
+// one simulator serves both caches and TLBs.
+type Cache struct {
+	cfg      Config
+	setMask  uint64
+	ways     int
+	tags     []uint64 // sets*ways entries, MRU-first within each set; 0 = invalid (tags store line+1)
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache level from cfg; it panics on invalid geometry (caller
+// configs are compile-time presets, so this is a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:     cfg,
+		setMask: uint64(cfg.Sets - 1),
+		ways:    cfg.Ways,
+		tags:    make([]uint64, cfg.Sets*cfg.Ways),
+	}
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Accesses returns the number of AccessLine calls since the last Reset.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of misses since the last Reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset clears contents and counters, allowing the cache to be reused for
+// the next simulated run without reallocation.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	c.accesses = 0
+	c.misses = 0
+}
+
+// AccessLine simulates one reference to the given line address and reports
+// whether it missed.  On a miss the line is installed, evicting the LRU way.
+func (c *Cache) AccessLine(line uint64) bool {
+	c.accesses++
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	ways := c.tags[set : set+c.ways]
+	if ways[0] == tag { // fast path: MRU hit
+		return false
+	}
+	for i := 1; i < len(ways); i++ {
+		if ways[i] == tag {
+			copy(ways[1:i+1], ways[:i]) // promote to MRU
+			ways[0] = tag
+			return false
+		}
+	}
+	c.misses++
+	copy(ways[1:], ways[:len(ways)-1]) // evict LRU (last), shift, insert MRU
+	ways[0] = tag
+	return true
+}
+
+// InstallLine brings a line into the cache without touching the demand
+// counters — the effect of a hardware prefetch.  The line becomes MRU in
+// its set, evicting the LRU way if absent.
+func (c *Cache) InstallLine(line uint64) {
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	ways := c.tags[set : set+c.ways]
+	if ways[0] == tag {
+		return
+	}
+	for i := 1; i < len(ways); i++ {
+		if ways[i] == tag {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return
+		}
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = tag
+}
+
+// Contains reports whether the line is currently resident (no LRU update,
+// no counter update).  Intended for tests.
+func (c *Cache) Contains(line uint64) bool {
+	set := int(line&c.setMask) * c.ways
+	tag := line + 1
+	for _, w := range c.tags[set : set+c.ways] {
+		if w == tag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "ok", Sets: 8, Ways: 2, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.SizeBytes() != 8*2*64 {
+		t.Fatalf("size = %d", good.SizeBytes())
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 1, LineBytes: 64},
+		{Sets: 3, Ways: 1, LineBytes: 64},
+		{Sets: 8, Ways: 0, LineBytes: 64},
+		{Sets: 8, Ways: 1, LineBytes: 0},
+		{Sets: 8, Ways: 1, LineBytes: 48},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestDirectMappedColdAndConflict(t *testing.T) {
+	c := New(Config{Name: "dm", Sets: 4, Ways: 1, LineBytes: 64})
+	// Cold misses, then hits.
+	for _, line := range []uint64{0, 1, 2, 3} {
+		if !c.AccessLine(line) {
+			t.Fatalf("line %d: expected cold miss", line)
+		}
+	}
+	for _, line := range []uint64{0, 1, 2, 3} {
+		if c.AccessLine(line) {
+			t.Fatalf("line %d: expected hit", line)
+		}
+	}
+	// Lines 0 and 4 conflict in set 0: line 0 is still resident so the first
+	// access hits, then the alternation misses on every access.
+	for i := 0; i < 6; i++ {
+		line := uint64(4 * (i % 2))
+		miss := c.AccessLine(line)
+		if i == 0 && miss {
+			t.Fatal("line 0 should still be resident")
+		}
+		if i > 0 && !miss {
+			t.Fatalf("conflict access %d: expected miss", i)
+		}
+	}
+	if c.Misses() != 4+5 {
+		t.Fatalf("misses = %d, want 9", c.Misses())
+	}
+	if c.Accesses() != 8+6 {
+		t.Fatalf("accesses = %d, want 14", c.Accesses())
+	}
+}
+
+func TestTwoWayLRUEviction(t *testing.T) {
+	c := New(Config{Name: "2w", Sets: 2, Ways: 2, LineBytes: 64})
+	// Set 0 holds lines {0, 2, 4, ...}.  Touch 0, 2 (cold), then 0 again
+	// (hit, promotes 0 to MRU), then 4 (evicts LRU = 2), then 2 misses and 0
+	// must still hit.
+	if !c.AccessLine(0) || !c.AccessLine(2) {
+		t.Fatal("cold misses expected")
+	}
+	if c.AccessLine(0) {
+		t.Fatal("line 0 should hit")
+	}
+	if !c.AccessLine(4) {
+		t.Fatal("line 4 should miss")
+	}
+	if c.Contains(2) {
+		t.Fatal("line 2 should have been evicted (LRU)")
+	}
+	if !c.Contains(0) {
+		t.Fatal("line 0 should remain (MRU)")
+	}
+	if !c.AccessLine(2) {
+		t.Fatal("line 2 should now miss")
+	}
+	if c.AccessLine(4) {
+		t.Fatal("line 4 should still hit (0 was evicted instead)")
+	}
+}
+
+func TestFullyAssociativeCyclicThrash(t *testing.T) {
+	// A fully associative LRU cache of W ways accessed cyclically over W+1
+	// distinct lines misses on every access after warmup (the classic LRU
+	// worst case).
+	const ways = 8
+	c := New(Config{Name: "fa", Sets: 1, Ways: ways, LineBytes: 64})
+	for round := 0; round < 4; round++ {
+		for line := uint64(0); line < ways+1; line++ {
+			if !c.AccessLine(line) {
+				t.Fatalf("round %d line %d: expected miss in cyclic thrash", round, line)
+			}
+		}
+	}
+}
+
+func TestFullyAssociativeWorkingSetFits(t *testing.T) {
+	const ways = 8
+	c := New(Config{Name: "fa", Sets: 1, Ways: ways, LineBytes: 64})
+	for round := 0; round < 4; round++ {
+		for line := uint64(0); line < ways; line++ {
+			miss := c.AccessLine(line)
+			if round == 0 && !miss {
+				t.Fatal("expected cold miss")
+			}
+			if round > 0 && miss {
+				t.Fatalf("round %d line %d: working set fits, expected hit", round, line)
+			}
+		}
+	}
+	if c.Misses() != ways {
+		t.Fatalf("misses = %d, want %d", c.Misses(), ways)
+	}
+}
+
+func TestResetClearsStateAndCounters(t *testing.T) {
+	c := New(Config{Name: "r", Sets: 2, Ways: 1, LineBytes: 64})
+	c.AccessLine(0)
+	c.AccessLine(1)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("counters not reset")
+	}
+	if c.Contains(0) || c.Contains(1) {
+		t.Fatal("contents not reset")
+	}
+	if !c.AccessLine(0) {
+		t.Fatal("expected cold miss after reset")
+	}
+}
+
+// An LRU cache simulated line-by-line must agree with a straightforward
+// reference model (map + timestamp) on random traces.
+func TestQuickAgainstReferenceLRU(t *testing.T) {
+	f := func(seed uint64, rawSets, rawWays uint8) bool {
+		sets := 1 << (uint(rawSets) % 4) // 1..8 sets
+		ways := int(uint(rawWays)%4) + 1 // 1..4 ways
+		c := New(Config{Name: "q", Sets: sets, Ways: ways, LineBytes: 64})
+		ref := newRefLRU(sets, ways)
+		rng := rand.New(rand.NewPCG(seed, 17))
+		for i := 0; i < 2000; i++ {
+			line := uint64(rng.IntN(4 * sets * ways))
+			if c.AccessLine(line) != ref.access(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refLRU is an obviously-correct LRU model used only for testing.
+type refLRU struct {
+	sets  int
+	ways  int
+	data  []map[uint64]int // set -> line -> last-use time
+	clock int
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	r := &refLRU{sets: sets, ways: ways, data: make([]map[uint64]int, sets)}
+	for i := range r.data {
+		r.data[i] = make(map[uint64]int)
+	}
+	return r
+}
+
+func (r *refLRU) access(line uint64) bool {
+	r.clock++
+	set := r.data[int(line)%r.sets]
+	if _, ok := set[line]; ok {
+		set[line] = r.clock
+		return false
+	}
+	if len(set) >= r.ways {
+		var victim uint64
+		oldest := int(^uint(0) >> 1)
+		for l, t := range set {
+			if t < oldest {
+				oldest, victim = t, l
+			}
+		}
+		delete(set, victim)
+	}
+	set[line] = r.clock
+	return true
+}
+
+func TestHierarchyForwardsOnlyMisses(t *testing.T) {
+	h := &Hierarchy{
+		L1: New(Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 64}),
+		L2: New(Config{Name: "L2", Sets: 8, Ways: 2, LineBytes: 64}),
+	}
+	h.AccessData(0, 0) // L1 miss -> L2 access (miss)
+	h.AccessData(0, 0) // L1 hit -> no L2 access
+	c := h.Counters()
+	if c.L1Accesses != 2 || c.L1Misses != 1 {
+		t.Fatalf("L1 counters: %+v", c)
+	}
+	if c.L2Accesses != 1 || c.L2Misses != 1 {
+		t.Fatalf("L2 counters: %+v", c)
+	}
+}
+
+func TestHierarchyTLBPath(t *testing.T) {
+	h := &Hierarchy{
+		L1:   New(Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 64}),
+		TLB1: New(Config{Name: "TLB1", Sets: 1, Ways: 2, LineBytes: 4096}),
+		TLB2: New(Config{Name: "TLB2", Sets: 4, Ways: 2, LineBytes: 4096}),
+	}
+	// Three distinct pages cycle through a 2-entry fully associative TLB1.
+	for round := 0; round < 3; round++ {
+		for page := uint64(0); page < 3; page++ {
+			h.AccessData(page*64, page)
+		}
+	}
+	c := h.Counters()
+	if c.TLB1Misses != 9 {
+		t.Fatalf("TLB1 misses = %d, want 9 (cyclic thrash)", c.TLB1Misses)
+	}
+	if c.TLB2Misses != 3 {
+		t.Fatalf("TLB2 misses = %d, want 3 (cold only)", c.TLB2Misses)
+	}
+}
+
+func TestHierarchyWithoutOptionalLevels(t *testing.T) {
+	h := &Hierarchy{L1: New(Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 64})}
+	h.AccessData(5, 0)
+	h.AccessData(5, 0)
+	c := h.Counters()
+	if c.L1Accesses != 2 || c.L1Misses != 1 || c.L2Accesses != 0 || c.TLB1Misses != 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+	h.Reset()
+	if h.Counters() != (HierarchyCounters{}) {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func BenchmarkAccessLine(b *testing.B) {
+	c := New(Config{Name: "b", Sets: 1024, Ways: 2, LineBytes: 64})
+	rng := rand.New(rand.NewPCG(1, 1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.IntN(8192))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AccessLine(addrs[i&4095])
+	}
+}

@@ -1,0 +1,87 @@
+package cache
+
+// HierarchyCounters aggregates the per-level statistics of one simulated
+// run; it is the simulator's answer to the paper's PAPI event set
+// (PAPI_L1_DCM and friends).
+type HierarchyCounters struct {
+	L1Accesses uint64
+	L1Misses   uint64
+	L2Accesses uint64
+	L2Misses   uint64
+	TLB1Misses uint64
+	TLB2Misses uint64
+}
+
+// Hierarchy composes a two-level data cache with a two-level TLB.  L2,
+// TLB1 and TLB2 may be nil (absent).  Data accesses are expressed in line
+// addresses and page addresses, which the trace generator derives from
+// element indices; only L1 misses are forwarded to L2 and only TLB1 misses
+// to TLB2, as in the real lookup path.
+type Hierarchy struct {
+	L1   *Cache
+	L2   *Cache
+	TLB1 *Cache
+	TLB2 *Cache
+
+	// NextLinePrefetch models the Opteron's sequential hardware prefetcher:
+	// on a demand miss the following line is installed alongside the
+	// missing one (in both levels, without touching demand counters).
+	NextLinePrefetch bool
+	Prefetches       uint64
+}
+
+// AccessData simulates one data reference at the given line and page
+// addresses.
+func (h *Hierarchy) AccessData(line, page uint64) {
+	if h.TLB1 != nil {
+		if h.TLB1.AccessLine(page) && h.TLB2 != nil {
+			h.TLB2.AccessLine(page)
+		}
+	}
+	if h.L1.AccessLine(line) {
+		if h.L2 != nil {
+			h.L2.AccessLine(line)
+		}
+		if h.NextLinePrefetch {
+			h.Prefetches++
+			h.L1.InstallLine(line + 1)
+			if h.L2 != nil {
+				h.L2.InstallLine(line + 1)
+			}
+		}
+	}
+}
+
+// Reset clears every level for the next run.
+func (h *Hierarchy) Reset() {
+	h.Prefetches = 0
+	h.L1.Reset()
+	if h.L2 != nil {
+		h.L2.Reset()
+	}
+	if h.TLB1 != nil {
+		h.TLB1.Reset()
+	}
+	if h.TLB2 != nil {
+		h.TLB2.Reset()
+	}
+}
+
+// Counters snapshots the per-level statistics.
+func (h *Hierarchy) Counters() HierarchyCounters {
+	c := HierarchyCounters{
+		L1Accesses: h.L1.Accesses(),
+		L1Misses:   h.L1.Misses(),
+	}
+	if h.L2 != nil {
+		c.L2Accesses = h.L2.Accesses()
+		c.L2Misses = h.L2.Misses()
+	}
+	if h.TLB1 != nil {
+		c.TLB1Misses = h.TLB1.Misses()
+	}
+	if h.TLB2 != nil {
+		c.TLB2Misses = h.TLB2.Misses()
+	}
+	return c
+}

@@ -1,0 +1,97 @@
+package cache
+
+import "testing"
+
+func TestInstallLineDoesNotCountAsDemand(t *testing.T) {
+	c := New(Config{Name: "p", Sets: 4, Ways: 2, LineBytes: 64})
+	c.InstallLine(7)
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("install must not touch demand counters")
+	}
+	if !c.Contains(7) {
+		t.Fatal("installed line absent")
+	}
+	if c.AccessLine(7) {
+		t.Fatal("installed line should hit on demand")
+	}
+	// Installing a resident line is a no-op beyond LRU promotion.
+	c.InstallLine(7)
+	if c.Misses() != 0 {
+		t.Fatal("re-install changed counters")
+	}
+}
+
+func TestInstallLineEvictsLRU(t *testing.T) {
+	c := New(Config{Name: "p", Sets: 1, Ways: 2, LineBytes: 64})
+	c.AccessLine(0)
+	c.AccessLine(1)
+	c.InstallLine(2) // evicts 0 (LRU)
+	if c.Contains(0) || !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("install eviction wrong")
+	}
+	// Install of a mid-set resident promotes it to MRU.
+	c.InstallLine(1)
+	c.InstallLine(3) // should evict 2, not 1
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatal("install promotion wrong")
+	}
+}
+
+func TestNextLinePrefetchHelpsSequentialStreams(t *testing.T) {
+	mk := func(prefetch bool) *Hierarchy {
+		return &Hierarchy{
+			L1:               New(Config{Name: "L1", Sets: 64, Ways: 2, LineBytes: 64}),
+			NextLinePrefetch: prefetch,
+		}
+	}
+	sequential := func(h *Hierarchy) uint64 {
+		for line := uint64(0); line < 4096; line++ {
+			h.AccessData(line, line>>6)
+		}
+		return h.Counters().L1Misses
+	}
+	plain := sequential(mk(false))
+	pref := sequential(mk(true))
+	if pref >= plain {
+		t.Fatalf("prefetch did not help a sequential stream: %d vs %d", pref, plain)
+	}
+	if pref > plain/2+1 {
+		t.Fatalf("next-line prefetch should roughly halve sequential misses: %d vs %d", pref, plain)
+	}
+}
+
+func TestNextLinePrefetchUselessForLargeStrides(t *testing.T) {
+	mk := func(prefetch bool) *Hierarchy {
+		return &Hierarchy{
+			L1:               New(Config{Name: "L1", Sets: 64, Ways: 2, LineBytes: 64}),
+			NextLinePrefetch: prefetch,
+		}
+	}
+	strided := func(h *Hierarchy) uint64 {
+		for i := uint64(0); i < 4096; i++ {
+			line := i * 8 // 8-line stride: next-line prefetch never hits
+			h.AccessData(line, line>>6)
+		}
+		return h.Counters().L1Misses
+	}
+	plain := strided(mk(false))
+	pref := strided(mk(true))
+	if pref != plain {
+		t.Fatalf("prefetch changed large-stride misses: %d vs %d", pref, plain)
+	}
+}
+
+func TestPrefetchCounterAndReset(t *testing.T) {
+	h := &Hierarchy{
+		L1:               New(Config{Name: "L1", Sets: 4, Ways: 1, LineBytes: 64}),
+		NextLinePrefetch: true,
+	}
+	h.AccessData(0, 0)
+	if h.Prefetches != 1 {
+		t.Fatalf("prefetches = %d", h.Prefetches)
+	}
+	h.Reset()
+	if h.Prefetches != 0 {
+		t.Fatal("reset did not clear prefetch counter")
+	}
+}

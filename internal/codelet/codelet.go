@@ -1,0 +1,71 @@
+// Package codelet provides the unrolled base-case kernels ("small" codelets)
+// of the WHT package: straight-line in-place transforms of size 2^1..2^8 on
+// strided vectors, plus a generic loop kernel for arbitrary sizes.
+//
+// The unrolled kernels in codelets_gen.go are produced by cmd/whtgen
+// (go generate ./internal/codelet) in the style of SPIRAL's code generator.
+package codelet
+
+//go:generate go run ../../cmd/whtgen -max 8 -out codelets_gen.go
+//go:generate go run ../../cmd/whtgen -max 8 -type float32 -out codelets32_gen.go
+
+// Kernel computes an in-place WHT on the strided vector
+// x[base], x[base+stride], ..., x[base+(2^m-1)*stride].
+type Kernel func(x []float64, base, stride int)
+
+// Kernel32 is the single-precision variant, matching the WHT package's
+// wht_float build (and the 4-byte element size of the paper's cache
+// boundaries).
+type Kernel32 func(x []float32, base, stride int)
+
+// For returns the unrolled kernel for log2 size m, or nil if none was
+// generated.
+func For(m int) Kernel {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return Kernels[m]
+}
+
+// For32 returns the unrolled float32 kernel for log2 size m, or nil.
+func For32(m int) Kernel32 {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return Kernels32[m]
+}
+
+// Generic computes an in-place WHT(2^m) on a strided vector using the
+// textbook loop nest.  It works for any m >= 0 and is the reference
+// implementation the generated kernels are tested against; the transform
+// engine uses it only when asked to run without unrolled base cases.
+func Generic(x []float64, base, stride, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*stride
+				hi := lo + h*stride
+				a, b := x[lo], x[hi]
+				x[lo] = a + b
+				x[hi] = a - b
+			}
+		}
+	}
+}
+
+// Generic32 is the float32 loop kernel.
+func Generic32(x []float32, base, stride, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*stride
+				hi := lo + h*stride
+				a, b := x[lo], x[hi]
+				x[lo] = a + b
+				x[hi] = a - b
+			}
+		}
+	}
+}

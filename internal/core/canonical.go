@@ -1,0 +1,76 @@
+package core
+
+// Closed-form direct-mapped miss counts for the canonical algorithms, in
+// the style of the analysis of Furis–Hitczenko–Johnson [8] (direct-mapped
+// cache, 2^c one-element lines).  They are exact for n <= c (everything
+// fits: compulsory misses only) and for n >= c+2 (every per-stage first
+// touch has reuse distance at least the cache size); the simulator-based
+// DirectMappedMisses covers the boundary n = c+1 and arbitrary plans.
+//
+// The key structural facts, visible in the formulas:
+//
+//   - a butterfly pass at stride >= the cache size maps both of its
+//     operands to the same set, so reads *and* writes miss (4 misses per
+//     small[1] call instead of 2);
+//   - the iterative algorithm runs n - c of its n stages at such strides;
+//   - right recursion halves contiguously, so only its top combine stages
+//     (one per level above the cache) pay the same-set penalty;
+//   - left recursion multiplies its stride every level, so nearly every
+//     level beyond the cache pays it — which is why the paper finds it
+//     catastrophically worse.
+
+// IterativeDMMisses returns the direct-mapped misses of the iterative
+// algorithm at size 2^n with 2^c one-element lines.
+//
+// Stage k (stride 2^k) performs 2^(n-1) butterfly calls: for k < c the two
+// operands occupy distinct sets (2 misses per call); for k >= c they
+// collide (4 misses per call).  Total: c stages at 2^n plus (n-c) stages
+// at 2^(n+1), i.e. 2^n * (2n - c).
+func IterativeDMMisses(n, c int) int64 {
+	if n <= c {
+		return 1 << uint(n)
+	}
+	return int64(1) << uint(n) * int64(2*n-c)
+}
+
+// RightRecursiveDMMisses returns the direct-mapped misses of the
+// right-recursive algorithm: M(n) = 2 M(n-1) + 2^(n+1) above the cache
+// (the two contiguous half-transforms plus a same-set combine stage at
+// stride 2^(n-1) >= 2^c), with M(c) = 2^c.  Closed form:
+// 2^n * (1 + 2(n - c)).
+func RightRecursiveDMMisses(n, c int) int64 {
+	if n <= c {
+		return 1 << uint(n)
+	}
+	return int64(1) << uint(n) * int64(1+2*(n-c))
+}
+
+// LeftRecursiveDMMisses returns the direct-mapped misses of the
+// left-recursive algorithm.  A subtree of log-size m at stride 2^sigma
+// covers min(2^m, 2^(c-sigma)) distinct sets; once m > c - sigma nothing
+// is retained between its stages:
+//
+//	M(m, sigma) = 2^m                               if m <= c - sigma
+//	            = stage(m, sigma) + 2 M(m-1, sigma+1) otherwise,
+//
+// where the butterfly stage costs 2^(m-1) calls at 2 misses (sigma < c)
+// or 4 misses (sigma >= c) each.  The recursion doubles sigma every
+// level — the stride-doubling pathology of Figure 3.
+func LeftRecursiveDMMisses(n, c int) int64 {
+	var rec func(m, sigma int) int64
+	rec = func(m, sigma int) int64 {
+		if m <= c-sigma {
+			return 1 << uint(m)
+		}
+		perCall := int64(2)
+		if sigma >= c {
+			perCall = 4
+		}
+		stage := perCall << uint(m-1)
+		if m == 1 {
+			return stage
+		}
+		return stage + 2*rec(m-1, sigma+1)
+	}
+	return rec(n, 0)
+}

@@ -1,0 +1,183 @@
+// Package dataset collects virtual performance measurements for batches of
+// plans — the reproduction of the paper's measurement campaign (10,000
+// random algorithms per size, each measured for cycles, instructions and
+// cache misses).  Collection runs on a fixed pool of workers, each owning
+// its own tracer, and results are written into an index-addressed slice so
+// no locking is needed.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// Record is one measured plan.
+type Record struct {
+	Plan         string
+	N            int
+	Instructions int64
+	L1Misses     int64
+	L2Misses     int64
+	TLBMisses    int64
+	Cycles       float64
+}
+
+// FromMeasurement converts a core measurement into a flat record.
+func FromMeasurement(m core.Measurement) Record {
+	return Record{
+		Plan:         m.Plan.String(),
+		N:            m.Plan.Log2Size(),
+		Instructions: m.Instructions,
+		L1Misses:     m.L1Misses,
+		L2Misses:     m.L2Misses,
+		TLBMisses:    m.TLBMisses,
+		Cycles:       m.Cycles,
+	}
+}
+
+// Collect measures every plan on the machine using a pool of workers
+// (workers <= 0 selects GOMAXPROCS).  The result is index-aligned with the
+// input.
+func Collect(plans []*plan.Node, mach *machine.Machine, workers int) []Record {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	out := make([]Record, len(plans))
+	if len(plans) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := trace.New(mach) // one simulator per worker
+			for i := range jobs {
+				out[i] = FromMeasurement(core.Measure(tr, plans[i]))
+			}
+		}()
+	}
+	for i := range plans {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// CollectSample draws count plans of size 2^n from the recursive split
+// uniform distribution and measures them.
+func CollectSample(n, count int, seed uint64, mach *machine.Machine, workers int) []Record {
+	s := plan.NewSampler(seed, plan.MaxLeafLog)
+	return Collect(s.Plans(n, count), mach, workers)
+}
+
+// Columns extracts the named series from records: "instructions",
+// "l1misses", "l2misses", "tlbmisses", "cycles".
+func Columns(recs []Record, names ...string) ([][]float64, error) {
+	out := make([][]float64, len(names))
+	for j, name := range names {
+		col := make([]float64, len(recs))
+		for i, r := range recs {
+			switch name {
+			case "instructions":
+				col[i] = float64(r.Instructions)
+			case "l1misses":
+				col[i] = float64(r.L1Misses)
+			case "l2misses":
+				col[i] = float64(r.L2Misses)
+			case "tlbmisses":
+				col[i] = float64(r.TLBMisses)
+			case "cycles":
+				col[i] = r.Cycles
+			default:
+				return nil, fmt.Errorf("dataset: unknown column %q", name)
+			}
+		}
+		out[j] = col
+	}
+	return out, nil
+}
+
+// Select returns the records at the given indices (used with the IQR
+// outlier filter from internal/stats).
+func Select(recs []Record, idx []int) []Record {
+	out := make([]Record, len(idx))
+	for i, j := range idx {
+		out[i] = recs[j]
+	}
+	return out
+}
+
+var csvHeader = []string{"plan", "n", "instructions", "l1misses", "l2misses", "tlbmisses", "cycles"}
+
+// WriteCSV serializes records with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.Plan,
+			strconv.Itoa(r.N),
+			strconv.FormatInt(r.Instructions, 10),
+			strconv.FormatInt(r.L1Misses, 10),
+			strconv.FormatInt(r.L2Misses, 10),
+			strconv.FormatInt(r.TLBMisses, 10),
+			strconv.FormatFloat(r.Cycles, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "plan" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", rows[0])
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for lineNo, row := range rows[1:] {
+		var rec Record
+		rec.Plan = row[0]
+		if rec.N, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo+2, err)
+		}
+		ints := []*int64{&rec.Instructions, &rec.L1Misses, &rec.L2Misses, &rec.TLBMisses}
+		for k, dst := range ints {
+			if *dst, err = strconv.ParseInt(row[2+k], 10, 64); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", lineNo+2, err)
+			}
+		}
+		if rec.Cycles, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo+2, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+func TestCollectMatchesSequentialMeasurement(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	s := plan.NewSampler(11, plan.MaxLeafLog)
+	plans := s.Plans(10, 24)
+	par := Collect(plans, m, 4)
+
+	tr := trace.New(m)
+	for i, p := range plans {
+		want := FromMeasurement(core.Measure(tr, p))
+		if par[i] != want {
+			t.Fatalf("record %d differs:\n parallel  %+v\n sequential %+v", i, par[i], want)
+		}
+	}
+}
+
+func TestCollectEmptyAndSingle(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	if got := Collect(nil, m, 4); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	got := Collect([]*plan.Node{plan.Leaf(4)}, m, 8)
+	if len(got) != 1 || got[0].Instructions <= 0 {
+		t.Fatalf("single plan record %+v", got[0])
+	}
+}
+
+func TestCollectSampleDeterministic(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	a := CollectSample(9, 20, 77, m, 2)
+	b := CollectSample(9, 20, 77, m, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestColumns(t *testing.T) {
+	recs := []Record{
+		{Instructions: 10, L1Misses: 1, L2Misses: 2, TLBMisses: 3, Cycles: 4.5},
+		{Instructions: 20, L1Misses: 5, L2Misses: 6, TLBMisses: 7, Cycles: 8.5},
+	}
+	cols, err := Columns(recs, "instructions", "cycles", "l1misses", "l2misses", "tlbmisses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0][1] != 20 || cols[1][0] != 4.5 || cols[2][1] != 5 || cols[3][0] != 2 || cols[4][1] != 7 {
+		t.Fatalf("columns = %v", cols)
+	}
+	if _, err := Columns(recs, "bogus"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	recs := []Record{{N: 1}, {N: 2}, {N: 3}}
+	sel := Select(recs, []int{2, 0})
+	if len(sel) != 2 || sel[0].N != 3 || sel[1].N != 1 {
+		t.Fatalf("select = %+v", sel)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	recs := CollectSample(8, 10, 3, m, 2)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("%d records back, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d: %+v != %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	bad := "plan,n,instructions,l1misses,l2misses,tlbmisses,cycles\nsmall[1],x,1,2,3,4,5\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad integer accepted")
+	}
+}

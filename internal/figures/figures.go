@@ -1,0 +1,231 @@
+// Package figures regenerates every figure of the paper's evaluation from
+// the virtual machine: the canonical-vs-best ratio sweeps (Figures 1–3),
+// the random-sample histograms (4–5), the correlation scatters (6–8), the
+// (alpha, beta) grid (9) and the percentile pruning curves (10–11).  Each
+// generator returns the series the paper plots; cmd/whtrepro prints them
+// and writes CSVs, and bench_test.go wraps each one in a benchmark.
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/stats"
+)
+
+// Config scales the experiments.  Default() matches the paper's setup;
+// Quick() is a scaled-down version for tests and benchmarks.
+type Config struct {
+	Machine  *machine.Machine
+	Seed     uint64
+	Workers  int // <= 0 selects GOMAXPROCS
+	SmallN   int // in-L1 study size (paper: 9)
+	LargeN   int // out-of-L1 study size (paper: 18)
+	Samples  int // random plans per study (paper: 10000)
+	MaxSize  int // canonical sweep reaches 2^MaxSize (paper: 20)
+	Bins     int // histogram bins (paper: 50)
+	GridStep float64
+	DPArity  int // split arity of the DP search for the "best" plan
+}
+
+// Default returns the paper-scale configuration.
+func Default() Config {
+	return Config{
+		Machine:  machine.VirtualOpteron224(),
+		Seed:     20070122, // the paper's date
+		SmallN:   9,
+		LargeN:   18,
+		Samples:  10000,
+		MaxSize:  20,
+		Bins:     50,
+		GridStep: 0.05,
+		DPArity:  2,
+	}
+}
+
+// Quick returns a configuration small enough for unit tests and benchmark
+// iterations while preserving every regime (the large size still exceeds
+// L1).
+func Quick() Config {
+	cfg := Default()
+	cfg.Samples = 250
+	cfg.LargeN = 16
+	cfg.MaxSize = 14
+	return cfg
+}
+
+// CanonicalStudy is the shared computation behind Figures 1, 2 and 3: the
+// three canonical algorithms against the DP best, per size.
+type CanonicalStudy struct {
+	Sizes     []int
+	BestPlans []string
+	// Absolute values for the best plan.
+	BestCycles, BestInstr, BestMisses []float64
+	// Ratios canonical/best.
+	CycleRatio map[string][]float64 // keys: iterative, left, right
+	InstrRatio map[string][]float64
+	MissRatio  map[string][]float64 // raw ratio; the paper plots log10
+}
+
+// Canonicals computes the sweep for n = 1..cfg.MaxSize.
+func Canonicals(cfg Config) CanonicalStudy {
+	st := CanonicalStudy{
+		CycleRatio: map[string][]float64{},
+		InstrRatio: map[string][]float64{},
+		MissRatio:  map[string][]float64{},
+	}
+	cost := search.VirtualCycles(cfg.Machine)
+	for n := 1; n <= cfg.MaxSize; n++ {
+		best := search.DP(n, cost, search.Options{MaxArity: cfg.DPArity})
+		plans := map[string]*plan.Node{
+			"best":      best.Plan,
+			"iterative": plan.Iterative(n),
+			"left":      plan.LeftRecursive(n),
+			"right":     plan.RightRecursive(n),
+		}
+		recs := dataset.Collect([]*plan.Node{
+			plans["best"], plans["iterative"], plans["left"], plans["right"],
+		}, cfg.Machine, cfg.Workers)
+		byName := map[string]dataset.Record{
+			"best": recs[0], "iterative": recs[1], "left": recs[2], "right": recs[3],
+		}
+		st.Sizes = append(st.Sizes, n)
+		st.BestPlans = append(st.BestPlans, best.Plan.String())
+		st.BestCycles = append(st.BestCycles, byName["best"].Cycles)
+		st.BestInstr = append(st.BestInstr, float64(byName["best"].Instructions))
+		st.BestMisses = append(st.BestMisses, float64(byName["best"].L1Misses))
+		for _, name := range []string{"iterative", "left", "right"} {
+			r := byName[name]
+			b := byName["best"]
+			st.CycleRatio[name] = append(st.CycleRatio[name], r.Cycles/b.Cycles)
+			st.InstrRatio[name] = append(st.InstrRatio[name], float64(r.Instructions)/float64(b.Instructions))
+			st.MissRatio[name] = append(st.MissRatio[name], float64(r.L1Misses)/float64(b.L1Misses))
+		}
+	}
+	return st
+}
+
+// CrossoverSize returns the first size at which some recursive canonical
+// algorithm outperforms the iterative one in cycles (the paper finds the
+// L2 boundary, n = 18), or 0 if there is none in the sweep.
+func (st CanonicalStudy) CrossoverSize() int {
+	for i, n := range st.Sizes {
+		if st.CycleRatio["right"][i] < st.CycleRatio["iterative"][i] ||
+			st.CycleRatio["left"][i] < st.CycleRatio["iterative"][i] {
+			return n
+		}
+	}
+	return 0
+}
+
+// SampleStudy is the shared computation behind Figures 4–11 at one size:
+// a random sample measured, filtered and correlated.
+type SampleStudy struct {
+	N       int
+	Records []dataset.Record // raw sample
+	Kept    []int            // indices surviving the joint 3*IQR outer fences
+
+	// Filtered series (index-aligned with Kept).
+	Cycles, Instr, Misses []float64
+
+	CyclesHist, InstrHist, MissHist stats.Histogram
+
+	RhoInstrCycles float64
+	RhoMissCycles  float64
+
+	GridNormalized stats.GridResult // alpha,beta over max-normalized I, M
+	GridRaw        stats.GridResult // alpha,beta over raw I, M
+	OLSRatio       float64          // unconstrained beta/alpha in raw units
+	OLSRho         float64
+
+	PruneInstr    []stats.PruneCurve // Figure 10: model = I
+	PruneCombined []stats.PruneCurve // Figure 11: model = alpha*I + beta*M (raw-grid best)
+	Prune5Instr   float64            // threshold keeping all of the top 5% (I model)
+
+	Canonical map[string]dataset.Record // iterative/left/right/best points
+}
+
+// Sample runs the study at size n.
+func Sample(cfg Config, n int) SampleStudy {
+	st := SampleStudy{N: n}
+	st.Records = dataset.CollectSample(n, cfg.Samples, cfg.Seed+uint64(n), cfg.Machine, cfg.Workers)
+
+	cols, err := dataset.Columns(st.Records, "cycles", "instructions", "l1misses")
+	if err != nil {
+		panic(err) // column names are compile-time constants
+	}
+	rawCycles, rawInstr, rawMisses := cols[0], cols[1], cols[2]
+
+	// Joint outer-fence filter (3.0 x IQR, as in the paper).
+	inFence := func(xs []float64) map[int]bool {
+		keep := map[int]bool{}
+		for _, i := range stats.FilterOuterFences(xs, 3.0) {
+			keep[i] = true
+		}
+		return keep
+	}
+	fc, fi, fm := inFence(rawCycles), inFence(rawInstr), inFence(rawMisses)
+	for i := range st.Records {
+		if fc[i] && fi[i] && fm[i] {
+			st.Kept = append(st.Kept, i)
+			st.Cycles = append(st.Cycles, rawCycles[i])
+			st.Instr = append(st.Instr, rawInstr[i])
+			st.Misses = append(st.Misses, rawMisses[i])
+		}
+	}
+
+	st.CyclesHist = stats.NewHistogram(st.Cycles, cfg.Bins)
+	st.InstrHist = stats.NewHistogram(st.Instr, cfg.Bins)
+	st.MissHist = stats.NewHistogram(st.Misses, cfg.Bins)
+
+	st.RhoInstrCycles = mustRho(st.Instr, st.Cycles)
+	st.RhoMissCycles = mustRho(st.Misses, st.Cycles)
+
+	st.GridNormalized = stats.GridSearch(st.Instr, st.Misses, st.Cycles, cfg.GridStep, true)
+	st.GridRaw = stats.GridSearch(st.Instr, st.Misses, st.Cycles, cfg.GridStep, false)
+	st.OLSRatio, st.OLSRho = stats.OptimalRatio(st.Instr, st.Misses, st.Cycles)
+
+	percentiles := []float64{1, 5, 10}
+	st.PruneInstr = stats.PruneCurves(st.Instr, st.Cycles, percentiles)
+	combined := make([]float64, len(st.Instr))
+	alpha, beta := st.GridRaw.Best.Alpha, st.GridRaw.Best.Beta
+	for i := range combined {
+		combined[i] = alpha*st.Instr[i] + beta*st.Misses[i]
+	}
+	st.PruneCombined = stats.PruneCurves(combined, st.Cycles, percentiles)
+	st.Prune5Instr = stats.PruneThreshold(st.Instr, st.Cycles, 5, 1.0)
+
+	// Canonical and best reference points for the scatter plots.
+	best := search.DP(n, search.VirtualCycles(cfg.Machine), search.Options{MaxArity: cfg.DPArity})
+	refs := dataset.Collect([]*plan.Node{
+		best.Plan, plan.Iterative(n), plan.LeftRecursive(n), plan.RightRecursive(n),
+	}, cfg.Machine, cfg.Workers)
+	st.Canonical = map[string]dataset.Record{
+		"best": refs[0], "iterative": refs[1], "left": refs[2], "right": refs[3],
+	}
+	return st
+}
+
+func mustRho(xs, ys []float64) float64 {
+	rho, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return math.NaN()
+	}
+	return rho
+}
+
+// Summary renders the headline numbers of the study, mirroring the values
+// the paper reports in its figure captions.
+func (st SampleStudy) Summary() string {
+	return fmt.Sprintf(
+		"WHT%d: %d samples (%d kept) rho(I,C)=%.2f rho(M,C)=%.2f grid-best rho=%.2f at (%.2f, %.2f) [normalized] OLS ratio=%.1f rho=%.2f",
+		st.N, len(st.Records), len(st.Kept),
+		st.RhoInstrCycles, st.RhoMissCycles,
+		st.GridNormalized.Best.Rho, st.GridNormalized.Best.Alpha, st.GridNormalized.Best.Beta,
+		st.OLSRatio, st.OLSRho,
+	)
+}

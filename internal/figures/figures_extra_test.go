@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestSampleStudyCanonicalPoints(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 60
+	st := Sample(cfg, cfg.SmallN)
+	for _, name := range []string{"best", "iterative", "left", "right"} {
+		r, ok := st.Canonical[name]
+		if !ok {
+			t.Fatalf("missing canonical point %q", name)
+		}
+		if r.N != cfg.SmallN || r.Cycles <= 0 || r.Instructions <= 0 {
+			t.Fatalf("%s point incomplete: %+v", name, r)
+		}
+		if _, err := plan.Parse(r.Plan); err != nil {
+			t.Fatalf("%s plan does not parse: %v", name, err)
+		}
+	}
+	// The DP best must be at least as fast as every canonical at this size.
+	best := st.Canonical["best"].Cycles
+	for _, name := range []string{"iterative", "left", "right"} {
+		if st.Canonical[name].Cycles < best {
+			t.Errorf("%s (%g) beats the DP best (%g)", name, st.Canonical[name].Cycles, best)
+		}
+	}
+}
+
+func TestSampleStudySeriesAligned(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 80
+	st := Sample(cfg, cfg.SmallN)
+	if len(st.Cycles) != len(st.Kept) || len(st.Instr) != len(st.Kept) || len(st.Misses) != len(st.Kept) {
+		t.Fatal("filtered series misaligned with kept indices")
+	}
+	for i, idx := range st.Kept {
+		if st.Cycles[i] != st.Records[idx].Cycles {
+			t.Fatal("cycles series does not match records")
+		}
+		if st.Instr[i] != float64(st.Records[idx].Instructions) {
+			t.Fatal("instruction series does not match records")
+		}
+	}
+}
+
+func TestGridRawAndNormalizedAgreeOnBestRho(t *testing.T) {
+	// Pearson is scale-invariant, so both grids sample the same family of
+	// combined models (ratios beta/alpha); their maxima can differ only by
+	// grid resolution, not by much.
+	cfg := Quick()
+	cfg.Samples = 120
+	st := Sample(cfg, cfg.LargeN)
+	if math.Abs(st.GridRaw.Best.Rho-st.GridNormalized.Best.Rho) > 0.05 {
+		t.Errorf("raw best rho %.3f vs normalized %.3f differ beyond grid resolution",
+			st.GridRaw.Best.Rho, st.GridNormalized.Best.Rho)
+	}
+	// Both must dominate the single-variable models.
+	if st.GridRaw.Best.Rho < st.RhoInstrCycles || st.GridRaw.Best.Rho < st.RhoMissCycles {
+		t.Error("combined model must dominate its components")
+	}
+}
+
+func TestCanonicalStudyBestPlansParse(t *testing.T) {
+	cfg := Quick()
+	cfg.MaxSize = 8
+	st := Canonicals(cfg)
+	for i, s := range st.BestPlans {
+		p, err := plan.Parse(s)
+		if err != nil {
+			t.Fatalf("best plan %q: %v", s, err)
+		}
+		if p.Log2Size() != st.Sizes[i] {
+			t.Fatalf("best plan %q has size %d, want %d", s, p.Log2Size(), st.Sizes[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package plan
+
+// A composition of n is an ordered tuple (n1, ..., nt) of positive integers
+// summing to n.  Applying the WHT factorization once chooses a composition;
+// there are 2^(n-1) of them (one per subset of the n-1 gap positions).
+// These helpers drive the theory package (exact moments over the algorithm
+// space) and the exhaustive/DP searches.
+
+// ForEachComposition calls fn once for every composition of n, in
+// lexicographic order of cut positions.  The parts slice is reused between
+// calls and must not be retained.  Iteration stops early if fn returns
+// false.  The trivial composition (n) is included (it is the "leaf" choice
+// in the recursive split distribution).
+func ForEachComposition(n int, fn func(parts []int) bool) {
+	if n < 1 {
+		return
+	}
+	parts := make([]int, 0, n)
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return fn(parts)
+		}
+		for first := 1; first <= remaining; first++ {
+			parts = append(parts, first)
+			ok := rec(remaining - first)
+			parts = parts[:len(parts)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(n)
+}
+
+// Compositions materializes every composition of n.  Intended for small n
+// (the count is 2^(n-1)); larger n should use ForEachComposition.
+func Compositions(n int) [][]int {
+	var out [][]int
+	ForEachComposition(n, func(parts []int) bool {
+		cp := make([]int, len(parts))
+		copy(cp, parts)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// CompositionCount returns 2^(n-1), the number of compositions of n, for
+// n >= 1.  It panics if the count overflows int.
+func CompositionCount(n int) int {
+	if n < 1 {
+		return 0
+	}
+	if n-1 >= 63 {
+		panic("plan: composition count overflows")
+	}
+	return 1 << (n - 1)
+}
+
+// CompositionFromBits decodes a composition of n from an (n-1)-bit cut mask:
+// bit i set means a cut between position i and i+1.  Mask 0 yields the
+// trivial composition (n).
+func CompositionFromBits(n int, mask uint64) []int {
+	parts := make([]int, 0, 4)
+	run := 1
+	for i := 0; i < n-1; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			parts = append(parts, run)
+			run = 1
+		} else {
+			run++
+		}
+	}
+	parts = append(parts, run)
+	return parts
+}

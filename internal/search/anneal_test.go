@@ -1,0 +1,80 @@
+package search
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+func TestNeighborPreservesSizeAndValidity(t *testing.T) {
+	s := plan.NewSampler(1, plan.MaxLeafLog)
+	rng := rand.New(rand.NewPCG(2, 3))
+	for i := 0; i < 100; i++ {
+		p := s.Plan(12)
+		q := Neighbor(p, s, rng)
+		if q.Log2Size() != 12 {
+			t.Fatalf("neighbor changed size: %d", q.Log2Size())
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid neighbor: %v", err)
+		}
+	}
+}
+
+func TestNeighborEventuallyMutates(t *testing.T) {
+	s := plan.NewSampler(4, plan.MaxLeafLog)
+	rng := rand.New(rand.NewPCG(5, 6))
+	p := s.Plan(10)
+	changed := false
+	for i := 0; i < 50 && !changed; i++ {
+		if !Neighbor(p, s, rng).Equal(p) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("50 neighbor draws never changed the plan")
+	}
+}
+
+func TestAnnealImprovesOnSeed(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	cost := VirtualCycles(m)
+	seed := plan.Iterative(12) // deliberately poor seed
+	seedCost := cost(seed)
+	best, evals := Anneal(12, seed, cost, 7, AnnealOptions{Iterations: 120})
+	if evals != 120 {
+		t.Fatalf("evaluations = %d", evals)
+	}
+	if best.Cost >= seedCost {
+		t.Fatalf("annealing failed to improve on the iterative seed: %g vs %g", best.Cost, seedCost)
+	}
+	if best.Plan.Log2Size() != 12 || best.Plan.Validate() != nil {
+		t.Fatalf("bad plan %v", best.Plan)
+	}
+}
+
+func TestAnnealNilSeedAndDeterminism(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	a, _ := Anneal(10, nil, VirtualCycles(m), 9, AnnealOptions{Iterations: 60})
+	b, _ := Anneal(10, nil, VirtualCycles(m), 9, AnnealOptions{Iterations: 60})
+	if !a.Plan.Equal(b.Plan) || a.Cost != b.Cost {
+		t.Fatal("annealing not deterministic under equal seeds")
+	}
+}
+
+// Seeding the annealer with the instruction-optimal plan (the paper's
+// "systematically generate algorithms with small numbers of instructions")
+// should reach a plan competitive with a random search many times larger.
+func TestAnnealWithModelSeedBeatsBlindSearch(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	cost := VirtualCycles(m)
+	const n = 14
+	blind, _ := Random(n, 300, 11, cost, Options{})
+	seeded, evals := Anneal(n, plan.Balanced(n, 6), cost, 11, AnnealOptions{Iterations: 100})
+	if seeded.Cost > blind.Cost*1.05 {
+		t.Errorf("seeded annealing (%g after %d evals) should be within 5%% of blind search over 300 (%g)",
+			seeded.Cost, evals, blind.Cost)
+	}
+}

@@ -1,0 +1,61 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// Context-aware dynamic programming.  The paper notes that the WHT
+// package's DP "serves only as a heuristic since the optimal algorithm
+// depends on the calling context": a sub-plan selected for its stand-alone
+// (stride-1, cold-cache) cost may be a poor choice when executed at a
+// large stride inside an enclosing split.  DPContext closes most of that
+// gap by memoizing the best plan per (size, stride) pair and scoring every
+// candidate in the stride context it will actually run in.
+
+// DPContext runs the stride-aware dynamic program for size 2^n on the
+// machine, scoring candidates by virtual cycles at their calling stride.
+// Only binary splits are considered (the classic DP candidate set).
+func DPContext(n int, mach *machine.Machine, opt Options) Result {
+	opt = opt.withDefaults()
+	tr := trace.New(mach)
+	// best[m][sigma]: best plan of log-size m when executed at element
+	// stride 2^sigma; sigma ranges over 0..n-m (larger strides cannot
+	// occur inside a size-2^n transform).
+	best := make([][]*plan.Node, n+1)
+	bestCost := make([][]float64, n+1)
+	for m := 1; m <= n; m++ {
+		best[m] = make([]*plan.Node, n-m+1)
+		bestCost[m] = make([]float64, n-m+1)
+		for sigma := 0; sigma <= n-m; sigma++ {
+			bestCost[m][sigma] = math.Inf(1)
+			consider := func(candidate *plan.Node) {
+				c := cyclesAt(tr, mach, candidate, sigma)
+				if c < bestCost[m][sigma] {
+					best[m][sigma], bestCost[m][sigma] = candidate, c
+				}
+			}
+			if m <= opt.LeafMax {
+				consider(plan.Leaf(m))
+			}
+			// Binary split (a, b): in the evaluation order the second
+			// child runs at the node's own stride and the first child at
+			// stride shifted by b.
+			for b := 1; b < m; b++ {
+				a := m - b
+				candidate := plan.Split(best[a][sigma+b], best[b][sigma])
+				consider(candidate)
+			}
+		}
+	}
+	return Result{Plan: best[n][0], Cost: bestCost[n][0]}
+}
+
+func cyclesAt(tr *trace.Tracer, mach *machine.Machine, p *plan.Node, sigma int) float64 {
+	counters := tr.RunAt(p, 1<<uint(sigma))
+	return core.Cycles(counters, mach, p.Hash())
+}

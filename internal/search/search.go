@@ -1,0 +1,227 @@
+// Package search finds fast WHT plans, mirroring the WHT package's search
+// machinery the paper relies on: dynamic programming over sizes (the
+// "best" algorithm of Figures 1–3), exhaustive search for small sizes,
+// random search over the rsu distribution, and the paper's conclusion —
+// model-pruned search that discards plans with large model values before
+// spending any measurement effort on them.
+package search
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// Cost evaluates a plan; lower is better.  Implementations need not be
+// safe for concurrent use.
+type Cost func(p *plan.Node) float64
+
+// VirtualCycles returns a cost functor measuring deterministic virtual
+// cycles on the given machine.  The returned functor owns a tracer and is
+// not safe for concurrent use.
+func VirtualCycles(m *machine.Machine) Cost {
+	tr := trace.New(m)
+	return func(p *plan.Node) float64 {
+		return core.Measure(tr, p).Cycles
+	}
+}
+
+// ModelInstructions returns a cost functor evaluating the closed-form
+// instruction-count model (no simulation at all).
+func ModelInstructions(cost machine.CostModel) Cost {
+	return func(p *plan.Node) float64 {
+		return float64(core.Instructions(p, cost))
+	}
+}
+
+// CombinedModel returns the paper's alpha*I + beta*M cost, with M the
+// direct-mapped miss model of [8] at 2^lgLines one-element lines.
+func CombinedModel(cost machine.CostModel, alpha, beta float64, lgLines int) Cost {
+	return func(p *plan.Node) float64 {
+		i := core.Instructions(p, cost)
+		m := core.DirectMappedMisses(p, lgLines)
+		return core.Combined(alpha, beta, i, m)
+	}
+}
+
+// Options bounds the searches.
+type Options struct {
+	LeafMax  int // largest codelet log-size considered (default MaxLeafLog)
+	MaxArity int // largest split arity the DP considers (default 2)
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeafMax <= 0 || o.LeafMax > plan.MaxLeafLog {
+		o.LeafMax = plan.MaxLeafLog
+	}
+	if o.MaxArity < 2 {
+		o.MaxArity = 2
+	}
+	return o
+}
+
+// Result pairs a plan with its evaluated cost.
+type Result struct {
+	Plan *plan.Node
+	Cost float64
+}
+
+// DP performs the WHT package's dynamic-programming search: for each size
+// m = 1..n it selects the cheapest plan among the unrolled codelet and
+// splits (up to MaxArity parts) whose children are the previously selected
+// best plans.  Like the original, it is a heuristic — subplans are
+// evaluated in a top-level context even though the optimal subplan depends
+// on its calling context (stride), a caveat the paper notes explicitly.
+func DP(n int, cost Cost, opt Options) Result {
+	opt = opt.withDefaults()
+	best := make([]*plan.Node, n+1)
+	bestCost := make([]float64, n+1)
+	for m := 1; m <= n; m++ {
+		bestCost[m] = math.Inf(1)
+		if m <= opt.LeafMax {
+			leaf := plan.Leaf(m)
+			best[m], bestCost[m] = leaf, cost(leaf)
+		}
+		// Enumerate compositions of m into 2..MaxArity parts.
+		var parts []int
+		var build func(remaining, maxParts int)
+		build = func(remaining, maxParts int) {
+			if remaining == 0 {
+				if len(parts) < 2 {
+					return
+				}
+				kids := make([]*plan.Node, len(parts))
+				for i, sz := range parts {
+					kids[i] = best[sz]
+				}
+				candidate := plan.Split(kids...)
+				if c := cost(candidate); c < bestCost[m] {
+					best[m], bestCost[m] = candidate, c
+				}
+				return
+			}
+			if maxParts == 0 {
+				return
+			}
+			for sz := 1; sz <= remaining; sz++ {
+				if sz == m { // a single part is not a split
+					continue
+				}
+				parts = append(parts, sz)
+				build(remaining-sz, maxParts-1)
+				parts = parts[:len(parts)-1]
+			}
+		}
+		build(m, opt.MaxArity)
+	}
+	return Result{Plan: best[n], Cost: bestCost[n]}
+}
+
+// Exhaustive evaluates every plan of size 2^n and returns the optimum.
+// Feasible only for small n (the space grows like ~7^n).
+func Exhaustive(n int, cost Cost, opt Options) Result {
+	opt = opt.withDefaults()
+	best := Result{Cost: math.Inf(1)}
+	forEachPlan(n, opt.LeafMax, func(p *plan.Node) {
+		if c := cost(p); c < best.Cost {
+			best = Result{Plan: p, Cost: c}
+		}
+	})
+	return best
+}
+
+// forEachPlan enumerates all plans of size 2^n without materializing the
+// whole space at once per node (children lists are still shared).
+func forEachPlan(n, leafMax int, visit func(*plan.Node)) {
+	memo := make(map[int][]*plan.Node)
+	var enum func(k int) []*plan.Node
+	enum = func(k int) []*plan.Node {
+		if cached, ok := memo[k]; ok {
+			return cached
+		}
+		var out []*plan.Node
+		if k <= leafMax {
+			out = append(out, plan.Leaf(k))
+		}
+		if k > 1 {
+			for mask := uint64(1); mask < 1<<uint(k-1); mask++ {
+				partsList := plan.CompositionFromBits(k, mask)
+				var assemble func(i int, kids []*plan.Node)
+				assemble = func(i int, kids []*plan.Node) {
+					if i == len(partsList) {
+						cp := make([]*plan.Node, len(kids))
+						copy(cp, kids)
+						out = append(out, plan.Split(cp...))
+						return
+					}
+					for _, sub := range enum(partsList[i]) {
+						assemble(i+1, append(kids, sub))
+					}
+				}
+				assemble(0, nil)
+			}
+		}
+		memo[k] = out
+		return out
+	}
+	for _, p := range enum(n) {
+		visit(p)
+	}
+}
+
+// Random draws count plans from the recursive split uniform distribution,
+// evaluates them all and returns the best along with every result (the raw
+// material of the paper's Figures 4–11).
+func Random(n, count int, seed uint64, cost Cost, opt Options) (Result, []Result) {
+	opt = opt.withDefaults()
+	s := plan.NewSampler(seed, opt.LeafMax)
+	best := Result{Cost: math.Inf(1)}
+	all := make([]Result, 0, count)
+	for i := 0; i < count; i++ {
+		p := s.Plan(n)
+		c := cost(p)
+		all = append(all, Result{Plan: p, Cost: c})
+		if c < best.Cost {
+			best = Result{Plan: p, Cost: c}
+		}
+	}
+	return best, all
+}
+
+// Pruned implements the paper's conclusion: draw candidates, rank them by
+// a cheap model value, keep only the keepFrac fraction with the smallest
+// model values, and spend the expensive cost evaluations on those.  It
+// returns the best surviving plan and the number of expensive evaluations
+// performed.
+func Pruned(n, count int, seed uint64, model Cost, expensive Cost, keepFrac float64, opt Options) (Result, int) {
+	opt = opt.withDefaults()
+	s := plan.NewSampler(seed, opt.LeafMax)
+	type scored struct {
+		p *plan.Node
+		v float64
+	}
+	candidates := make([]scored, count)
+	for i := range candidates {
+		p := s.Plan(n)
+		candidates[i] = scored{p, model(p)}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a].v < candidates[b].v })
+	keep := int(math.Ceil(keepFrac * float64(count)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > count {
+		keep = count
+	}
+	best := Result{Cost: math.Inf(1)}
+	for _, cand := range candidates[:keep] {
+		if c := expensive(cand.p); c < best.Cost {
+			best = Result{Plan: cand.p, Cost: c}
+		}
+	}
+	return best, keep
+}

@@ -1,0 +1,154 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/theory"
+)
+
+func TestDPFindsMinimumInstructionPlan(t *testing.T) {
+	// With the pure instruction-model cost, DP over unbounded arity must
+	// reach the theoretical minimum instruction count (the min-DP of [5]
+	// optimizes the same chain-decomposable objective).
+	m := machine.VirtualOpteron224()
+	cost := ModelInstructions(m.Cost)
+	for _, n := range []int{1, 3, 6, 9, 12} {
+		ext := theory.InstructionExtremes(n, plan.MaxLeafLog, m.Cost)
+		res := DP(n, cost, Options{MaxArity: n + 1})
+		if res.Plan == nil || res.Plan.Log2Size() != n {
+			t.Fatalf("n=%d: bad plan %v", n, res.Plan)
+		}
+		if int64(res.Cost) != ext.Min[n] {
+			t.Errorf("n=%d: DP cost %d, theoretical min %d (plan %v)", n, int64(res.Cost), ext.Min[n], res.Plan)
+		}
+	}
+}
+
+func TestDPBinaryMatchesExhaustiveOnVirtualCycles(t *testing.T) {
+	// DP is a heuristic, but for small sizes it should land within a few
+	// percent of the exhaustive optimum under the virtual-cycle cost.
+	m := machine.VirtualOpteron224()
+	for _, n := range []int{3, 5, 6} {
+		dp := DP(n, VirtualCycles(m), Options{})
+		ex := Exhaustive(n, VirtualCycles(m), Options{})
+		if dp.Cost < ex.Cost {
+			t.Fatalf("n=%d: DP (%g) beat exhaustive (%g)?", n, dp.Cost, ex.Cost)
+		}
+		if dp.Cost > ex.Cost*1.05 {
+			t.Errorf("n=%d: DP cost %g more than 5%% above exhaustive %g", n, dp.Cost, ex.Cost)
+		}
+	}
+}
+
+func TestExhaustiveVisitsWholeSpace(t *testing.T) {
+	count := 0
+	forEachPlan(5, plan.MaxLeafLog, func(p *plan.Node) {
+		if p.Log2Size() != 5 || p.Validate() != nil {
+			t.Fatalf("bad plan %v", p)
+		}
+		count++
+	})
+	want := theory.Count(5, plan.MaxLeafLog).Int64()
+	if int64(count) != want {
+		t.Fatalf("visited %d plans, space has %d", count, want)
+	}
+}
+
+func TestExhaustiveRespectsLeafMax(t *testing.T) {
+	forEachPlan(4, 2, func(p *plan.Node) {
+		for _, m := range p.LeafSizes() {
+			if m > 2 {
+				t.Fatalf("leaf %d in %v with leafMax=2", m, p)
+			}
+		}
+	})
+}
+
+func TestRandomSearchReturnsBestOfSample(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	best, all := Random(8, 50, 42, VirtualCycles(m), Options{})
+	if len(all) != 50 {
+		t.Fatalf("%d results", len(all))
+	}
+	for _, r := range all {
+		if r.Cost < best.Cost {
+			t.Fatalf("best %g is not the minimum (%g)", best.Cost, r.Cost)
+		}
+	}
+	if best.Plan == nil || best.Plan.Log2Size() != 8 {
+		t.Fatalf("bad best plan %v", best.Plan)
+	}
+}
+
+func TestRandomSearchDeterministicUnderSeed(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	b1, _ := Random(9, 30, 7, VirtualCycles(m), Options{})
+	b2, _ := Random(9, 30, 7, VirtualCycles(m), Options{})
+	if !b1.Plan.Equal(b2.Plan) || b1.Cost != b2.Cost {
+		t.Fatal("random search not deterministic under equal seeds")
+	}
+}
+
+func TestPrunedSearchEvaluatesFewerPlans(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	modelCost := ModelInstructions(m.Cost)
+	expensive := VirtualCycles(m)
+	best, evaluated := Pruned(9, 200, 13, modelCost, expensive, 0.10, Options{})
+	if evaluated != 20 {
+		t.Fatalf("evaluated %d plans, want 20", evaluated)
+	}
+	if best.Plan == nil || math.IsInf(best.Cost, 1) {
+		t.Fatal("no plan found")
+	}
+	// The pruned search must land close to the unpruned optimum over the
+	// same sample — this is the paper's whole point.
+	full, _ := Random(9, 200, 13, expensive, Options{})
+	if best.Cost > full.Cost*1.05 {
+		t.Errorf("pruned best %g more than 5%% above full-search best %g", best.Cost, full.Cost)
+	}
+}
+
+func TestPrunedKeepFractionBounds(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	modelCost := ModelInstructions(m.Cost)
+	_, kept := Pruned(6, 10, 1, modelCost, modelCost, 0.0, Options{})
+	if kept != 1 {
+		t.Fatalf("keepFrac 0 kept %d", kept)
+	}
+	_, kept = Pruned(6, 10, 1, modelCost, modelCost, 5.0, Options{})
+	if kept != 10 {
+		t.Fatalf("keepFrac >1 kept %d", kept)
+	}
+}
+
+func TestCombinedModelCost(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	c := CombinedModel(m.Cost, 1, 0.5, 10)
+	p := plan.Iterative(8)
+	want := float64(core.Instructions(p, m.Cost)) + 0.5*float64(core.DirectMappedMisses(p, 10))
+	if got := c(p); got != want {
+		t.Fatalf("combined cost %g, want %g", got, want)
+	}
+}
+
+func TestDPBestBeatsCanonicalsAtLargeSize(t *testing.T) {
+	// The DP "best" plan must beat all three canonical algorithms in
+	// virtual cycles at a size beyond L1 — the premise of Figure 1.
+	m := machine.VirtualOpteron224()
+	cost := VirtualCycles(m)
+	n := 16
+	best := DP(n, cost, Options{})
+	for name, p := range map[string]*plan.Node{
+		"iterative": plan.Iterative(n),
+		"right":     plan.RightRecursive(n),
+		"left":      plan.LeftRecursive(n),
+	} {
+		if c := cost(p); c <= best.Cost {
+			t.Errorf("%s (%g) not beaten by DP best (%g, plan %v)", name, c, best.Cost, best.Plan)
+		}
+	}
+}

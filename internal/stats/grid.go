@@ -1,0 +1,128 @@
+package stats
+
+import "math"
+
+// The combined-model analysis of Figure 9: the correlation of
+// alpha*I + beta*M with cycles over a grid of (alpha, beta).  Because the
+// Pearson coefficient is scale-invariant, only the ratio beta/alpha
+// matters in raw units; the paper samples alpha, beta in [0, 1] with step
+// 0.05.  GridSearch supports both raw inputs and max-normalized inputs
+// (each variable divided by its maximum), and OptimalRatio gives the
+// unconstrained optimum in closed form for comparison.
+
+// GridPoint is one evaluated (alpha, beta) pair.
+type GridPoint struct {
+	Alpha, Beta float64
+	Rho         float64
+}
+
+// GridResult is the full surface plus its maximizer.
+type GridResult struct {
+	Points []GridPoint // row-major over the (alpha, beta) grid
+	Best   GridPoint
+}
+
+// GridSearch evaluates rho(alpha*I + beta*M, C) over alpha, beta in
+// [0, 1] sampled with the given step.  If normalize is true, I and M are
+// first divided by their respective maxima so that the two axes are
+// comparable, which is the only reading under which an interior optimum of
+// the paper's grid is meaningful.  The (0, 0) corner is skipped (constant
+// model).
+func GridSearch(instr, misses, cycles []float64, step float64, normalize bool) GridResult {
+	is := append([]float64(nil), instr...)
+	ms := append([]float64(nil), misses...)
+	if normalize {
+		scaleToMax(is)
+		scaleToMax(ms)
+	}
+	var res GridResult
+	res.Best.Rho = math.Inf(-1)
+	combined := make([]float64, len(is))
+	for alpha := 0.0; alpha <= 1+1e-9; alpha += step {
+		for beta := 0.0; beta <= 1+1e-9; beta += step {
+			if alpha == 0 && beta == 0 {
+				continue
+			}
+			for i := range combined {
+				combined[i] = alpha*is[i] + beta*ms[i]
+			}
+			rho, err := Pearson(combined, cycles)
+			if err != nil {
+				continue
+			}
+			pt := GridPoint{Alpha: alpha, Beta: beta, Rho: rho}
+			res.Points = append(res.Points, pt)
+			if rho > res.Best.Rho {
+				res.Best = pt
+			}
+		}
+	}
+	return res
+}
+
+func scaleToMax(xs []float64) {
+	var max float64
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range xs {
+			xs[i] /= max
+		}
+	}
+}
+
+// OptimalRatio returns the raw-units ratio r* = beta/alpha maximizing
+// rho(I + r*M, C), together with the correlation achieved.  It follows
+// from the bivariate regression of C on (I, M): the optimal combined model
+// is the fitted linear predictor, whose correlation with C is the multiple
+// correlation coefficient.
+func OptimalRatio(instr, misses, cycles []float64) (ratio, rho float64) {
+	bI, bM, _ := OLS2(cycles, instr, misses)
+	if bI == 0 {
+		return math.Inf(1), math.NaN()
+	}
+	ratio = bM / bI
+	combined := make([]float64, len(instr))
+	for i := range combined {
+		combined[i] = instr[i] + ratio*misses[i]
+	}
+	r, err := Pearson(combined, cycles)
+	if err != nil {
+		return ratio, math.NaN()
+	}
+	return ratio, r
+}
+
+// OLS2 fits y = b0 + b1*x1 + b2*x2 by least squares and returns
+// (b1, b2, b0).  It solves the 2x2 normal equations on centered data.
+func OLS2(y, x1, x2 []float64) (b1, b2, b0 float64) {
+	n := len(y)
+	if n < 3 || len(x1) != n || len(x2) != n {
+		return 0, 0, 0
+	}
+	m1, m2, my := Mean(x1), Mean(x2), Mean(y)
+	var s11, s22, s12, s1y, s2y float64
+	for i := 0; i < n; i++ {
+		d1, d2, dy := x1[i]-m1, x2[i]-m2, y[i]-my
+		s11 += d1 * d1
+		s22 += d2 * d2
+		s12 += d1 * d2
+		s1y += d1 * dy
+		s2y += d2 * dy
+	}
+	det := s11*s22 - s12*s12
+	if math.Abs(det) < 1e-12*math.Max(s11*s22, 1) {
+		// Degenerate: fall back to the simple regression on x1.
+		if s11 > 0 {
+			b1 = s1y / s11
+		}
+		return b1, 0, my - b1*m1
+	}
+	b1 = (s22*s1y - s12*s2y) / det
+	b2 = (s11*s2y - s12*s1y) / det
+	b0 = my - b1*m1 - b2*m2
+	return b1, b2, b0
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// The pruning analysis of Figures 10 and 11: for a percentile p, an
+// algorithm is "good" if its cycle count is within the best p percent of
+// the sample.  For a threshold x on a model value (instruction count, or
+// alpha*I + beta*M), the curve reports
+//
+//	F_p(x) = P( cycles worse than the p-th percentile | model value <= x ),
+//
+// i.e. the risk that a model-pruned search keeps only algorithms outside
+// the top p percent.  As x grows the curve approaches 1 - p/100, and
+// wherever it is close to that limit, algorithms with larger model values
+// can be discarded without losing the top p percent.
+
+// PruneCurve is one curve of Figure 10/11.
+type PruneCurve struct {
+	Percentile float64   // p, in percent (1, 5, 10)
+	X          []float64 // model-value thresholds (sorted ascending)
+	Y          []float64 // F_p at each threshold
+}
+
+// PruneCurves computes curves for the given percentiles from paired
+// (modelValue, cycles) samples, evaluated at every distinct model value.
+func PruneCurves(model, cycles []float64, percentiles []float64) []PruneCurve {
+	n := len(model)
+	if n == 0 || n != len(cycles) {
+		return nil
+	}
+	// Sort sample indices by model value.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return model[order[a]] < model[order[b]] })
+
+	curves := make([]PruneCurve, 0, len(percentiles))
+	for _, p := range percentiles {
+		cutoff := Quantile(cycles, p/100) // cycles at the p-th percentile (lower = better)
+		xs := make([]float64, 0, n)
+		ys := make([]float64, 0, n)
+		kept, bad := 0, 0
+		for rank, idx := range order {
+			kept++
+			if cycles[idx] > cutoff {
+				bad++
+			}
+			// Emit one point per distinct model value (at its last index).
+			if rank+1 < n && model[order[rank+1]] == model[idx] {
+				continue
+			}
+			xs = append(xs, model[idx])
+			ys = append(ys, float64(bad)/float64(kept))
+		}
+		curves = append(curves, PruneCurve{Percentile: p, X: xs, Y: ys})
+	}
+	return curves
+}
+
+// PruneThreshold returns the smallest model-value threshold x such that
+// pruning to {model <= x} still retains at least the given fraction of the
+// top-p-percent algorithms.  This quantifies the paper's "for size n = 9,
+// to find an algorithm within 5% of the best we may discard all algorithms
+// with more than 7x10^4 instructions".  It returns the largest model value
+// (no pruning possible) if the retention target cannot be met earlier.
+func PruneThreshold(model, cycles []float64, percentile, retain float64) float64 {
+	n := len(model)
+	if n == 0 || n != len(cycles) {
+		return math.NaN()
+	}
+	cutoff := Quantile(cycles, percentile/100)
+	totalGood := 0
+	for _, c := range cycles {
+		if c <= cutoff {
+			totalGood++
+		}
+	}
+	if totalGood == 0 {
+		return math.NaN()
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return model[order[a]] < model[order[b]] })
+	good := 0
+	for rank, idx := range order {
+		if cycles[idx] <= cutoff {
+			good++
+		}
+		if float64(good) >= retain*float64(totalGood) {
+			// Extend to the end of ties on the model value.
+			x := model[idx]
+			for r := rank + 1; r < n && model[order[r]] == x; r++ {
+			}
+			return x
+		}
+	}
+	return model[order[n-1]]
+}

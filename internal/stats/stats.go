@@ -1,0 +1,220 @@
+// Package stats implements the statistical machinery of the paper's
+// Section 3 and 4: descriptive statistics with interquartile-range outlier
+// fences, Pearson correlation, fixed-width histograms, the percentile
+// pruning curves of Figures 10–11, the (alpha, beta) correlation grid of
+// Figure 9 and ordinary least squares for the unconstrained combined model.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; it is 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance (dividing by n); 0 for fewer
+// than two points.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Skewness returns the standardized third central moment; 0 when the
+// variance vanishes.
+func Skewness(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, v := range xs {
+		d := v - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// ExcessKurtosis returns the standardized fourth central moment minus 3.
+func ExcessKurtosis(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, v := range xs {
+		d := v - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between order statistics; it sorts a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Quartiles returns Q1, median and Q3.
+func Quartiles(xs []float64) (q1, q2, q3 float64) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.25), quantileSorted(sorted, 0.5), quantileSorted(sorted, 0.75)
+}
+
+// OuterFences returns the paper's outlier bounds: valid data lies within
+// [Q1 - k*IQR, Q3 + k*IQR] with k = 3.0 ("outer fences").
+func OuterFences(xs []float64, k float64) (lo, hi float64) {
+	q1, _, q3 := Quartiles(xs)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// FilterOuterFences returns the indices of xs within the k*IQR outer
+// fences, in order — the paper filters its 10,000-plan samples this way
+// before the histograms and correlations.
+func FilterOuterFences(xs []float64, k float64) []int {
+	lo, hi := OuterFences(xs, k)
+	keep := make([]int, 0, len(xs))
+	for i, v := range xs {
+		if v >= lo && v <= hi {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples.  It returns 0 when either marginal is constant and an error on
+// mismatched or short input.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Histogram is a fixed-width binned count, the form of Figures 4 and 5.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// [min(xs), max(xs)], as the paper does with 50 bins.
+func NewHistogram(xs []float64, bins int) Histogram {
+	h := Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 || bins <= 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, v := range xs {
+		h.Min = math.Min(h.Min, v)
+		h.Max = math.Max(h.Max, v)
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, v := range xs {
+		idx := bins - 1
+		if width > 0 {
+			idx = int((v - h.Min) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// BinCenters returns the midpoints of the histogram bins.
+func (h Histogram) BinCenters() []float64 {
+	centers := make([]float64, len(h.Counts))
+	if len(h.Counts) == 0 {
+		return centers
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for i := range centers {
+		centers[i] = h.Min + width*(float64(i)+0.5)
+	}
+	return centers
+}
+
+// Total returns the number of binned samples.
+func (h Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

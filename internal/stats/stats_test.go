@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("variance = %g", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("stddev = %g", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestSkewnessAndKurtosis(t *testing.T) {
+	sym := []float64{-2, -1, 0, 1, 2}
+	if s := Skewness(sym); !approx(s, 0, 1e-12) {
+		t.Fatalf("symmetric skewness = %g", s)
+	}
+	rightSkewed := []float64{1, 1, 1, 1, 10}
+	if s := Skewness(rightSkewed); s <= 0 {
+		t.Fatalf("right-skewed skewness = %g", s)
+	}
+	// Standard normal sample: skewness ~ 0, excess kurtosis ~ 0.
+	rng := rand.New(rand.NewPCG(1, 1))
+	normal := make([]float64, 20000)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	if s := Skewness(normal); !approx(s, 0, 0.1) {
+		t.Fatalf("normal sample skewness = %g", s)
+	}
+	if k := ExcessKurtosis(normal); !approx(k, 0, 0.2) {
+		t.Fatalf("normal sample excess kurtosis = %g", k)
+	}
+	if Skewness([]float64{3, 3, 3}) != 0 || ExcessKurtosis([]float64{3, 3, 3}) != 0 {
+		t.Fatal("constant data should have zero moments")
+	}
+}
+
+func TestQuantileAndQuartiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %g", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("min = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("max = %g", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q1 = %g", q)
+	}
+	q1, q2, q3 := Quartiles(xs)
+	if q1 != 2 || q2 != 3 || q3 != 4 {
+		t.Fatalf("quartiles = %g %g %g", q1, q2, q3)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{0, 10}, 0.75); q != 7.5 {
+		t.Fatalf("interpolated quantile = %g", q)
+	}
+}
+
+func TestOuterFencesAndFilter(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 1000}
+	keep := FilterOuterFences(xs, 3.0)
+	for _, idx := range keep {
+		if xs[idx] == 1000 {
+			t.Fatal("outlier survived the outer fences")
+		}
+	}
+	if len(keep) != len(xs)-1 {
+		t.Fatalf("kept %d of %d", len(keep), len(xs))
+	}
+	// Indices must be in order.
+	for i := 1; i < len(keep); i++ {
+		if keep[i] <= keep[i-1] {
+			t.Fatal("indices out of order")
+		}
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r, err := Pearson(xs, ys); err != nil || !approx(r, 1, 1e-12) {
+		t.Fatalf("perfect correlation: r=%g err=%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r, _ := Pearson(xs, neg); !approx(r, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation: r=%g", r)
+	}
+	if r, _ := Pearson(xs, []float64{7, 7, 7, 7, 7}); r != 0 {
+		t.Fatalf("constant series: r=%g", r)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson(xs[:1], ys[:1]); err == nil {
+		t.Fatal("single point accepted")
+	}
+	// A hand-checked non-trivial value.
+	a := []float64{1, 2, 3, 5, 8}
+	b := []float64{0.11, 0.12, 0.13, 0.15, 0.18}
+	r, err := Pearson(a, b)
+	if err != nil || !approx(r, 1, 1e-9) {
+		t.Fatalf("affine pair: r=%g err=%v", r, err)
+	}
+}
+
+func TestPearsonInvariantUnderAffineTransforms(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 50
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = xs[i]*3 + rng.Float64()*40
+		}
+		r1, _ := Pearson(xs, ys)
+		scaled := make([]float64, n)
+		for i := range scaled {
+			scaled[i] = 5*xs[i] - 17
+		}
+		r2, _ := Pearson(scaled, ys)
+		return approx(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+	if h.Min != 0 || h.Max != 9 {
+		t.Fatalf("range [%g, %g]", h.Min, h.Max)
+	}
+	centers := h.BinCenters()
+	if !approx(centers[0], 0.9, 1e-12) || !approx(centers[4], 8.1, 1e-12) {
+		t.Fatalf("centers = %v", centers)
+	}
+	// Max value lands in the last bin, constant data in one bin.
+	h = NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Total() != 3 {
+		t.Fatalf("constant data total = %d", h.Total())
+	}
+	if NewHistogram(nil, 3).Total() != 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestPruneCurvesLimits(t *testing.T) {
+	// Model perfectly ranks cycles: pruning at any x keeps exactly the best
+	// algorithms, so the curve starts at 0 and ends at 1 - p/100.
+	n := 1000
+	model := make([]float64, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		model[i] = float64(i)
+		cycles[i] = float64(i)
+	}
+	curves := PruneCurves(model, cycles, []float64{5})
+	if len(curves) != 1 {
+		t.Fatalf("%d curves", len(curves))
+	}
+	c := curves[0]
+	if c.Y[0] != 0 {
+		t.Fatalf("first point = %g, want 0 (best algorithm is within every percentile)", c.Y[0])
+	}
+	last := c.Y[len(c.Y)-1]
+	if !approx(last, 0.95, 0.01) {
+		t.Fatalf("limit = %g, want ~0.95", last)
+	}
+	// Thresholds ascend.
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] <= c.X[i-1] {
+			t.Fatal("thresholds not ascending")
+		}
+	}
+}
+
+func TestPruneCurvesUninformativeModel(t *testing.T) {
+	// A model independent of cycles gives a roughly flat curve near 1-p.
+	rng := rand.New(rand.NewPCG(9, 9))
+	n := 4000
+	model := make([]float64, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		model[i] = rng.Float64()
+		cycles[i] = rng.Float64()
+	}
+	c := PruneCurves(model, cycles, []float64{10})[0]
+	mid := c.Y[len(c.Y)/2]
+	if !approx(mid, 0.90, 0.05) {
+		t.Fatalf("uninformative model midpoint = %g, want ~0.90", mid)
+	}
+}
+
+func TestPruneThreshold(t *testing.T) {
+	// With a perfect model, retaining all of the top 5% requires exactly
+	// the model value at the 5th percentile.
+	n := 1000
+	model := make([]float64, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		model[i] = float64(i)
+		cycles[i] = float64(i)
+	}
+	x := PruneThreshold(model, cycles, 5, 1.0)
+	if x < 45 || x > 55 {
+		t.Fatalf("threshold = %g, want ~50", x)
+	}
+	if !math.IsNaN(PruneThreshold(nil, nil, 5, 1)) {
+		t.Fatal("empty input should give NaN")
+	}
+}
+
+func TestOLS2ExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 200
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.Float64() * 10
+		x2[i] = rng.Float64() * 3
+		y[i] = 2.5*x1[i] + 7*x2[i] + 4
+	}
+	b1, b2, b0 := OLS2(y, x1, x2)
+	if !approx(b1, 2.5, 1e-9) || !approx(b2, 7, 1e-9) || !approx(b0, 4, 1e-8) {
+		t.Fatalf("OLS2 = %g %g %g", b1, b2, b0)
+	}
+}
+
+func TestOLS2DegenerateCollinear(t *testing.T) {
+	x1 := []float64{1, 2, 3, 4}
+	x2 := []float64{2, 4, 6, 8} // collinear with x1
+	y := []float64{3, 6, 9, 12}
+	b1, b2, _ := OLS2(y, x1, x2)
+	if math.IsNaN(b1) || math.IsNaN(b2) {
+		t.Fatal("degenerate fit returned NaN")
+	}
+}
+
+func TestGridSearchRecoversKnownRatio(t *testing.T) {
+	// cycles = I + 2*M exactly; with max-normalization the optimum must
+	// beat both single-variable models and achieve rho ~ 1.
+	rng := rand.New(rand.NewPCG(6, 6))
+	n := 500
+	instr := make([]float64, n)
+	misses := make([]float64, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		instr[i] = 1000 + rng.Float64()*1000
+		misses[i] = rng.Float64() * 800
+		cycles[i] = instr[i] + 2*misses[i]
+	}
+	res := GridSearch(instr, misses, cycles, 0.05, true)
+	if res.Best.Rho < 0.999 {
+		t.Fatalf("best rho = %g, want ~1", res.Best.Rho)
+	}
+	rhoIOnly, _ := Pearson(instr, cycles)
+	if res.Best.Rho <= rhoIOnly {
+		t.Fatalf("combined model (%g) does not beat I alone (%g)", res.Best.Rho, rhoIOnly)
+	}
+	// Grid size: 21*21 - 1 points at step 0.05.
+	if len(res.Points) != 21*21-1 {
+		t.Fatalf("grid has %d points", len(res.Points))
+	}
+}
+
+func TestOptimalRatio(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	n := 500
+	instr := make([]float64, n)
+	misses := make([]float64, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		instr[i] = 1000 + rng.Float64()*1000
+		misses[i] = rng.Float64() * 800
+		cycles[i] = 0.7*instr[i] + 12*misses[i] + rng.Float64()*5
+	}
+	ratio, rho := OptimalRatio(instr, misses, cycles)
+	if !approx(ratio, 12/0.7, 0.5) {
+		t.Fatalf("ratio = %g, want ~%g", ratio, 12/0.7)
+	}
+	if rho < 0.999 {
+		t.Fatalf("rho = %g", rho)
+	}
+}

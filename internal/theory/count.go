@@ -1,0 +1,78 @@
+// Package theory implements the mathematical results about the WHT
+// algorithm space that the paper builds on (Hitczenko–Johnson–Huang [5]):
+// exact counts of the space (the ~O(7^n) result quoted in Section 2),
+// minimum and maximum instruction counts, the exact mean and variance of
+// the instruction count under the recursive split uniform distribution,
+// full enumeration with probabilities for small sizes, and an exactly
+// uniform sampler over the space.
+package theory
+
+import "math/big"
+
+// Counts returns a[1..n] where a[k] is the number of WHT algorithms for
+// size 2^k with unrolled leaves allowed up to log-size leafMax.  The
+// recurrence, over compositions with at least two parts,
+//
+//	a(k) = [k <= leafMax] + C(k),   C(k) = sum_{j=1}^{k-1} a(j) * (a(k-j) + C(k-j)),
+//
+// counts a split by its first part j followed by any non-empty suffix of
+// parts.  The returned slice has length n+1 with index 0 unused.
+func Counts(n, leafMax int) []*big.Int {
+	a := make([]*big.Int, n+1)
+	c := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		a[k] = new(big.Int)
+		c[k] = new(big.Int)
+	}
+	tmp := new(big.Int)
+	for k := 1; k <= n; k++ {
+		for j := 1; j < k; j++ {
+			tmp.Add(a[k-j], c[k-j])
+			tmp.Mul(tmp, a[j])
+			c[k].Add(c[k], tmp)
+		}
+		a[k].Set(c[k])
+		if k <= leafMax {
+			a[k].Add(a[k], big.NewInt(1))
+		}
+	}
+	return a
+}
+
+// Count returns the number of algorithms for size 2^n.
+func Count(n, leafMax int) *big.Int {
+	return Counts(n, leafMax)[n]
+}
+
+// GrowthRatio returns a(n)/a(n-1), which approaches the exponential growth
+// base of the space (~7.96 for leafMax = 8; the paper quotes O(7^n)).
+func GrowthRatio(n, leafMax int) float64 {
+	if n < 2 {
+		return 0
+	}
+	a := Counts(n, leafMax)
+	num := new(big.Float).SetInt(a[n])
+	den := new(big.Float).SetInt(a[n-1])
+	ratio, _ := new(big.Float).Quo(num, den).Float64()
+	return ratio
+}
+
+// suffixCounts returns s[0..n] where s[m] is the number of non-empty part
+// sequences (t >= 1) composing m with each part expanded into a full
+// subtree: s(m) = a(m) + C(m), s(0) = 1 by convention.  It is the helper
+// measure used by the exact-uniform sampler.
+func suffixCounts(n, leafMax int) (a, s []*big.Int) {
+	a = Counts(n, leafMax)
+	s = make([]*big.Int, n+1)
+	s[0] = big.NewInt(1)
+	for m := 1; m <= n; m++ {
+		// s(m) = sum_{j=1}^{m} a(j) * s(m-j); equivalently a(m) + C(m).
+		s[m] = new(big.Int)
+		tmp := new(big.Int)
+		for j := 1; j <= m; j++ {
+			tmp.Mul(a[j], s[m-j])
+			s[m].Add(s[m], tmp)
+		}
+	}
+	return a, s
+}

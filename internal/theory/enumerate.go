@@ -1,0 +1,76 @@
+package theory
+
+import "repro/internal/plan"
+
+// WeightedPlan pairs a plan with its probability under the recursive split
+// uniform distribution.
+type WeightedPlan struct {
+	Plan *plan.Node
+	Prob float64
+}
+
+// EnumerateAll returns every algorithm for size 2^n (leaves up to leafMax)
+// together with its probability under the recursive split uniform
+// distribution.  The probabilities sum to 1.  Intended for small n — the
+// space grows like ~8^n.
+func EnumerateAll(n, leafMax int) []WeightedPlan {
+	if leafMax > plan.MaxLeafLog {
+		leafMax = plan.MaxLeafLog
+	}
+	memo := make(map[int][]WeightedPlan)
+	var enum func(k int) []WeightedPlan
+	enum = func(k int) []WeightedPlan {
+		if cached, ok := memo[k]; ok {
+			return cached
+		}
+		var out []WeightedPlan
+		if k == 1 {
+			out = []WeightedPlan{{Plan: plan.Leaf(1), Prob: 1}}
+			memo[k] = out
+			return out
+		}
+		choiceCount := float64(int64(1) << uint(k-1))
+		if k > leafMax {
+			choiceCount--
+		}
+		if k <= leafMax {
+			out = append(out, WeightedPlan{Plan: plan.Leaf(k), Prob: 1 / choiceCount})
+		}
+		for mask := int64(1); mask < int64(1)<<uint(k-1); mask++ {
+			parts := plan.CompositionFromBits(k, uint64(mask))
+			for _, combo := range childCombos(parts, enum) {
+				out = append(out, WeightedPlan{
+					Plan: plan.Split(combo.kids...),
+					Prob: combo.prob / choiceCount,
+				})
+			}
+		}
+		memo[k] = out
+		return out
+	}
+	return enum(n)
+}
+
+type childCombo struct {
+	kids []*plan.Node
+	prob float64
+}
+
+// childCombos expands a composition into every combination of subtrees for
+// its parts, with the product of subtree probabilities.
+func childCombos(parts []int, enum func(int) []WeightedPlan) []childCombo {
+	if len(parts) == 0 {
+		return []childCombo{{prob: 1}}
+	}
+	rest := childCombos(parts[1:], enum)
+	var out []childCombo
+	for _, sub := range enum(parts[0]) {
+		for _, r := range rest {
+			kids := make([]*plan.Node, 0, 1+len(r.kids))
+			kids = append(kids, sub.Plan)
+			kids = append(kids, r.kids...)
+			out = append(out, childCombo{kids: kids, prob: sub.Prob * r.prob})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package theory
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+// Minimum and maximum instruction counts over the algorithm space, one of
+// the theoretical results of [5] that the paper uses to bound the model.
+// The chain structure of the split overhead makes both computable by a
+// suffix dynamic program: children execute from last to first, and a child
+// of log-size k placed before an already-chosen suffix of total log-size s
+// contributes (within a node of log-size n)
+//
+//	ChildSetup + MidIter*2^(n-s-k) + (InnerIter+CallOverhead)*2^(n-k)
+//	+ 2^(n-k) * A(subtree of size k).
+
+// Extremes holds the min and max instruction counts per size.
+type Extremes struct {
+	Min []int64 // index by log-size, 0 unused
+	Max []int64
+}
+
+// InstructionExtremes computes minimum and maximum total instruction
+// counts for sizes 1..n with leaves up to leafMax.
+func InstructionExtremes(n, leafMax int, cost machine.CostModel) Extremes {
+	if leafMax > plan.MaxLeafLog {
+		leafMax = plan.MaxLeafLog
+	}
+	ext := Extremes{Min: make([]int64, n+1), Max: make([]int64, n+1)}
+	for size := 1; size <= n; size++ {
+		minV, maxV := extremesFor(size, leafMax, cost, ext)
+		ext.Min[size], ext.Max[size] = minV, maxV
+	}
+	return ext
+}
+
+func extremesFor(n, leafMax int, cost machine.CostModel, ext Extremes) (minV, maxV int64) {
+	minV, maxV = math.MaxInt64, math.MinInt64
+	if n <= leafMax {
+		leaf := cost.LeafOps(n).Total()
+		minV, maxV = leaf, leaf
+	}
+	if n == 1 {
+		return minV, maxV
+	}
+	// fMin[s] (fMax[s]): best (worst) cost of completing a node of log-size
+	// n whose suffix children already cover log-size s.  fMin[n] = 0.
+	fMin := make([]int64, n+1)
+	fMax := make([]int64, n+1)
+	for s := n - 1; s >= 0; s-- {
+		fMin[s], fMax[s] = math.MaxInt64, math.MinInt64
+		for k := 1; k <= n-s; k++ {
+			if s == 0 && k == n {
+				continue // a split needs at least two children
+			}
+			calls := int64(1) << uint(n-k)
+			contrib := cost.ChildSetup +
+				cost.MidIter*(int64(1)<<uint(n-s-k)) +
+				(cost.InnerIter+cost.CallOverhead)*calls
+			lo := contrib + calls*ext.Min[k] + fMin[s+k]
+			hi := contrib + calls*ext.Max[k] + fMax[s+k]
+			if lo < fMin[s] {
+				fMin[s] = lo
+			}
+			if hi > fMax[s] {
+				fMax[s] = hi
+			}
+		}
+	}
+	if split := cost.NodeSetup + fMin[0]; split < minV {
+		minV = split
+	}
+	if split := cost.NodeSetup + fMax[0]; split > maxV {
+		maxV = split
+	}
+	return minV, maxV
+}
+
+// MinInstructionPlan reconstructs a plan achieving the minimum modelled
+// instruction count for size 2^n — the paper's conclusion suggests
+// systematically generating such plans to seed the pruned search.
+func MinInstructionPlan(n, leafMax int, cost machine.CostModel) *plan.Node {
+	if leafMax > plan.MaxLeafLog {
+		leafMax = plan.MaxLeafLog
+	}
+	ext := InstructionExtremes(n, leafMax, cost)
+	var build func(size int) *plan.Node
+	build = func(size int) *plan.Node {
+		if size <= leafMax && cost.LeafOps(size).Total() == ext.Min[size] {
+			return plan.Leaf(size)
+		}
+		// Recompute the suffix DP for this node and walk the argmin chain.
+		fMin := make([]int64, size+1)
+		choice := make([]int, size+1)
+		for s := size - 1; s >= 0; s-- {
+			fMin[s] = math.MaxInt64
+			for k := 1; k <= size-s; k++ {
+				if s == 0 && k == size {
+					continue
+				}
+				calls := int64(1) << uint(size-k)
+				contrib := cost.ChildSetup +
+					cost.MidIter*(int64(1)<<uint(size-s-k)) +
+					(cost.InnerIter+cost.CallOverhead)*calls +
+					calls*ext.Min[k] + fMin[s+k]
+				if contrib < fMin[s] {
+					fMin[s] = contrib
+					choice[s] = k
+				}
+			}
+		}
+		// The chain fills the node from the last child (s = 0 chooses the
+		// last-executed child, which is the rightmost in plan order... the
+		// suffix variable s counts log-size already covered by children to
+		// the right, so choices come out right-to-left).
+		var kidsRightToLeft []*plan.Node
+		for s := 0; s < size; {
+			k := choice[s]
+			kidsRightToLeft = append(kidsRightToLeft, build(k))
+			s += k
+		}
+		kids := make([]*plan.Node, len(kidsRightToLeft))
+		for i, c := range kidsRightToLeft {
+			kids[len(kids)-1-i] = c
+		}
+		return plan.Split(kids...)
+	}
+	return build(n)
+}

@@ -1,0 +1,94 @@
+package theory
+
+import (
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+// Exact mean and variance of the instruction count over the recursive
+// split uniform distribution — the distribution of the paper's 10,000-plan
+// samples.  At a node of log-size k every composition (cut mask) is
+// equally likely; the trivial composition means "leaf" and is excluded
+// when k > leafMax.  Conditional on the composition, the subtree counts
+// are independent and each subtree is drawn once and executed 2^(k-ni)
+// times, so
+//
+//	E[A_k]   = avg_kappa ( ov(kappa) + sum_i 2^(k-ni) mu_{ni} )
+//	E[A_k^2] = avg_kappa ( sum_i 4^(k-ni) var_{ni} + E[A|kappa]^2 )
+//
+// evaluated bottom-up with one pass over the 2^(k-1) cut masks per size.
+
+// Moments holds per-size mean and variance of the total instruction count.
+type Moments struct {
+	Mean     []float64 // index by log-size; 0 unused
+	Variance []float64
+}
+
+// InstructionMoments computes exact moments for sizes 1..n (n <= 24 keeps
+// the composition enumeration tractable; the paper's sizes are 9 and 18).
+func InstructionMoments(n, leafMax int, cost machine.CostModel) Moments {
+	if leafMax > plan.MaxLeafLog {
+		leafMax = plan.MaxLeafLog
+	}
+	mom := Moments{Mean: make([]float64, n+1), Variance: make([]float64, n+1)}
+	for k := 1; k <= n; k++ {
+		mean, second := momentsFor(k, leafMax, cost, mom)
+		mom.Mean[k] = mean
+		mom.Variance[k] = second - mean*mean
+		if mom.Variance[k] < 0 { // guard tiny negative from rounding
+			mom.Variance[k] = 0
+		}
+	}
+	return mom
+}
+
+func momentsFor(k, leafMax int, cost machine.CostModel, mom Moments) (mean, second float64) {
+	leafTotal := float64(cost.LeafOps(k).Total())
+	if k == 1 {
+		return leafTotal, leafTotal * leafTotal
+	}
+	// Mask 0 is the trivial composition: the leaf choice when a codelet
+	// exists, otherwise excluded from the choice set.
+	choiceCount := float64(int64(1) << uint(k-1))
+	if k <= leafMax {
+		mean += leafTotal
+		second += leafTotal * leafTotal
+	} else {
+		choiceCount--
+	}
+	parts := make([]int, 0, k)
+	for mask := int64(1); mask < int64(1)<<uint(k-1); mask++ {
+		parts = parts[:0]
+		run := 1
+		for b := 0; b < k-1; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				parts = append(parts, run)
+				run = 1
+			} else {
+				run++
+			}
+		}
+		parts = append(parts, run)
+
+		// Deterministic overhead of this composition, with children
+		// executing last to first (suffix s of log-sizes after child i).
+		ov := float64(cost.NodeSetup)
+		condMean := 0.0
+		condVar := 0.0
+		suffix := 0
+		for i := len(parts) - 1; i >= 0; i-- {
+			ni := parts[i]
+			calls := float64(int64(1) << uint(k-ni))
+			r := float64(int64(1) << uint(k-suffix-ni))
+			ov += float64(cost.ChildSetup) + float64(cost.MidIter)*r +
+				float64(cost.InnerIter+cost.CallOverhead)*calls
+			condMean += calls * mom.Mean[ni]
+			condVar += calls * calls * mom.Variance[ni]
+			suffix += ni
+		}
+		e := ov + condMean
+		mean += e
+		second += condVar + e*e
+	}
+	return mean / choiceCount, second / choiceCount
+}

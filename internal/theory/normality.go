@@ -1,0 +1,37 @@
+package theory
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Hitczenko–Johnson–Huang [5] prove that the distribution of instruction
+// counts over the algorithm space approaches a normal distribution as n
+// grows.  SampledShape measures the shape of the distribution empirically:
+// it draws a Monte Carlo sample from the recursive split uniform
+// distribution and returns the standardized skewness and excess kurtosis,
+// both of which tend to 0 for a normal limit.
+func SampledShape(n, samples int, seed uint64, cost machine.CostModel) (skewness, excessKurtosis float64) {
+	s := plan.NewSampler(seed, plan.MaxLeafLog)
+	xs := make([]float64, samples)
+	for i := range xs {
+		xs[i] = float64(core.Instructions(s.Plan(n), cost))
+	}
+	return stats.Skewness(xs), stats.ExcessKurtosis(xs)
+}
+
+// NormalityPath returns the sampled |skewness| for each size in ns — a
+// numeric illustration of the limit law (the values shrink as n grows).
+func NormalityPath(ns []int, samples int, seed uint64, cost machine.CostModel) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		sk, _ := SampledShape(n, samples, seed+uint64(i), cost)
+		if sk < 0 {
+			sk = -sk
+		}
+		out[i] = sk
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The limit law of [5]: the instruction-count distribution approaches a
+// normal as n grows, so the standardized shape statistics shrink.
+func TestShapeApproachesNormal(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	skSmall, _ := SampledShape(6, 3000, 99, cost)
+	skLarge, kuLarge := SampledShape(18, 3000, 99, cost)
+	if math.Abs(skLarge) >= math.Abs(skSmall) {
+		t.Errorf("|skew| should shrink with n: |%.3f| at n=6 vs |%.3f| at n=18", skSmall, skLarge)
+	}
+	if math.Abs(skLarge) > 0.4 {
+		t.Errorf("skewness at n=18 = %.3f, want near 0 (normal limit)", skLarge)
+	}
+	if math.Abs(kuLarge) > 1.0 {
+		t.Errorf("excess kurtosis at n=18 = %.3f, want near 0", kuLarge)
+	}
+}
+
+func TestNormalityPathShrinks(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	path := NormalityPath([]int{6, 18}, 2500, 7, cost)
+	if len(path) != 2 || path[0] < 0 || path[1] < 0 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[1] >= path[0] {
+		t.Errorf("|skew| path should shrink: %v", path)
+	}
+}

@@ -1,0 +1,240 @@
+package theory
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+func TestCountsMatchEnumeration(t *testing.T) {
+	for _, leafMax := range []int{1, 2, 4, 8} {
+		for n := 1; n <= 6; n++ {
+			want := len(EnumerateAll(n, leafMax))
+			got := Count(n, leafMax)
+			if got.Cmp(big.NewInt(int64(want))) != 0 {
+				t.Errorf("n=%d leafMax=%d: count %v, enumeration %d", n, leafMax, got, want)
+			}
+		}
+	}
+}
+
+func TestKnownCountSequence(t *testing.T) {
+	// With leaves up to 8 the space sizes are 1, 2, 6, 24, 112, 568, ...
+	want := []int64{0, 1, 2, 6, 24, 112, 568}
+	a := Counts(6, 8)
+	for n := 1; n <= 6; n++ {
+		if a[n].Cmp(big.NewInt(want[n])) != 0 {
+			t.Errorf("a(%d) = %v, want %d", n, a[n], want[n])
+		}
+	}
+}
+
+func TestGrowthRatioApproachesSeven(t *testing.T) {
+	// The paper quotes ~O(7^n).  The exact growth base for leafMax=8 solves
+	// sum_{k=1..8} x^k = 3 - 2*sqrt(2) (square-root singularity of the
+	// generating function), giving 1/x ~ 6.86; finite-n ratios approach it
+	// from below like rho*(1 - 3/(2n)).
+	r := GrowthRatio(60, 8)
+	if r < 6.3 || r > 7.2 {
+		t.Fatalf("growth ratio = %g, want within [6.3, 7.2]", r)
+	}
+	r40 := GrowthRatio(40, 8)
+	if r <= r40 {
+		t.Fatalf("growth ratio should increase toward the limit: r40=%g r60=%g", r40, r)
+	}
+	if math.Abs(r-r40) > 0.2 {
+		t.Fatalf("growth ratio not converging: %g vs %g", r40, r)
+	}
+}
+
+func TestEnumerationProbabilitiesSumToOne(t *testing.T) {
+	for _, leafMax := range []int{2, 8} {
+		for n := 1; n <= 6; n++ {
+			var sum float64
+			for _, wp := range EnumerateAll(n, leafMax) {
+				if err := wp.Plan.Validate(); err != nil {
+					t.Fatalf("n=%d: invalid plan %v: %v", n, wp.Plan, err)
+				}
+				if wp.Plan.Log2Size() != n {
+					t.Fatalf("n=%d: plan of size %d", n, wp.Plan.Log2Size())
+				}
+				sum += wp.Prob
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("n=%d leafMax=%d: probabilities sum to %g", n, leafMax, sum)
+			}
+		}
+	}
+}
+
+func TestEnumerationPlansAreDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, wp := range EnumerateAll(5, 8) {
+		s := wp.Plan.String()
+		if seen[s] {
+			t.Fatalf("duplicate plan %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+// Exact moments must equal the expectation computed from the full
+// enumeration with rsu probabilities.
+func TestInstructionMomentsMatchEnumeration(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	for _, leafMax := range []int{2, 4, 8} {
+		mom := InstructionMoments(6, leafMax, cost)
+		for n := 1; n <= 6; n++ {
+			var mean, second float64
+			for _, wp := range EnumerateAll(n, leafMax) {
+				v := float64(core.Instructions(wp.Plan, cost))
+				mean += wp.Prob * v
+				second += wp.Prob * v * v
+			}
+			variance := second - mean*mean
+			if math.Abs(mom.Mean[n]-mean) > 1e-6*mean {
+				t.Errorf("n=%d leafMax=%d: mean %g, enumeration %g", n, leafMax, mom.Mean[n], mean)
+			}
+			if math.Abs(mom.Variance[n]-variance) > 1e-6*math.Max(variance, 1) {
+				t.Errorf("n=%d leafMax=%d: variance %g, enumeration %g", n, leafMax, mom.Variance[n], variance)
+			}
+		}
+	}
+}
+
+// The subtree-sharing structure matters: a subtree is drawn once and
+// executed 2^(n-ni) times, which inflates the variance relative to
+// independent draws.  The Monte Carlo check below would catch a model that
+// got this wrong.
+func TestInstructionMomentsMonteCarlo(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	const n, samples = 10, 4000
+	mom := InstructionMoments(n, plan.MaxLeafLog, cost)
+	s := plan.NewSampler(1234, plan.MaxLeafLog)
+	var mean, second float64
+	for i := 0; i < samples; i++ {
+		v := float64(core.Instructions(s.Plan(n), cost))
+		mean += v
+		second += v * v
+	}
+	mean /= samples
+	second /= samples
+	variance := second - mean*mean
+
+	if rel := math.Abs(mean-mom.Mean[n]) / mom.Mean[n]; rel > 0.05 {
+		t.Errorf("Monte Carlo mean %g vs exact %g (rel %g)", mean, mom.Mean[n], rel)
+	}
+	if rel := math.Abs(variance-mom.Variance[n]) / mom.Variance[n]; rel > 0.25 {
+		t.Errorf("Monte Carlo variance %g vs exact %g (rel %g)", variance, mom.Variance[n], rel)
+	}
+}
+
+func TestInstructionExtremesMatchEnumeration(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	for _, leafMax := range []int{2, 8} {
+		ext := InstructionExtremes(6, leafMax, cost)
+		for n := 1; n <= 6; n++ {
+			lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+			for _, wp := range EnumerateAll(n, leafMax) {
+				v := core.Instructions(wp.Plan, cost)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if ext.Min[n] != lo {
+				t.Errorf("n=%d leafMax=%d: min %d, enumeration %d", n, leafMax, ext.Min[n], lo)
+			}
+			if ext.Max[n] != hi {
+				t.Errorf("n=%d leafMax=%d: max %d, enumeration %d", n, leafMax, ext.Max[n], hi)
+			}
+		}
+	}
+}
+
+func TestMinInstructionPlanAchievesMinimum(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	for _, n := range []int{1, 4, 8, 12, 16, 20} {
+		ext := InstructionExtremes(n, plan.MaxLeafLog, cost)
+		p := MinInstructionPlan(n, plan.MaxLeafLog, cost)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid plan: %v", n, err)
+		}
+		if p.Log2Size() != n {
+			t.Fatalf("n=%d: plan size %d", n, p.Log2Size())
+		}
+		if got := core.Instructions(p, cost); got != ext.Min[n] {
+			t.Errorf("n=%d: plan %v has %d instructions, min is %d", n, p, got, ext.Min[n])
+		}
+	}
+}
+
+func TestMeanBetweenExtremes(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	ext := InstructionExtremes(14, plan.MaxLeafLog, cost)
+	mom := InstructionMoments(14, plan.MaxLeafLog, cost)
+	for n := 1; n <= 14; n++ {
+		if mom.Mean[n] < float64(ext.Min[n]) || mom.Mean[n] > float64(ext.Max[n]) {
+			t.Errorf("n=%d: mean %g outside [%d, %d]", n, mom.Mean[n], ext.Min[n], ext.Max[n])
+		}
+	}
+}
+
+func TestUniformSamplerIsUniform(t *testing.T) {
+	const n, leafMax, samples = 4, 8, 24000
+	u := NewUniformSampler(7, n, leafMax)
+	counts := make(map[string]int)
+	for i := 0; i < samples; i++ {
+		p := u.Plan(n)
+		if p.Log2Size() != n || p.Validate() != nil {
+			t.Fatalf("bad sample %v", p)
+		}
+		counts[p.String()]++
+	}
+	all := EnumerateAll(n, leafMax)
+	if len(counts) != len(all) {
+		t.Fatalf("saw %d distinct plans, space has %d", len(counts), len(all))
+	}
+	want := float64(samples) / float64(len(all))
+	for s, c := range counts {
+		if f := float64(c); f < 0.8*want || f > 1.2*want {
+			t.Errorf("plan %s sampled %d times, expected ~%.0f", s, c, want)
+		}
+	}
+}
+
+func TestUniformSamplerLargeSizes(t *testing.T) {
+	u := NewUniformSampler(3, 18, 8)
+	for i := 0; i < 50; i++ {
+		p := u.Plan(18)
+		if p.Log2Size() != 18 || p.Validate() != nil {
+			t.Fatalf("bad sample %v", p)
+		}
+	}
+}
+
+// The rsu distribution skews toward bushy trees relative to the uniform
+// one; the mean instruction count under each must differ measurably, which
+// guards against the two samplers being accidentally identical.
+func TestSamplersAreDifferentDistributions(t *testing.T) {
+	cost := machine.VirtualOpteron224().Cost
+	const n, samples = 8, 3000
+	rsu := plan.NewSampler(5, plan.MaxLeafLog)
+	uni := NewUniformSampler(5, n, plan.MaxLeafLog)
+	var mRSU, mUni float64
+	for i := 0; i < samples; i++ {
+		mRSU += float64(core.Instructions(rsu.Plan(n), cost))
+		mUni += float64(core.Instructions(uni.Plan(n), cost))
+	}
+	mRSU /= samples
+	mUni /= samples
+	if math.Abs(mRSU-mUni)/mRSU < 0.005 {
+		t.Logf("warning: rsu mean %g vs uniform mean %g are unexpectedly close", mRSU, mUni)
+	}
+}

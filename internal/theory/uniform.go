@@ -1,0 +1,110 @@
+package theory
+
+import (
+	"math/big"
+	"math/rand/v2"
+
+	"repro/internal/plan"
+)
+
+// UniformSampler draws plans exactly uniformly over the whole algorithm
+// space (every algorithm has probability 1/a(n)), in contrast to the
+// recursive split uniform distribution which weights by composition
+// choices.  The paper's conclusion — "systematically generate algorithms
+// with small numbers of instructions ... and restrict a random or
+// exhaustive search to this subspace" — needs exactly this kind of
+// unbiased sampling to explore the space without the rsu distribution's
+// bias toward bushy trees.
+//
+// Sampling works first-part-by-first-part: the number of split algorithms
+// of size k whose first part has size j is a(j)*s(k-j), where s(m) counts
+// non-empty part sequences composing m (s = a + C).  Weights are converted
+// to float64, which is exact for small sizes and introduces only O(1e-16)
+// relative rounding for large ones.
+type UniformSampler struct {
+	rng     *rand.Rand
+	leafMax int
+	a       []float64 // algorithm counts
+	s       []float64 // suffix counts
+}
+
+// NewUniformSampler prepares a sampler for sizes up to maxN.
+func NewUniformSampler(seed uint64, maxN, leafMax int) *UniformSampler {
+	if leafMax > plan.MaxLeafLog {
+		leafMax = plan.MaxLeafLog
+	}
+	if leafMax < 1 {
+		leafMax = 1
+	}
+	aBig, sBig := suffixCounts(maxN, leafMax)
+	toF := func(xs []*big.Int) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			f, _ := new(big.Float).SetInt(v).Float64()
+			out[i] = f
+		}
+		return out
+	}
+	return &UniformSampler{
+		rng:     rand.New(rand.NewPCG(seed, 0x6a09e667f3bcc909)),
+		leafMax: leafMax,
+		a:       toF(aBig),
+		s:       toF(sBig),
+	}
+}
+
+// Plan draws one plan of size 2^n uniformly over the space.
+func (u *UniformSampler) Plan(n int) *plan.Node {
+	if n < 1 || n >= len(u.a) {
+		panic("theory: uniform sampler size out of range")
+	}
+	return u.draw(n)
+}
+
+func (u *UniformSampler) draw(k int) *plan.Node {
+	if k == 1 {
+		return plan.Leaf(1)
+	}
+	total := u.a[k]
+	r := u.rng.Float64() * total
+	if k <= u.leafMax {
+		if r < 1 {
+			return plan.Leaf(k)
+		}
+		r -= 1
+	}
+	// Choose the first part j with weight a(j)*s(k-j), then the subsequent
+	// parts from the suffix distribution.
+	var parts []int
+	remaining := k
+	for remaining > 0 {
+		if len(parts) > 0 {
+			// Within a suffix of size m, "this part is the last" has weight
+			// a(m) vs. s(m) total... handled by the same first-part scan
+			// because s(m) = sum_j a(j) s(m-j) with s(0) = 1.
+			r = u.rng.Float64() * u.s[remaining]
+		}
+		j := 1
+		for ; j < remaining; j++ {
+			w := u.a[j] * u.s[remaining-j]
+			if r < w {
+				break
+			}
+			r -= w
+		}
+		// j == remaining means this part consumes the rest.
+		parts = append(parts, j)
+		remaining -= j
+	}
+	kids := make([]*plan.Node, len(parts))
+	for i, m := range parts {
+		kids[i] = u.draw(m)
+	}
+	if len(kids) == 1 {
+		// Cannot happen for k > leafMax choices... but guard: a single part
+		// equal to k would duplicate the leaf case; resample as a split of
+		// the part itself is invalid, so draw again.
+		return u.draw(k)
+	}
+	return plan.Split(kids...)
+}

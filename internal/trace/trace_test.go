@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+// refTracer replays the reference stream at element granularity with no
+// collapsing — the obviously-correct (and slow) version the production
+// tracer must agree with on miss counts.
+func refCounters(p *plan.Node, m *machine.Machine) cache.HierarchyCounters {
+	h := m.NewHierarchy()
+	elem := int64(m.ElemSize)
+	lineShift := m.LineShift()
+	pageShift := m.PageShift()
+	var walk func(q *plan.Node, base, stride int)
+	access := func(idx int) {
+		addr := uint64(int64(idx) * elem)
+		h.AccessData(addr>>lineShift, addr>>pageShift)
+	}
+	walk = func(q *plan.Node, base, stride int) {
+		if q.IsLeaf() {
+			size := q.Size()
+			for pass := 0; pass < 2; pass++ {
+				for j := 0; j < size; j++ {
+					access(base + j*stride)
+				}
+			}
+			return
+		}
+		kids := q.Children()
+		r := q.Size()
+		s := 1
+		for i := len(kids) - 1; i >= 0; i-- {
+			c := kids[i]
+			ni := c.Size()
+			r /= ni
+			for j := 0; j < r; j++ {
+				for k := 0; k < s; k++ {
+					walk(c, base+(j*ni*s+k)*stride, s*stride)
+				}
+			}
+			s *= ni
+		}
+	}
+	walk(p, 0, 1)
+	return h.Counters()
+}
+
+func missFields(c cache.HierarchyCounters) [4]uint64 {
+	return [4]uint64{c.L1Misses, c.L2Misses, c.TLB1Misses, c.TLB2Misses}
+}
+
+func TestCollapsedTraceMatchesElementTraceMisses(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	s := plan.NewSampler(17, plan.MaxLeafLog)
+	plans := []*plan.Node{
+		plan.Iterative(10),
+		plan.RightRecursive(12),
+		plan.LeftRecursive(12),
+		plan.Balanced(14, 6),
+		plan.Leaf(8),
+	}
+	plans = append(plans, s.Plans(13, 6)...)
+	for _, p := range plans {
+		got := tr.Run(p).Mem
+		want := refCounters(p, m)
+		if missFields(got) != missFields(want) {
+			t.Errorf("plan %v: misses %v, reference %v", p, missFields(got), missFields(want))
+		}
+	}
+}
+
+func TestSmallTransformHasOnlyCompulsoryMisses(t *testing.T) {
+	// 2^9 elements * 4 B = 2 KB fits easily in the 64 KB L1: every plan
+	// must show exactly the cold misses (data bytes / line size).
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	s := plan.NewSampler(3, plan.MaxLeafLog)
+	wantLines := uint64((1 << 9) * m.ElemSize / m.L1.LineBytes)
+	for i := 0; i < 20; i++ {
+		p := s.Plan(9)
+		c := tr.Run(p)
+		if c.Mem.L1Misses != wantLines {
+			t.Fatalf("plan %v: %d L1 misses, want %d (compulsory only)", p, c.Mem.L1Misses, wantLines)
+		}
+		if c.Mem.L2Misses != wantLines {
+			t.Fatalf("plan %v: %d L2 misses, want %d", p, c.Mem.L2Misses, wantLines)
+		}
+	}
+}
+
+func TestLargeTransformMissesVaryByPlan(t *testing.T) {
+	// At 2^18 elements (1 MB) the L1 (64 KB) is far exceeded; different
+	// plans must produce substantially different miss counts, and the
+	// left-recursive plan must be the worst of the canonical three (the
+	// paper's Figure 3).
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	iter := tr.Run(plan.Iterative(18)).Mem.L1Misses
+	right := tr.Run(plan.RightRecursive(18)).Mem.L1Misses
+	left := tr.Run(plan.LeftRecursive(18)).Mem.L1Misses
+	if left <= right {
+		t.Errorf("left-recursive misses (%d) should exceed right-recursive (%d)", left, right)
+	}
+	if left <= iter {
+		t.Errorf("left-recursive misses (%d) should exceed iterative (%d)", left, iter)
+	}
+	t.Logf("n=18 L1 misses: iterative=%d right=%d left=%d", iter, right, left)
+}
+
+func TestLeafCallAccounting(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	// Iterative(6): six stages of small[1], each called 2^5 times.
+	c := tr.Run(plan.Iterative(6))
+	if c.LeafCalls[1] != 6*32 {
+		t.Fatalf("LeafCalls[1] = %d, want %d", c.LeafCalls[1], 6*32)
+	}
+	// A split[small[2], small[3]] of size 32: small[2] called 8 times,
+	// small[3] called 4 times.
+	c = tr.Run(plan.Split(plan.Leaf(2), plan.Leaf(3)))
+	if c.LeafCalls[2] != 8 || c.LeafCalls[3] != 4 {
+		t.Fatalf("LeafCalls = %v", c.LeafCalls)
+	}
+}
+
+func TestInstructionCountIsPositiveAndScalesWithSize(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	prev := int64(0)
+	for n := 1; n <= 16; n++ {
+		c := tr.Run(plan.Iterative(n))
+		total := c.Instructions()
+		if total <= prev {
+			t.Fatalf("instructions not increasing at n=%d: %d <= %d", n, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestRunResetsBetweenPlans(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	a1 := tr.Run(plan.Iterative(10))
+	_ = tr.Run(plan.LeftRecursive(14))
+	a2 := tr.Run(plan.Iterative(10))
+	if a1 != a2 {
+		t.Fatal("Run is not reproducible across invocations of the same tracer")
+	}
+}
+
+// Ablation: the sequential prefetcher rescues streaming algorithms
+// (iterative's unit-stride passes) but cannot help the left-recursive
+// algorithm's large-stride passes.
+func TestPrefetchAblation(t *testing.T) {
+	base := machine.VirtualOpteron224()
+	pref := machine.VirtualOpteron224()
+	pref.NextLinePrefetch = true
+
+	iterBase := New(base).Run(plan.Iterative(18)).Mem.L1Misses
+	iterPref := New(pref).Run(plan.Iterative(18)).Mem.L1Misses
+	if float64(iterPref) > 0.7*float64(iterBase) {
+		t.Errorf("prefetch should cut iterative misses substantially: %d -> %d", iterBase, iterPref)
+	}
+	leftBase := New(base).Run(plan.LeftRecursive(18)).Mem.L1Misses
+	leftPref := New(pref).Run(plan.LeftRecursive(18)).Mem.L1Misses
+	if float64(leftPref) < 0.8*float64(leftBase) {
+		t.Errorf("prefetch should barely help left recursion: %d -> %d", leftBase, leftPref)
+	}
+	t.Logf("prefetch ablation: iterative %d -> %d; left %d -> %d", iterBase, iterPref, leftBase, leftPref)
+}
+
+// Ablation: with 8-byte elements (the wht_double build) the L1 boundary
+// moves from n=14 to n=13 — the reason the Opteron preset models 4-byte
+// elements, which is what makes the paper's stated boundaries exact.
+func TestElementSizeMovesCacheBoundary(t *testing.T) {
+	m8 := machine.VirtualOpteron224()
+	m8.ElemSize = 8
+	tr := New(m8)
+	// n=13: 2^13 * 8 B = 64 KB fills L1 exactly; compulsory misses only.
+	cold := uint64((1 << 13) * 8 / m8.L1.LineBytes)
+	if got := tr.Run(plan.Iterative(13)).Mem.L1Misses; got != cold {
+		t.Errorf("n=13 at 8 B/elem: %d misses, want compulsory %d", got, cold)
+	}
+	// n=14 exceeds it: conflict/capacity misses appear.
+	if got := tr.Run(plan.Iterative(14)).Mem.L1Misses; got <= 2*cold {
+		t.Errorf("n=14 at 8 B/elem should overflow L1: %d misses", got)
+	}
+}
+
+func TestRunAtStrideContext(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	p := plan.Balanced(8, 4)
+	base := tr.RunAt(p, 1)
+	far := tr.RunAt(p, 1<<10)
+	if base.Ops != far.Ops {
+		t.Fatal("stride must not change the instruction accounting")
+	}
+	if far.Mem.L1Misses <= base.Mem.L1Misses {
+		t.Errorf("large-stride context should miss more: %d vs %d", far.Mem.L1Misses, base.Mem.L1Misses)
+	}
+	// Stride below 1 is clamped.
+	if c := tr.RunAt(p, 0); c.Ops != base.Ops {
+		t.Fatal("stride clamp")
+	}
+}
+
+func BenchmarkTraceWHT18(b *testing.B) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	p := plan.Balanced(18, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Run(p)
+	}
+}

@@ -1,0 +1,54 @@
+package wht
+
+import "math/bits"
+
+// The transform engine produces coefficients in natural (Hadamard) order.
+// Signal-processing applications usually want sequency (Walsh) order, where
+// row k of the transform matrix has exactly k sign changes.  The two orders
+// are related by walsh[k] = hadamard[bitreverse(gray(k))].
+
+// SequencyPermutation returns perm of length 2^m with
+// walsh[k] = hadamard[perm[k]].
+func SequencyPermutation(m int) []int {
+	n := 1 << uint(m)
+	perm := make([]int, n)
+	for k := 0; k < n; k++ {
+		g := k ^ (k >> 1) // binary-reflected Gray code
+		perm[k] = int(bits.Reverse64(uint64(g)) >> (64 - uint(m)))
+	}
+	return perm
+}
+
+// ToSequency reorders a natural-order coefficient vector into sequency
+// order, returning a new slice.
+func ToSequency(hadamard []float64) []float64 {
+	m, err := log2Len(len(hadamard))
+	if err != nil {
+		// A 1-element vector is its own sequency ordering.
+		out := make([]float64, len(hadamard))
+		copy(out, hadamard)
+		return out
+	}
+	perm := SequencyPermutation(m)
+	out := make([]float64, len(hadamard))
+	for k, src := range perm {
+		out[k] = hadamard[src]
+	}
+	return out
+}
+
+// FromSequency is the inverse of ToSequency.
+func FromSequency(walsh []float64) []float64 {
+	m, err := log2Len(len(walsh))
+	if err != nil {
+		out := make([]float64, len(walsh))
+		copy(out, walsh)
+		return out
+	}
+	perm := SequencyPermutation(m)
+	out := make([]float64, len(walsh))
+	for k, dst := range perm {
+		out[dst] = walsh[k]
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package wht
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// ApplyStrided evaluates the plan on the strided vector
+// x[base], x[base+stride], ..., x[base+(2^n-1)*stride] in place.  It is
+// the building block for multi-dimensional transforms.
+func ApplyStrided(p *plan.Node, x []float64, base, stride int) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	if stride < 1 || base < 0 {
+		return fmt.Errorf("wht: invalid base %d / stride %d", base, stride)
+	}
+	last := base + (p.Size()-1)*stride
+	if last >= len(x) {
+		return fmt.Errorf("wht: strided vector [%d:%d:%d] exceeds buffer of length %d",
+			base, stride, last, len(x))
+	}
+	applyRec(p, x, base, stride)
+	return nil
+}
+
+// Inverse applies the inverse WHT in place: the WHT is self-inverse up to
+// the factor 2^n, so this is Apply followed by scaling.
+func Inverse(p *plan.Node, x []float64) error {
+	if err := Apply(p, x); err != nil {
+		return err
+	}
+	scale := 1 / float64(len(x))
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+// Apply2D computes the two-dimensional WHT of a rows x cols matrix stored
+// row-major in x: rowPlan (size cols) transforms every row, then colPlan
+// (size rows) transforms every column.  This computes (WHT_rows (x)
+// WHT_cols) * vec(x), the separable 2-D transform used in image coding.
+func Apply2D(rowPlan, colPlan *plan.Node, x []float64) error {
+	if rowPlan == nil || colPlan == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	cols := rowPlan.Size()
+	rows := colPlan.Size()
+	if len(x) != rows*cols {
+		return fmt.Errorf("wht: buffer length %d does not match %dx%d", len(x), rows, cols)
+	}
+	for i := 0; i < rows; i++ {
+		applyRec(rowPlan, x, i*cols, 1)
+	}
+	for j := 0; j < cols; j++ {
+		applyRec(colPlan, x, j, cols)
+	}
+	return nil
+}
+
+// Transform2D computes the 2-D WHT with default balanced plans; rows and
+// cols must be powers of two >= 2.
+func Transform2D(x []float64, rows, cols int) error {
+	lr, err := log2Len(rows)
+	if err != nil {
+		return fmt.Errorf("wht: rows: %w", err)
+	}
+	lc, err := log2Len(cols)
+	if err != nil {
+		return fmt.Errorf("wht: cols: %w", err)
+	}
+	return Apply2D(plan.Balanced(lc, plan.MaxLeafLog), plan.Balanced(lr, plan.MaxLeafLog), x)
+}

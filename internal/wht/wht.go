@@ -1,0 +1,97 @@
+// Package wht evaluates WHT plans: it is the transform engine of the WHT
+// package reimplemented in Go.  A plan (internal/plan) is executed in place
+// on a float64 vector by the triple loop of the paper's Section 2:
+//
+//	R = N; S = 1;
+//	for i = 1, ..., t
+//	    R = R / Ni
+//	    for j = 0, ..., R-1
+//	        for k = 0, ..., S-1
+//	            x[j*Ni*S + k : stride S] = WHT(Ni) * x[j*Ni*S + k : stride S]
+//	    S = S * Ni
+//
+// with leaves computed by the unrolled codelets of internal/codelet.
+package wht
+
+import (
+	"fmt"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// Apply computes WHT(2^n)*x in place, where n = p.Log2Size().  The plan
+// determines the order of butterflies but not the mathematical result; any
+// valid plan of matching size computes the same transform.
+func Apply(p *plan.Node, x []float64) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	if len(x) != p.Size() {
+		return fmt.Errorf("wht: vector length %d does not match plan size %d", len(x), p.Size())
+	}
+	applyRec(p, x, 0, 1)
+	return nil
+}
+
+// MustApply is Apply panicking on size mismatch; it is for callers that
+// construct both plan and buffer themselves.
+func MustApply(p *plan.Node, x []float64) {
+	if err := Apply(p, x); err != nil {
+		panic(err)
+	}
+}
+
+// applyRec evaluates one node on the strided vector.  The factorization's
+// rightmost factor applies first, so children are processed from last to
+// first: the last child runs at stride 1 on contiguous blocks and child i
+// runs at stride 2^(n_{i+1}+...+n_t).  This is the WHT package's evaluation
+// order; it is what makes the right-recursive plan the cache-friendly one
+// (contiguous halves) and the left-recursive plan the stride-doubling one,
+// exactly as the paper observes.
+func applyRec(p *plan.Node, x []float64, base, stride int) {
+	if p.IsLeaf() {
+		if k := codelet.For(p.Log2Size()); k != nil {
+			k(x, base, stride)
+			return
+		}
+		codelet.Generic(x, base, stride, p.Log2Size())
+		return
+	}
+	kids := p.Children()
+	r := p.Size()
+	s := 1
+	for i := len(kids) - 1; i >= 0; i-- {
+		c := kids[i]
+		ni := c.Size()
+		r /= ni
+		for j := 0; j < r; j++ {
+			rowBase := base + j*ni*s*stride
+			for k := 0; k < s; k++ {
+				applyRec(c, x, rowBase+k*stride, s*stride)
+			}
+		}
+		s *= ni
+	}
+}
+
+// Transform computes the WHT of x in place using a reasonable default plan
+// (balanced with codelet leaves); len(x) must be a power of two >= 2.
+func Transform(x []float64) error {
+	n, err := log2Len(len(x))
+	if err != nil {
+		return err
+	}
+	return Apply(plan.Balanced(n, plan.MaxLeafLog), x)
+}
+
+func log2Len(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("wht: length %d is not a power of two >= 2", n)
+	}
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return lg, nil
+}

@@ -1,0 +1,209 @@
+// Package wht is the public API of the WHT performance-analysis library, a
+// Go reproduction of Andrews & Johnson, "Performance Analysis of a Family
+// of WHT Algorithms" (IPPS 2007).
+//
+// It exposes, as thin aliases over the internal packages:
+//
+//   - plans (the ~O(7^n) algorithm space of split trees) and their
+//     evaluation on float64 vectors, including unrolled codelets for sizes
+//     2^1..2^8, sequency (Walsh) ordering, and a parallel evaluator;
+//   - the performance models of the paper: instruction counts from the
+//     high-level description, direct-mapped cache-miss counts, and the
+//     combined alpha*I + beta*M model;
+//   - the virtual Opteron 224 machine and its trace-driven cache/TLB
+//     simulator, standing in for the paper's PAPI measurements;
+//   - the searches (dynamic programming, exhaustive, random, model-pruned)
+//     and the theory of the space (exact counts, extremes, moments).
+//
+// Quick start:
+//
+//	x := make([]float64, 1<<10)
+//	x[3] = 1
+//	if err := wht.Transform(x); err != nil { ... }
+//
+// Autotuning:
+//
+//	mach := wht.NewMachine()
+//	best := wht.SearchDP(20, wht.VirtualCycles(mach), wht.SearchOptions{})
+//	_ = wht.Apply(best.Plan, x)
+package wht
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/wht"
+)
+
+// Plan is a node of a WHT algorithm tree ("small[k]" leaves and
+// "split[...]" internal nodes).
+type Plan = plan.Node
+
+// MaxLeafLog is the largest unrolled codelet log-size (2^8 = 256 points).
+const MaxLeafLog = plan.MaxLeafLog
+
+// Plan construction and parsing.
+var (
+	Leaf      = plan.Leaf
+	NewLeaf   = plan.NewLeaf
+	Split     = plan.Split
+	NewSplit  = plan.NewSplit
+	Parse     = plan.Parse
+	MustParse = plan.MustParse
+)
+
+// Canonical algorithms of the paper's Section 2.
+var (
+	Iterative      = plan.Iterative
+	RightRecursive = plan.RightRecursive
+	LeftRecursive  = plan.LeftRecursive
+	Balanced       = plan.Balanced
+	RadixIterative = plan.RadixIterative
+)
+
+// Sampler draws plans from the recursive split uniform distribution of
+// [5], the distribution of the paper's 10,000-plan studies.
+type Sampler = plan.Sampler
+
+// NewSampler returns a deterministic rsu sampler.
+var NewSampler = plan.NewSampler
+
+// Transform applies a default (balanced) plan in place; len(x) must be a
+// power of two >= 2.
+var Transform = wht.Transform
+
+// Apply evaluates the given plan in place on x.
+var Apply = wht.Apply
+
+// ApplyParallel is Apply with the top-level stages fanned out over a
+// worker pool.
+var ApplyParallel = wht.ApplyParallel
+
+// ApplyStrided evaluates a plan on a strided sub-vector (the building
+// block of multi-dimensional transforms).
+var ApplyStrided = wht.ApplyStrided
+
+// Inverse applies the inverse transform (Apply followed by the 1/N scale).
+var Inverse = wht.Inverse
+
+// Apply2D computes the separable two-dimensional WHT of a row-major
+// matrix; Transform2D uses default plans.
+var (
+	Apply2D     = wht.Apply2D
+	Transform2D = wht.Transform2D
+)
+
+// Apply32 and Transform32 are the single-precision engine (the WHT
+// package's wht_float build; 4-byte elements are what the virtual
+// Opteron's cache boundaries assume).
+var (
+	Apply32     = wht.Apply32
+	Transform32 = wht.Transform32
+)
+
+// Definition is the O(N^2) transform straight from the matrix definition
+// (the correctness reference).
+var Definition = wht.Definition
+
+// Sequency (Walsh) ordering conversions.
+var (
+	SequencyPermutation = wht.SequencyPermutation
+	ToSequency          = wht.ToSequency
+	FromSequency        = wht.FromSequency
+)
+
+// Machine is the virtual processor description (costs, caches, TLBs).
+type Machine = machine.Machine
+
+// NewMachine returns the paper's testbed model, the virtual Opteron 224.
+func NewMachine() *Machine { return machine.VirtualOpteron224() }
+
+// Tracer drives plans through the machine's simulated memory hierarchy.
+type Tracer = trace.Tracer
+
+// NewTracer returns a tracer (one per goroutine) for the machine.
+var NewTracer = trace.New
+
+// Measurement is one virtual PAPI reading: instructions, misses, cycles.
+type Measurement = core.Measurement
+
+// Measure runs one plan through a tracer and the cycle model.
+var Measure = core.Measure
+
+// Instructions evaluates the closed-form instruction-count model of [5].
+func Instructions(p *Plan, m *Machine) int64 { return core.Instructions(p, m.Cost) }
+
+// DirectMappedMisses evaluates the cache-miss model of [8]: misses in a
+// direct-mapped cache of 2^lgLines one-element lines.
+var DirectMappedMisses = core.DirectMappedMisses
+
+// Combined evaluates the paper's alpha*I + beta*M model.
+var Combined = core.Combined
+
+// Search API.
+type (
+	// SearchCost scores a plan (lower is better).
+	SearchCost = search.Cost
+	// SearchOptions bounds the searches.
+	SearchOptions = search.Options
+	// SearchResult is a plan with its cost.
+	SearchResult = search.Result
+)
+
+var (
+	// VirtualCycles measures deterministic cycles on the machine.
+	VirtualCycles = search.VirtualCycles
+	// ModelInstructions scores by the instruction model only.
+	ModelInstructions = search.ModelInstructions
+	// SearchDP is the WHT package's dynamic-programming search.
+	SearchDP = search.DP
+	// SearchDPContext is the stride-aware DP (scores sub-plans in their
+	// calling context, addressing the heuristic gap the paper notes).
+	SearchDPContext = search.DPContext
+	// SearchExhaustive scans the whole space (small sizes only).
+	SearchExhaustive = search.Exhaustive
+	// SearchRandom scores a random rsu sample.
+	SearchRandom = search.Random
+	// SearchPruned is the paper's model-pruned search.
+	SearchPruned = search.Pruned
+	// SearchAnneal is simulated annealing over the plan space.
+	SearchAnneal = search.Anneal
+)
+
+// AnnealOptions tunes SearchAnneal.
+type AnnealOptions = search.AnnealOptions
+
+// Record is a flat measurement row; Collect measures plans in parallel.
+type Record = dataset.Record
+
+var (
+	Collect       = dataset.Collect
+	CollectSample = dataset.CollectSample
+	WriteCSV      = dataset.WriteCSV
+	ReadCSV       = dataset.ReadCSV
+)
+
+// Theory of the algorithm space ([5]).
+var (
+	// CountAlgorithms returns the exact size of the space (~O(7^n)).
+	CountAlgorithms = theory.Count
+	// SpaceGrowthRatio returns a(n)/a(n-1).
+	SpaceGrowthRatio = theory.GrowthRatio
+	// MinInstructionPlan reconstructs the instruction-optimal plan.
+	MinInstructionPlan = theory.MinInstructionPlan
+)
+
+// InstructionExtremes returns the min/max instruction counts per size.
+func InstructionExtremes(n, leafMax int, m *Machine) theory.Extremes {
+	return theory.InstructionExtremes(n, leafMax, m.Cost)
+}
+
+// InstructionMoments returns the exact mean/variance of the instruction
+// count under the rsu distribution.
+func InstructionMoments(n, leafMax int, m *Machine) theory.Moments {
+	return theory.InstructionMoments(n, leafMax, m.Cost)
+}

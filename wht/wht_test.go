@@ -1,0 +1,142 @@
+package wht_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/wht"
+)
+
+// The facade is exercised exactly as a downstream user would use it.
+
+func TestQuickstartFlow(t *testing.T) {
+	x := make([]float64, 256)
+	x[3] = 1
+	if err := wht.Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	// Row 3 of the Hadamard matrix: +/-1 pattern, never zero.
+	for i, v := range x {
+		if v != 1 && v != -1 {
+			t.Fatalf("coefficient %d = %g", i, v)
+		}
+	}
+}
+
+func TestPlanRoundTripThroughFacade(t *testing.T) {
+	p, err := wht.Parse("split[small[2],small[3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 32 {
+		t.Fatalf("size %d", p.Size())
+	}
+	x := make([]float64, 32)
+	x[0] = 1
+	if err := wht.Apply(p, x); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 1 {
+			t.Fatal("impulse response must be all ones")
+		}
+	}
+}
+
+func TestMeasureAndModelsAgree(t *testing.T) {
+	mach := wht.NewMachine()
+	tr := wht.NewTracer(mach)
+	p := wht.RightRecursive(12)
+	m := wht.Measure(tr, p)
+	if m.Instructions != wht.Instructions(p, mach) {
+		t.Fatal("facade instruction model disagrees with measurement")
+	}
+	if m.Cycles <= 0 || m.L1Misses <= 0 {
+		t.Fatalf("measurement %+v", m)
+	}
+}
+
+func TestSearchAndSampling(t *testing.T) {
+	mach := wht.NewMachine()
+	best := wht.SearchDP(10, wht.VirtualCycles(mach), wht.SearchOptions{})
+	if best.Plan == nil || best.Plan.Log2Size() != 10 {
+		t.Fatalf("bad DP result %+v", best)
+	}
+	s := wht.NewSampler(1, wht.MaxLeafLog)
+	recs := wht.Collect(s.Plans(10, 8), mach, 2)
+	for _, r := range recs {
+		if r.Cycles < best.Cost*0.999 {
+			t.Fatalf("random plan %s (%g cycles) beats DP best (%g)", r.Plan, r.Cycles, best.Cost)
+		}
+	}
+}
+
+func TestTheoryFacade(t *testing.T) {
+	if wht.CountAlgorithms(4, 8).Int64() != 24 {
+		t.Fatal("count")
+	}
+	mach := wht.NewMachine()
+	ext := wht.InstructionExtremes(10, 8, mach)
+	mom := wht.InstructionMoments(10, 8, mach)
+	if mom.Mean[10] < float64(ext.Min[10]) || mom.Mean[10] > float64(ext.Max[10]) {
+		t.Fatal("mean outside extremes")
+	}
+	p := wht.MinInstructionPlan(10, 8, mach.Cost)
+	if wht.Instructions(p, mach) != ext.Min[10] {
+		t.Fatal("min plan does not achieve the minimum")
+	}
+}
+
+func TestSequencyFacade(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := wht.FromSequency(wht.ToSequency(x))
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("sequency round trip")
+		}
+	}
+	perm := wht.SequencyPermutation(3)
+	if len(perm) != 8 {
+		t.Fatal("permutation length")
+	}
+}
+
+func TestInverseAnd2DFacade(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	orig := append([]float64(nil), x...)
+	p := wht.Iterative(2)
+	if err := wht.Apply(p, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.Inverse(p, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatal("inverse round trip")
+		}
+	}
+	img := make([]float64, 8*16)
+	img[0] = 1
+	if err := wht.Transform2D(img, 8, 16); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range img {
+		if v != 1 {
+			t.Fatal("2D impulse response must be all ones")
+		}
+	}
+	if err := wht.ApplyStrided(wht.Leaf(2), img, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinedModelFacade(t *testing.T) {
+	mach := wht.NewMachine()
+	p := wht.Iterative(10)
+	i := wht.Instructions(p, mach)
+	m := wht.DirectMappedMisses(p, 8)
+	if got := wht.Combined(1, 0.05, i, m); math.Abs(got-(float64(i)+0.05*float64(m))) > 1e-9 {
+		t.Fatal("combined")
+	}
+}
