@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/figures"
 	"repro/internal/machine"
 	"repro/internal/plan"
@@ -293,6 +294,123 @@ func BenchmarkApplyParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Compiled engine: walker vs compiled, batch throughput, plan cache ---
+
+// Walker-vs-compiled on the canonical plans.  "interpret" walks the tree
+// on every call (the pre-refactor engine); "compiled" runs a precompiled
+// schedule; "compile+run" pays flattening on every call (what a one-shot
+// Apply costs).  The deep left-recursive plan is where recursion and
+// dispatch overhead bite hardest.
+func BenchmarkWalkerVsCompiled(b *testing.B) {
+	const n = 18
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i&15) - 7.5
+	}
+	for name, p := range map[string]*plan.Node{
+		"balanced": plan.Balanced(n, 6),
+		"left":     plan.LeftRecursive(n),
+		"right":    plan.RightRecursive(n),
+	} {
+		sched := exec.Compile(p)
+		b.Run(name+"/interpret", func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				if err := exec.Interpret(p, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/compiled", func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				exec.MustRun(sched, x)
+			}
+		})
+		b.Run(name+"/compile+run", func(b *testing.B) {
+			b.SetBytes(int64(8 << n))
+			for i := 0; i < b.N; i++ {
+				exec.MustRun(exec.Compile(p), x)
+			}
+		})
+	}
+}
+
+// Batch throughput: one schedule amortized over a batch of vectors versus
+// re-invoking Apply per vector, sequentially and fanned out across
+// vectors — the repeated-traffic serving shape.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const n, batchSize = 14, 32
+	p := plan.Balanced(n, 6)
+	sched := exec.Compile(p)
+	batch := make([][]float64, batchSize)
+	for i := range batch {
+		batch[i] = make([]float64, 1<<n)
+		for j := range batch[i] {
+			batch[i][j] = float64((i + j) & 31)
+		}
+	}
+	bytes := int64(8 << n * batchSize)
+	b.Run("interpret-per-vector", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			for _, x := range batch {
+				if err := exec.Interpret(p, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("apply-per-vector", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			for _, x := range batch {
+				wht.MustApply(p, x)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if err := exec.RunBatch(sched, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-parallel", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if err := exec.RunBatchParallel(sched, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// The schedule cache behind Transform: repeated default-size calls hit the
+// LRU and skip planning and compilation entirely.
+func BenchmarkTransformScheduleCache(b *testing.B) {
+	const n = 12
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i & 7)
+	}
+	b.Run("cached", func(b *testing.B) {
+		b.SetBytes(int64(8 << n))
+		for i := 0; i < b.N; i++ {
+			if err := wht.Transform(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replan-each-call", func(b *testing.B) {
+		b.SetBytes(int64(8 << n))
+		for i := 0; i < b.N; i++ {
+			wht.MustApply(plan.Balanced(n, plan.MaxLeafLog), x)
+		}
+	})
 }
 
 // --- Simulator and search cost benchmarks ---

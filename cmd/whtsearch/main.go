@@ -7,7 +7,10 @@
 //	          [-count 1000] [-keep 0.1] [-seed 1] [-cost cycles|instructions]
 //
 // It prints the best plan found, its cost, and how it compares with the
-// three canonical algorithms.
+// three canonical algorithms — both on the virtual machine and, with
+// -time, executed for real through the compiled engine (each plan is
+// flattened once with exec.Compile and the schedule replayed many times,
+// the engine's compile-once/run-many serving shape).
 package main
 
 import (
@@ -15,8 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/plan"
 	"repro/internal/search"
@@ -33,6 +38,7 @@ func main() {
 	keep := flag.Float64("keep", 0.1, "fraction kept by the model filter in pruned search")
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	costName := flag.String("cost", "cycles", "cycles | instructions")
+	timeReal := flag.Bool("time", false, "also time each plan for real through the compiled engine")
 	flag.Parse()
 
 	if *n < 1 || *n > 26 {
@@ -86,8 +92,7 @@ func main() {
 	}
 
 	tr := trace.New(mach)
-	fmt.Printf("\n%-12s %14s %14s %12s %10s\n", "plan", "cycles", "instructions", "l1 misses", "vs best")
-	for _, ref := range []struct {
+	refs := []struct {
 		name string
 		p    *plan.Node
 	}{
@@ -95,9 +100,41 @@ func main() {
 		{"iterative", plan.Iterative(*n)},
 		{"right", plan.RightRecursive(*n)},
 		{"left", plan.LeftRecursive(*n)},
-	} {
+	}
+	fmt.Printf("\n%-12s %14s %14s %12s %10s\n", "plan", "cycles", "instructions", "l1 misses", "vs best")
+	for _, ref := range refs {
 		m := core.Measure(tr, ref.p)
 		fmt.Fprintf(os.Stdout, "%-12s %14.0f %14d %12d %9.2fx\n",
 			ref.name, m.Cycles, m.Instructions, m.L1Misses, m.Cycles/res.Cost)
 	}
+
+	if *timeReal {
+		fmt.Printf("\nreal execution (compiled schedules, compile once / run many):\n")
+		fmt.Printf("%-12s %8s %12s %10s\n", "plan", "stages", "ns/run", "GB/s")
+		for _, ref := range refs {
+			sched := exec.Compile(ref.p)
+			nsPerRun, gbps := timePlan(sched)
+			fmt.Fprintf(os.Stdout, "%-12s %8d %12.0f %10.2f\n", ref.name, sched.NumStages(), nsPerRun, gbps)
+		}
+	}
+}
+
+// timePlan replays a compiled schedule until ~100ms of work has run and
+// reports the per-run latency and the in-place traffic rate.
+func timePlan(sched *exec.Schedule) (nsPerRun, gbps float64) {
+	x := make([]float64, sched.Size())
+	for i := range x {
+		x[i] = float64(i&7) - 3.5
+	}
+	exec.MustRun(sched, x) // warm up caches and the kernel table path
+	runs := 0
+	start := time.Now()
+	for time.Since(start) < 100*time.Millisecond {
+		exec.MustRun(sched, x)
+		runs++
+	}
+	elapsed := time.Since(start)
+	nsPerRun = float64(elapsed.Nanoseconds()) / float64(runs)
+	gbps = float64(8*sched.Size()) / nsPerRun
+	return nsPerRun, gbps
 }

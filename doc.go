@@ -1,6 +1,10 @@
 // Package repro is the root of the WHT performance-analysis reproduction
 // (Andrews & Johnson, "Performance Analysis of a Family of WHT
 // Algorithms", IPPS 2007).  The public API lives in package repro/wht;
-// the root package exists to host the paper-figure benchmark harness
-// (bench_test.go).  See README.md, DESIGN.md and EXPERIMENTS.md.
+// plans are evaluated by the compiled execution engine of
+// repro/internal/exec, which flattens each split tree once into a linear
+// schedule of butterfly stages and replays it for single vectors, strided
+// views, batches, and parallel runs.  The root package exists to host the
+// paper-figure and engine benchmark harness (bench_test.go).  See
+// README.md for the quickstart and package map.
 package repro

@@ -55,5 +55,31 @@ func main() {
 		fmt.Printf("%-58s -> first coeff %.0f\n", spec, y[0])
 	}
 
+	// For repeated traffic, compile the plan once and replay the schedule:
+	// the tree is flattened to a linear sequence of butterfly stages and
+	// never walked again.
+	p := wht.Balanced(4, wht.MaxLeafLog)
+	sched, err := wht.Compile(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan %s compiles to %d stage(s): %s\n", p, sched.NumStages(), sched)
+	y := append([]float64(nil), orig...)
+	if err := wht.Run(sched, y); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled run:  ", y)
+
+	// A whole batch of vectors shares one schedule (wht.ApplyBatch
+	// compiles and runs in one call).
+	batch := make([][]float64, 4)
+	for i := range batch {
+		batch[i] = append([]float64(nil), orig...)
+	}
+	if err := wht.ApplyBatch(p, batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch of", len(batch), "vectors transformed; first:", batch[0])
+
 	fmt.Printf("\nalgorithm space size for 2^16: %s plans\n", wht.CountAlgorithms(16, wht.MaxLeafLog))
 }

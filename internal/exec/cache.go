@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// ScheduleCache is a size-keyed LRU cache of compiled schedules — the
+// library's FFTW-"wisdom" analogue.  Transform/Transform32 answer repeated
+// default-size traffic from it instead of reconstructing plan.Balanced and
+// recompiling on every call.  Schedules are immutable, so a cached
+// schedule is returned to concurrent callers without copying; one entry
+// serves both the float64 and float32 engines.
+type ScheduleCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int]*cacheEntry // keyed by transform log-size
+	head    *cacheEntry         // most recently used
+	tail    *cacheEntry         // least recently used
+}
+
+type cacheEntry struct {
+	n          int
+	sched      *Schedule
+	prev, next *cacheEntry
+}
+
+// NewScheduleCache returns an empty cache bounded to cap schedules
+// (cap <= 0 selects a default of 32 sizes — enough for every power of two
+// a 32-bit index space admits).
+func NewScheduleCache(cap int) *ScheduleCache {
+	if cap <= 0 {
+		cap = 32
+	}
+	return &ScheduleCache{cap: cap, entries: make(map[int]*cacheEntry, cap)}
+}
+
+// Get returns the cached schedule for log-size n, building one with build
+// on a miss.  The build runs outside the lock; if two goroutines miss the
+// same size concurrently, one of the two identical schedules wins.
+func (c *ScheduleCache) Get(n int, build func() *Schedule) *Schedule {
+	c.mu.Lock()
+	if e, ok := c.entries[n]; ok {
+		c.moveToFront(e)
+		s := e.sched
+		c.mu.Unlock()
+		return s
+	}
+	c.mu.Unlock()
+
+	s := build()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[n]; ok { // lost the race: keep the first build
+		c.moveToFront(e)
+		return e.sched
+	}
+	e := &cacheEntry{n: n, sched: s}
+	c.entries[n] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.n)
+	}
+	return s
+}
+
+// Len returns the number of cached schedules.
+func (c *ScheduleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached schedule.
+func (c *ScheduleCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[int]*cacheEntry, c.cap)
+	c.head, c.tail = nil, nil
+}
+
+func (c *ScheduleCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *ScheduleCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *ScheduleCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// defaultCache backs ForSize; 32 sizes cover every transform length the
+// engine can address.
+var defaultCache = NewScheduleCache(32)
+
+// ForSize returns the process-wide cached schedule of the default
+// (balanced, codelet-leaved) plan for WHT(2^n).
+func ForSize(n int) *Schedule {
+	return defaultCache.Get(n, func() *Schedule {
+		return Compile(plan.Balanced(n, plan.MaxLeafLog))
+	})
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestScheduleCacheLRU(t *testing.T) {
+	builds := 0
+	build := func(n int) func() *Schedule {
+		return func() *Schedule {
+			builds++
+			return Compile(plan.Balanced(n, plan.MaxLeafLog))
+		}
+	}
+	c := NewScheduleCache(2)
+	s4 := c.Get(4, build(4))
+	if got := c.Get(4, build(4)); got != s4 {
+		t.Fatal("second Get rebuilt the schedule")
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	c.Get(5, build(5))
+	c.Get(4, build(4)) // touch 4 so 5 is now least recently used
+	c.Get(6, build(6)) // evicts 5
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if builds != 3 {
+		t.Fatalf("builds = %d, want 3", builds)
+	}
+	c.Get(5, build(5)) // miss again: 5 was evicted
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4 after eviction", builds)
+	}
+	c.Get(4, build(4)) // 4 was the LRU entry when 5 came back
+	if builds != 5 {
+		t.Fatalf("builds = %d, want 5", builds)
+	}
+
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+}
+
+func TestScheduleCacheConcurrent(t *testing.T) {
+	c := NewScheduleCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := 1 + (g+i)%10
+				s := c.Get(n, func() *Schedule {
+					return Compile(plan.Balanced(n, plan.MaxLeafLog))
+				})
+				if s.Log2Size() != n {
+					t.Errorf("got schedule for %d, want %d", s.Log2Size(), n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache grew past its capacity: %d", c.Len())
+	}
+}
+
+func TestForSizeCachesDefaultPlan(t *testing.T) {
+	a := ForSize(10)
+	b := ForSize(10)
+	if a != b {
+		t.Fatal("ForSize rebuilt the default schedule")
+	}
+	want := Compile(plan.Balanced(10, plan.MaxLeafLog))
+	if a.NumStages() != want.NumStages() || a.Size() != want.Size() {
+		t.Fatalf("ForSize schedule differs from balanced default")
+	}
+}

@@ -1,0 +1,196 @@
+// Package exec is the compiled execution engine of the WHT library: it
+// flattens the recursive interpretation of a plan tree (internal/plan) into
+// a linear Schedule of stage operations computed once, and executes
+// schedules with a single generic executor shared by the float64 and
+// float32 engines, the strided/2-D paths, the parallel evaluator and the
+// batch API.
+//
+// The flattening rests on the observation of Serre & Püschel
+// ("Characterizing and Enumerating Walsh-Hadamard Transform Algorithms")
+// that every WHT split-tree algorithm is a sequence of butterfly/kernel
+// stages: unrolling the triple loop of the paper's Section 2 through the
+// recursion shows that each leaf codelet, in its full calling context,
+// executes as one stage of the canonical form
+//
+//	I(R) (x) WHT(2^m) (x) I(S)            with R * 2^m * S = 2^n,
+//
+// i.e. the kernel of log-size m runs at bases j*2^m*S + k (j < R, k < S)
+// with stride S.  Compile computes the (m, R, S) sequence once; Run then
+// replays it with no recursion, no per-node dispatch and no tree at all —
+// the compile-once/run-many architecture of SPIRAL-generated code and
+// FFHT-style libraries.
+//
+// Schedules are immutable after Compile and safe for concurrent use; one
+// schedule serves both element types.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// Float constrains the element types the engine executes on.  It is
+// deliberately the two concrete types (no ~): unrolled codelet tables
+// exist exactly for float64 and float32, and the kernel lookup dispatches
+// on the dynamic type.
+type Float interface {
+	float32 | float64
+}
+
+// Stage is one compiled stage op: apply the kernel of log-size M at bases
+// j*(S<<M) + k for j < R, k < S, each call reading the strided vector of
+// stride S.  All R*S calls of a stage touch pairwise disjoint elements, so
+// a stage may be executed in any order or concurrently; stages must run in
+// schedule order because stage i+1 reads what stage i wrote.
+type Stage struct {
+	M    int // kernel log-size: the stage applies WHT(2^M) kernels
+	R    int // outer repetitions (the I(R) factor)
+	S    int // inner repetitions and kernel stride (the I(S) factor)
+	SLog int // log2(S), for splitting the flattened (j, k) space
+	Blk  int // S << M: base step between consecutive j rows
+}
+
+// Calls returns the number of kernel invocations in the stage (R*S).
+func (st Stage) Calls() int { return st.R * st.S }
+
+// Schedule is the compiled form of a plan: the linear stage sequence whose
+// in-order execution equals the recursive interpretation of the tree.
+type Schedule struct {
+	n      int // log2 of the transform size
+	size   int // 2^n
+	stages []Stage
+}
+
+// Log2Size returns n such that the schedule computes WHT(2^n).
+func (s *Schedule) Log2Size() int { return s.n }
+
+// Size returns the transform length 2^n.
+func (s *Schedule) Size() int { return s.size }
+
+// Stages returns the compiled stage sequence.  The slice is owned by the
+// schedule and must not be modified.
+func (s *Schedule) Stages() []Stage { return s.stages }
+
+// NumStages returns the number of stages (= leaves of the source plan).
+func (s *Schedule) NumStages() int { return len(s.stages) }
+
+// String renders the schedule as its stage sequence, e.g.
+// "[I1 x W2^2 x I4] [I4 x W2^2 x I1]".
+func (s *Schedule) String() string {
+	out := ""
+	for i, st := range s.stages {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("[I%d x W2^%d x I%d]", st.R, st.M, st.S)
+	}
+	return out
+}
+
+// Compile flattens the plan into a schedule.  It panics on a nil or
+// structurally invalid plan (plans built with plan.Leaf/Split/Parse are
+// always valid); use NewSchedule to get an error instead.
+func Compile(p *plan.Node) *Schedule {
+	s, err := NewSchedule(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSchedule flattens the plan into a schedule, or reports why it cannot.
+func NewSchedule(p *plan.Node) (*Schedule, error) {
+	if p == nil {
+		return nil, fmt.Errorf("exec: nil plan")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	s := &Schedule{
+		n:      p.Log2Size(),
+		size:   p.Size(),
+		stages: make([]Stage, 0, p.CountLeaves()),
+	}
+	flatten(p, 1, 1, &s.stages)
+	return s, nil
+}
+
+// flatten emits the stages of p invoked in context (r, s): the node runs
+// r*s times at bases j*2^n*s + k (j < r, k < s) with stride s.  The triple
+// loop processes children last to first; a child at local position
+// (rLoc, sLoc) composes with the context as R = r*rLoc, S = sLoc*s — the
+// index algebra collapses exactly because sibling sizes multiply to the
+// parent size, so the canonical two-loop base pattern is closed under the
+// recursion.
+func flatten(p *plan.Node, r, s int, out *[]Stage) {
+	if p.IsLeaf() {
+		*out = append(*out, Stage{
+			M:    p.Log2Size(),
+			R:    r,
+			S:    s,
+			SLog: log2(s),
+			Blk:  s << uint(p.Log2Size()),
+		})
+		return
+	}
+	kids := p.Children()
+	rLoc := p.Size()
+	sLoc := 1
+	for i := len(kids) - 1; i >= 0; i-- {
+		c := kids[i]
+		rLoc /= c.Size()
+		flatten(c, r*rLoc, sLoc*s, out)
+		sLoc *= c.Size()
+	}
+}
+
+func log2(v int) int {
+	lg := 0
+	for ; v > 1; v >>= 1 {
+		lg++
+	}
+	return lg
+}
+
+// kernelFor returns the typed kernel for log-size m: the unrolled codelet
+// when one was generated, the generic loop kernel otherwise.  The two
+// concrete instantiations share the Float type set, so the assertion
+// through any is exact.
+func kernelFor[T Float](m int) func(x []T, base, stride int) {
+	var zero T
+	switch any(zero).(type) {
+	case float64:
+		var f func([]float64, int, int)
+		if k := codelet.For(m); k != nil {
+			f = k
+		} else {
+			f = func(x []float64, base, stride int) { codelet.Generic(x, base, stride, m) }
+		}
+		return any(f).(func([]T, int, int))
+	default:
+		var f func([]float32, int, int)
+		if k := codelet.For32(m); k != nil {
+			f = k
+		} else {
+			f = func(x []float32, base, stride int) { codelet.Generic32(x, base, stride, m) }
+		}
+		return any(f).(func([]T, int, int))
+	}
+}
+
+// kernelTable resolves the kernels a schedule needs, one lookup per
+// distinct leaf size.  The table is cheap enough to rebuild per Run call;
+// batch and parallel executors build it once and share it.
+type kernelTable[T Float] [plan.MaxLeafLog + 1]func(x []T, base, stride int)
+
+func (kt *kernelTable[T]) get(m int) func(x []T, base, stride int) {
+	// Validated plans bound leaf sizes to [1, MaxLeafLog], so m always
+	// indexes the table.
+	if k := kt[m]; k != nil {
+		return k
+	}
+	kt[m] = kernelFor[T](m)
+	return kt[m]
+}

@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// Interpret evaluates the plan by walking the tree, one generic
+// implementation of the triple loop of the paper's Section 2:
+//
+//	R = N; S = 1;
+//	for i = 1, ..., t
+//	    R = R / Ni
+//	    for j = 0, ..., R-1
+//	        for k = 0, ..., S-1
+//	            x[j*Ni*S + k : stride S] = WHT(Ni) * x[j*Ni*S + k : stride S]
+//	    S = S * Ni
+//
+// It is retained as the differential-testing and benchmarking reference
+// for the compiled executor (the two are bitwise-equal: flattening only
+// reorders kernel calls across disjoint strided vectors).  Production
+// paths go through Compile/Run; do not add callers of Interpret outside
+// tests and benchmarks.
+func Interpret[T Float](p *plan.Node, x []T) error {
+	if p == nil {
+		return fmt.Errorf("exec: nil plan")
+	}
+	if len(x) != p.Size() {
+		return fmt.Errorf("exec: vector length %d does not match plan size %d", len(x), p.Size())
+	}
+	var kt kernelTable[T]
+	interpretRec(p, &kt, x, 0, 1)
+	return nil
+}
+
+// interpretRec evaluates one node on the strided vector.  The
+// factorization's rightmost factor applies first, so children are
+// processed from last to first: the last child runs at stride 1 on
+// contiguous blocks and child i runs at stride 2^(n_{i+1}+...+n_t).  This
+// makes the right-recursive plan the cache-friendly one (contiguous
+// halves) and the left-recursive plan the stride-doubling one, exactly as
+// the paper observes.
+func interpretRec[T Float](p *plan.Node, kt *kernelTable[T], x []T, base, stride int) {
+	if p.IsLeaf() {
+		kt.get(p.Log2Size())(x, base, stride)
+		return
+	}
+	kids := p.Children()
+	r := p.Size()
+	s := 1
+	for i := len(kids) - 1; i >= 0; i-- {
+		c := kids[i]
+		ni := c.Size()
+		r /= ni
+		for j := 0; j < r; j++ {
+			rowBase := base + j*ni*s*stride
+			for k := 0; k < s; k++ {
+				interpretRec(c, kt, x, rowBase+k*stride, s*stride)
+			}
+		}
+		s *= ni
+	}
+}

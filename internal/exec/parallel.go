@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel fan-out thresholds.  A stage fans out when it offers enough
+// independent calls to split (R*S >= FanoutCalls) and enough total work to
+// pay for the barrier (R*S*2^M >= FanoutElems elements touched).  The old
+// tree walker could only fan out at the root node's stages; a schedule is
+// flat, so every stage anywhere in the former tree is a fan-out candidate.
+const (
+	// FanoutCalls is the minimum number of kernel calls in a stage before
+	// the parallel executor splits it across workers.
+	FanoutCalls = 8
+	// FanoutElems is the minimum number of vector elements a stage touches
+	// before splitting is worth a barrier (~one L1's worth of butterflies).
+	FanoutElems = 1 << 13
+)
+
+// RunParallel executes the schedule with the R*S independent kernel calls
+// of each sufficiently large stage distributed over a worker pool.  Within
+// a stage all calls touch pairwise disjoint strided vectors, so they can
+// run concurrently; stages are separated by a barrier because stage i+1
+// reads what stage i wrote.  Small stages run inline through the same
+// runStageRange path as the sequential executor.
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunParallel[T Float](s *Schedule, x []T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	if len(x) != s.size {
+		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var kt kernelTable[T]
+	for i := range s.stages {
+		st := &s.stages[i]
+		kern := kt.get(st.M)
+		total := st.R * st.S
+		if workers == 1 || total < FanoutCalls || total<<uint(st.M) < FanoutElems {
+			runStageRange(st, kern, x, 0, 1, 0, total)
+			continue
+		}
+		chunk := (total + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < total; lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				runStageRange(st, kern, x, 0, 1, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// RunBatchParallel transforms a batch of vectors with one schedule,
+// fanning out across vectors (each worker runs whole transforms
+// sequentially).  For batches this beats per-stage fan-out: there are no
+// barriers and each worker streams through its own vectors.
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(xs) < 2 {
+		var kt kernelTable[T]
+		for _, x := range xs {
+			runStagesStrided(s, &kt, x, 0, 1)
+		}
+		return nil
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var kt kernelTable[T]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				runStagesStrided(s, &kt, xs[i], 0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}

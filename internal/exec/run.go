@@ -1,0 +1,104 @@
+package exec
+
+import "fmt"
+
+// Run executes the schedule in place on x.  It is the single evaluation
+// code path of the library: the float64 and float32 engines, the strided
+// and 2-D paths, the batch API and (through runStageRange) the parallel
+// evaluator all reduce to it.  Run is safe for concurrent use on distinct
+// vectors.
+func Run[T Float](s *Schedule, x []T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	if len(x) != s.size {
+		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
+	}
+	var kt kernelTable[T]
+	for i := range s.stages {
+		st := &s.stages[i]
+		runStageRange(st, kt.get(st.M), x, 0, 1, 0, st.R*st.S)
+	}
+	return nil
+}
+
+// MustRun is Run panicking on error, for callers that construct both
+// schedule and buffer themselves.
+func MustRun[T Float](s *Schedule, x []T) {
+	if err := Run(s, x); err != nil {
+		panic(err)
+	}
+}
+
+// RunStrided executes the schedule on the strided vector
+// x[base], x[base+stride], ..., x[base+(2^n-1)*stride] in place.  It is
+// the building block for multi-dimensional transforms.
+func RunStrided[T Float](s *Schedule, x []T, base, stride int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	if stride < 1 || base < 0 {
+		return fmt.Errorf("exec: invalid base %d / stride %d", base, stride)
+	}
+	last := base + (s.size-1)*stride
+	if last >= len(x) {
+		return fmt.Errorf("exec: strided vector [%d:%d:%d] exceeds buffer of length %d",
+			base, stride, last, len(x))
+	}
+	var kt kernelTable[T]
+	runStagesStrided(s, &kt, x, base, stride)
+	return nil
+}
+
+// runStagesStrided replays the whole schedule at (base, stride) with a
+// caller-provided kernel table, so multi-vector drivers (Apply2D, batch)
+// resolve kernels once.
+func runStagesStrided[T Float](s *Schedule, kt *kernelTable[T], x []T, base, stride int) {
+	for i := range s.stages {
+		st := &s.stages[i]
+		runStageRange(st, kt.get(st.M), x, base, stride, 0, st.R*st.S)
+	}
+}
+
+// runStageRange executes the flattened call slice [lo, hi) of one stage:
+// call idx = j*S + k runs the kernel at base + (j*Blk + k)*stride with
+// kernel stride S*stride.  Sequential execution passes the full range;
+// the parallel evaluator hands disjoint ranges to its workers.  The loop
+// walks row by row so the common full-range case pays no division.
+func runStageRange[T Float](st *Stage, kern func([]T, int, int), x []T, base, stride, lo, hi int) {
+	ks := st.S * stride
+	for idx := lo; idx < hi; {
+		j := idx >> uint(st.SLog)
+		k := idx & (st.S - 1)
+		rowBase := base + j*st.Blk*stride
+		end := idx + st.S - k
+		if end > hi {
+			end = hi
+		}
+		for ; idx < end; idx++ {
+			kern(x, rowBase+k*stride, ks)
+			k++
+		}
+	}
+}
+
+// RunBatch executes one schedule over many vectors in place, amortizing
+// the compiled schedule and kernel resolution across the batch — the
+// serving shape where one default-size transform handles a stream of
+// requests.  Every vector must have the schedule's length; the batch is
+// validated up front so either all vectors are transformed or none are.
+func RunBatch[T Float](s *Schedule, xs [][]T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	var kt kernelTable[T]
+	for _, x := range xs {
+		runStagesStrided(s, &kt, x, 0, 1)
+	}
+	return nil
+}

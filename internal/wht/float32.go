@@ -3,7 +3,7 @@ package wht
 import (
 	"fmt"
 
-	"repro/internal/codelet"
+	"repro/internal/exec"
 	"repro/internal/plan"
 )
 
@@ -11,50 +11,37 @@ import (
 // wht_float build.  The virtual Opteron models 4-byte elements (that is
 // what puts the paper's cache boundaries at n=14 and n=18), so this engine
 // is the one whose memory behaviour the simulator describes literally.
+// It shares the compiled executor (and even the schedules: a schedule is
+// element-type agnostic) with the float64 engine.
 
 // Apply32 computes WHT(2^n)*x in place on a float32 vector.
 func Apply32(p *plan.Node, x []float32) error {
+	sched, err := compileChecked(p, len(x))
+	if err != nil {
+		return err
+	}
+	return exec.Run(sched, x)
+}
+
+// ApplyBatch32 transforms every float32 vector of the batch in place with
+// one compiled schedule.
+func ApplyBatch32(p *plan.Node, xs [][]float32) error {
 	if p == nil {
 		return fmt.Errorf("wht: nil plan")
 	}
-	if len(x) != p.Size() {
-		return fmt.Errorf("wht: vector length %d does not match plan size %d", len(x), p.Size())
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
 	}
-	applyRec32(p, x, 0, 1)
-	return nil
+	return exec.RunBatch(sched, xs)
 }
 
-// Transform32 applies a default balanced plan to a float32 vector.
+// Transform32 applies a default balanced plan to a float32 vector, reusing
+// the same cached schedules as Transform.
 func Transform32(x []float32) error {
 	n, err := log2Len(len(x))
 	if err != nil {
 		return err
 	}
-	return Apply32(plan.Balanced(n, plan.MaxLeafLog), x)
-}
-
-func applyRec32(p *plan.Node, x []float32, base, stride int) {
-	if p.IsLeaf() {
-		if k := codelet.For32(p.Log2Size()); k != nil {
-			k(x, base, stride)
-			return
-		}
-		codelet.Generic32(x, base, stride, p.Log2Size())
-		return
-	}
-	kids := p.Children()
-	r := p.Size()
-	s := 1
-	for i := len(kids) - 1; i >= 0; i-- {
-		c := kids[i]
-		ni := c.Size()
-		r /= ni
-		for j := 0; j < r; j++ {
-			rowBase := base + j*ni*s*stride
-			for k := 0; k < s; k++ {
-				applyRec32(c, x, rowBase+k*stride, s*stride)
-			}
-		}
-		s *= ni
-	}
+	return exec.Run(exec.ForSize(n), x)
 }

@@ -2,82 +2,46 @@ package wht
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/plan"
 )
 
 // ApplyParallel evaluates the plan like Apply but distributes the
-// independent sub-transform calls of each top-level stage across a fixed
-// pool of workers.  Within a stage all R*S calls touch pairwise disjoint
-// strided vectors, so they can run concurrently; stages are separated by a
-// barrier because stage i+1 reads what stage i wrote.
+// independent kernel calls of each compiled stage across a worker pool.
+// Within a stage all R*S calls touch pairwise disjoint strided vectors,
+// so they can run concurrently; stages are separated by a barrier because
+// stage i+1 reads what stage i wrote.
 //
-// workers <= 0 selects GOMAXPROCS.  The parallel evaluator only fans out at
-// the root node; nested calls run sequentially, which keeps the task
-// granularity coarse (one sub-transform per task batch).
+// Because the plan is compiled to a flat schedule first, fan-out is
+// schedule-aware: any stage large enough to split does, wherever its leaf
+// sat in the tree — not only the stages of the root node, as the old
+// tree-walking evaluator was limited to.  Stages below the fan-out grain
+// run inline through the same compiled executor, so sequential and
+// parallel execution share one code path.
+//
+// workers <= 0 selects GOMAXPROCS.
 func ApplyParallel(p *plan.Node, x []float64, workers int) error {
+	sched, err := compileChecked(p, len(x))
+	if err != nil {
+		return err
+	}
+	return exec.RunParallel(sched, x, workers)
+}
+
+// ApplyBatchParallel transforms a batch of vectors with one compiled
+// schedule, fanning out across vectors instead of within stages (no
+// barriers; each worker streams whole transforms).  This is the
+// throughput-oriented shape for serving many independent requests.
+//
+// workers <= 0 selects GOMAXPROCS.
+func ApplyBatchParallel(p *plan.Node, xs [][]float64, workers int) error {
 	if p == nil {
 		return fmt.Errorf("wht: nil plan")
 	}
-	if len(x) != p.Size() {
-		return fmt.Errorf("wht: vector length %d does not match plan size %d", len(x), p.Size())
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || p.IsLeaf() {
-		applyRec(p, x, 0, 1)
-		return nil
-	}
-
-	kids := p.Children()
-	r := p.Size()
-	s := 1
-	for i := len(kids) - 1; i >= 0; i-- {
-		c := kids[i]
-		ni := c.Size()
-		r /= ni
-		runStage(c, x, r, s, ni, workers)
-		s *= ni
-	}
-	return nil
-}
-
-// runStage executes the R*S independent calls of one stage with a worker
-// pool.  Tasks are handed out as contiguous chunks of the flattened (j, k)
-// iteration space so each worker gets a few large pieces.
-func runStage(c *plan.Node, x []float64, r, s, ni, workers int) {
-	total := r * s
-	if total < workers*2 || total < 4 {
-		for j := 0; j < r; j++ {
-			rowBase := j * ni * s
-			for k := 0; k < s; k++ {
-				applyRec(c, x, rowBase+k, s)
-			}
-		}
-		return
-	}
-	chunk := (total + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for idx := lo; idx < hi; idx++ {
-				j, k := idx/s, idx%s
-				applyRec(c, x, j*ni*s+k, s)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	return exec.RunBatchParallel(sched, xs, workers)
 }

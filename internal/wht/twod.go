@@ -3,6 +3,7 @@ package wht
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/plan"
 )
 
@@ -21,8 +22,11 @@ func ApplyStrided(p *plan.Node, x []float64, base, stride int) error {
 		return fmt.Errorf("wht: strided vector [%d:%d:%d] exceeds buffer of length %d",
 			base, stride, last, len(x))
 	}
-	applyRec(p, x, base, stride)
-	return nil
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	return exec.RunStrided(sched, x, base, stride)
 }
 
 // Inverse applies the inverse WHT in place: the WHT is self-inverse up to
@@ -42,6 +46,8 @@ func Inverse(p *plan.Node, x []float64) error {
 // row-major in x: rowPlan (size cols) transforms every row, then colPlan
 // (size rows) transforms every column.  This computes (WHT_rows (x)
 // WHT_cols) * vec(x), the separable 2-D transform used in image coding.
+// Each plan is compiled once and its schedule reused across all rows
+// (resp. columns).
 func Apply2D(rowPlan, colPlan *plan.Node, x []float64) error {
 	if rowPlan == nil || colPlan == nil {
 		return fmt.Errorf("wht: nil plan")
@@ -51,17 +57,36 @@ func Apply2D(rowPlan, colPlan *plan.Node, x []float64) error {
 	if len(x) != rows*cols {
 		return fmt.Errorf("wht: buffer length %d does not match %dx%d", len(x), rows, cols)
 	}
+	rowSched, err := exec.NewSchedule(rowPlan)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	colSched, err := exec.NewSchedule(colPlan)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	return run2D(rowSched, colSched, x, rows, cols)
+}
+
+// run2D transforms every row with rowSched, then every column with
+// colSched — the shared core of Apply2D and Transform2D.
+func run2D(rowSched, colSched *exec.Schedule, x []float64, rows, cols int) error {
 	for i := 0; i < rows; i++ {
-		applyRec(rowPlan, x, i*cols, 1)
+		if err := exec.RunStrided(rowSched, x, i*cols, 1); err != nil {
+			return err
+		}
 	}
 	for j := 0; j < cols; j++ {
-		applyRec(colPlan, x, j, cols)
+		if err := exec.RunStrided(colSched, x, j, cols); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Transform2D computes the 2-D WHT with default balanced plans; rows and
-// cols must be powers of two >= 2.
+// cols must be powers of two >= 2.  The schedules come from the same LRU
+// cache as Transform.
 func Transform2D(x []float64, rows, cols int) error {
 	lr, err := log2Len(rows)
 	if err != nil {
@@ -71,5 +96,9 @@ func Transform2D(x []float64, rows, cols int) error {
 	if err != nil {
 		return fmt.Errorf("wht: cols: %w", err)
 	}
-	return Apply2D(plan.Balanced(lc, plan.MaxLeafLog), plan.Balanced(lr, plan.MaxLeafLog), x)
+	if len(x) != rows*cols {
+		return fmt.Errorf("wht: buffer length %d does not match %dx%d", len(x), rows, cols)
+	}
+	// A row has cols elements and a column has rows elements.
+	return run2D(exec.ForSize(lc), exec.ForSize(lr), x, rows, cols)
 }

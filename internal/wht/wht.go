@@ -1,6 +1,6 @@
 // Package wht evaluates WHT plans: it is the transform engine of the WHT
-// package reimplemented in Go.  A plan (internal/plan) is executed in place
-// on a float64 vector by the triple loop of the paper's Section 2:
+// package reimplemented in Go.  A plan (internal/plan) describes the
+// interpretation order of the triple loop of the paper's Section 2:
 //
 //	R = N; S = 1;
 //	for i = 1, ..., t
@@ -11,27 +11,37 @@
 //	    S = S * Ni
 //
 // with leaves computed by the unrolled codelets of internal/codelet.
+//
+// Since the compiled-engine refactor the package no longer walks trees at
+// evaluation time: every entry point lowers the plan through internal/exec
+// — Compile flattens the recursion into a linear schedule of
+// I(R) (x) WHT(2^m) (x) I(S) stages, and one generic executor replays it
+// for float64 and float32, sequential and parallel, single vectors and
+// batches.  Transform/Transform32 additionally reuse compiled schedules
+// from a size-keyed LRU cache, so repeated default-size traffic pays for
+// planning and compilation exactly once.
 package wht
 
 import (
 	"fmt"
 
-	"repro/internal/codelet"
+	"repro/internal/exec"
 	"repro/internal/plan"
 )
 
 // Apply computes WHT(2^n)*x in place, where n = p.Log2Size().  The plan
 // determines the order of butterflies but not the mathematical result; any
 // valid plan of matching size computes the same transform.
+//
+// Apply compiles the plan and discards the schedule.  Callers transforming
+// many vectors with one plan should compile once (exec.Compile or the
+// facade's Compile) and reuse the schedule, or use ApplyBatch.
 func Apply(p *plan.Node, x []float64) error {
-	if p == nil {
-		return fmt.Errorf("wht: nil plan")
+	sched, err := compileChecked(p, len(x))
+	if err != nil {
+		return err
 	}
-	if len(x) != p.Size() {
-		return fmt.Errorf("wht: vector length %d does not match plan size %d", len(x), p.Size())
-	}
-	applyRec(p, x, 0, 1)
-	return nil
+	return exec.Run(sched, x)
 }
 
 // MustApply is Apply panicking on size mismatch; it is for callers that
@@ -42,47 +52,46 @@ func MustApply(p *plan.Node, x []float64) {
 	}
 }
 
-// applyRec evaluates one node on the strided vector.  The factorization's
-// rightmost factor applies first, so children are processed from last to
-// first: the last child runs at stride 1 on contiguous blocks and child i
-// runs at stride 2^(n_{i+1}+...+n_t).  This is the WHT package's evaluation
-// order; it is what makes the right-recursive plan the cache-friendly one
-// (contiguous halves) and the left-recursive plan the stride-doubling one,
-// exactly as the paper observes.
-func applyRec(p *plan.Node, x []float64, base, stride int) {
-	if p.IsLeaf() {
-		if k := codelet.For(p.Log2Size()); k != nil {
-			k(x, base, stride)
-			return
-		}
-		codelet.Generic(x, base, stride, p.Log2Size())
-		return
+// ApplyBatch transforms every vector of the batch in place with one
+// compiled schedule, amortizing planning and kernel resolution across the
+// batch.  All vectors must have the plan's length.
+func ApplyBatch(p *plan.Node, xs [][]float64) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
 	}
-	kids := p.Children()
-	r := p.Size()
-	s := 1
-	for i := len(kids) - 1; i >= 0; i-- {
-		c := kids[i]
-		ni := c.Size()
-		r /= ni
-		for j := 0; j < r; j++ {
-			rowBase := base + j*ni*s*stride
-			for k := 0; k < s; k++ {
-				applyRec(c, x, rowBase+k*stride, s*stride)
-			}
-		}
-		s *= ni
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
 	}
+	return exec.RunBatch(sched, xs)
 }
 
 // Transform computes the WHT of x in place using a reasonable default plan
 // (balanced with codelet leaves); len(x) must be a power of two >= 2.
+// The compiled schedule for each size comes from a process-wide LRU cache,
+// so repeated calls at the same length skip planning and compilation.
 func Transform(x []float64) error {
 	n, err := log2Len(len(x))
 	if err != nil {
 		return err
 	}
-	return Apply(plan.Balanced(n, plan.MaxLeafLog), x)
+	return exec.Run(exec.ForSize(n), x)
+}
+
+// compileChecked validates the plan/buffer pair with this package's error
+// wording, then compiles.
+func compileChecked(p *plan.Node, length int) (*exec.Schedule, error) {
+	if p == nil {
+		return nil, fmt.Errorf("wht: nil plan")
+	}
+	if length != p.Size() {
+		return nil, fmt.Errorf("wht: vector length %d does not match plan size %d", length, p.Size())
+	}
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return nil, fmt.Errorf("wht: %w", err)
+	}
+	return sched, nil
 }
 
 func log2Len(n int) (int, error) {

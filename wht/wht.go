@@ -5,8 +5,12 @@
 // It exposes, as thin aliases over the internal packages:
 //
 //   - plans (the ~O(7^n) algorithm space of split trees) and their
-//     evaluation on float64 vectors, including unrolled codelets for sizes
-//     2^1..2^8, sequency (Walsh) ordering, and a parallel evaluator;
+//     compiled evaluation: Compile flattens a plan once into a reusable
+//     Schedule of I(R) (x) WHT(2^m) (x) I(S) stages and one generic
+//     executor runs it for float64 and float32 vectors, sequentially, in
+//     parallel (schedule-aware fan-out), or over whole batches; unrolled
+//     codelets cover sizes 2^1..2^8 and sequency (Walsh) ordering is
+//     included;
 //   - the performance models of the paper: instruction counts from the
 //     high-level description, direct-mapped cache-miss counts, and the
 //     combined alpha*I + beta*M model;
@@ -21,6 +25,15 @@
 //	x[3] = 1
 //	if err := wht.Transform(x); err != nil { ... }
 //
+// Transform answers repeated same-size calls from a process-wide LRU cache
+// of compiled schedules.  To serve many vectors with one explicit plan,
+// compile it once:
+//
+//	sched, err := wht.Compile(p)
+//	for _, x := range vectors { _ = wht.Run(sched, x) }
+//
+// or hand the whole batch over: wht.ApplyBatch(p, vectors).
+//
 // Autotuning:
 //
 //	mach := wht.NewMachine()
@@ -31,6 +44,7 @@ package wht
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/plan"
 	"repro/internal/search"
@@ -73,14 +87,55 @@ type Sampler = plan.Sampler
 var NewSampler = plan.NewSampler
 
 // Transform applies a default (balanced) plan in place; len(x) must be a
-// power of two >= 2.
+// power of two >= 2.  Repeated calls at the same length reuse a compiled
+// schedule from a process-wide LRU cache (the library's FFTW-"wisdom"
+// analogue) instead of re-planning and re-compiling.
 var Transform = wht.Transform
 
-// Apply evaluates the given plan in place on x.
+// Apply compiles the plan and evaluates it in place on x.  To amortize
+// compilation over many vectors, use Compile/Run or ApplyBatch.
 var Apply = wht.Apply
 
-// ApplyParallel is Apply with the top-level stages fanned out over a
-// worker pool.
+// Schedule is a plan compiled to a flat sequence of
+// I(R) (x) WHT(2^m) (x) I(S) stage ops.  Schedules are immutable, safe
+// for concurrent use, and shared between the float64 and float32 engines.
+type Schedule = exec.Schedule
+
+// Float constrains the element types the generic executor accepts
+// (float32 and float64).
+type Float = exec.Float
+
+// Compile flattens a plan into a reusable schedule.
+func Compile(p *Plan) (*Schedule, error) { return exec.NewSchedule(p) }
+
+// Run executes a compiled schedule in place on x; it is the single
+// evaluation code path behind every Apply* entry point.
+func Run[T Float](s *Schedule, x []T) error { return exec.Run(s, x) }
+
+// RunParallel is Run with each sufficiently large stage fanned out over a
+// worker pool (workers <= 0 selects GOMAXPROCS).
+func RunParallel[T Float](s *Schedule, x []T, workers int) error {
+	return exec.RunParallel(s, x, workers)
+}
+
+// RunBatch executes one schedule over many vectors in place.
+func RunBatch[T Float](s *Schedule, xs [][]T) error { return exec.RunBatch(s, xs) }
+
+// ApplyBatch and ApplyBatch32 transform every vector of a batch in place
+// with one compiled schedule — the serving shape for repeated traffic.
+var (
+	ApplyBatch   = wht.ApplyBatch
+	ApplyBatch32 = wht.ApplyBatch32
+)
+
+// ApplyBatchParallel is ApplyBatch fanned out across vectors (whole
+// transforms per worker, no stage barriers).
+var ApplyBatchParallel = wht.ApplyBatchParallel
+
+// ApplyParallel compiles the plan and executes it with schedule-aware
+// fan-out: every stage whose independent kernel calls exceed the fan-out
+// grain is split across the worker pool, wherever its leaf sat in the
+// tree (the old tree walker could only fan out at the root).
 var ApplyParallel = wht.ApplyParallel
 
 // ApplyStrided evaluates a plan on a strided sub-vector (the building

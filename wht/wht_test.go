@@ -140,3 +140,69 @@ func TestCombinedModelFacade(t *testing.T) {
 		t.Fatal("combined")
 	}
 }
+
+func TestCompiledFacade(t *testing.T) {
+	p := wht.Balanced(10, 4)
+	sched, err := wht.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Size() != 1<<10 {
+		t.Fatalf("schedule size %d", sched.Size())
+	}
+
+	x := make([]float64, 1<<10)
+	x[1] = 1
+	want := append([]float64(nil), x...)
+	if err := wht.Apply(p, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.Run(sched, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Run and Apply disagree at %d: %v vs %v", i, x[i], want[i])
+		}
+	}
+
+	par := append([]float64(nil), want...)
+	for i := range par {
+		par[i] = 0
+	}
+	par[1] = 1
+	if err := wht.RunParallel(sched, par, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i] != want[i] {
+			t.Fatalf("RunParallel disagrees at %d", i)
+		}
+	}
+
+	batch := make([][]float64, 3)
+	for i := range batch {
+		batch[i] = make([]float64, 1<<10)
+		batch[i][1] = 1
+	}
+	if err := wht.ApplyBatch(p, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.RunBatch(sched, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.ApplyBatchParallel(p, batch, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	b32 := [][]float32{make([]float32, 1<<10)}
+	b32[0][1] = 1
+	if err := wht.ApplyBatch32(p, b32); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b32[0] {
+		if float64(b32[0][i]) != want[i] {
+			t.Fatalf("ApplyBatch32 disagrees at %d", i)
+		}
+	}
+}
