@@ -10,6 +10,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/theory"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/wht"
 )
 
@@ -387,6 +389,67 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Measured-cost autotuning vs the balanced default at the paper's hard
+// size: the acceptance bar is "tuned no slower than balanced".  Both
+// plans are timed through the shared exec.TimeSchedule helper (the same
+// loop the tuner's measured coster uses), then run under the standard
+// benchmark harness.
+func BenchmarkTunedVsBalanced(b *testing.B) {
+	const n = 18
+	tune.Reset()
+	defer tune.Reset()
+	timing := exec.TimingOptions{Warmup: 1, Repeat: 3, MinDuration: 10 * time.Millisecond}
+	res, err := tune.Tune(n, tune.Options{Candidates: 12, KeepFrac: 0.34, Seed: 1, Timing: timing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	balancedPlan := plan.Balanced(n, plan.MaxLeafLog)
+	balanced := exec.Compile(balancedPlan)
+	tuned := exec.Compile(res.Plan)
+	b.Logf("n=%d tuned %s: %.0f ns/run vs balanced %.0f ns/run (%.2fx)",
+		n, res.Plan, res.NsPerRun, res.BaselineNs, res.BaselineNs/res.NsPerRun)
+	// The rematch inside Tune guarantees a non-balanced winner beat the
+	// baseline head to head; a large regression here means that logic
+	// broke.  The margin absorbs wall-clock noise on shared CI runners,
+	// and an identical plan is trivially not a regression.
+	if !res.Plan.Equal(balancedPlan) && res.NsPerRun > res.BaselineNs*1.25 {
+		b.Errorf("tuned plan (%.0f ns) more than 25%% slower than balanced (%.0f ns)",
+			res.NsPerRun, res.BaselineNs)
+	}
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i&15) - 7.5
+	}
+	b.Run("balanced", func(b *testing.B) {
+		b.SetBytes(int64(8 << n))
+		for i := 0; i < b.N; i++ {
+			exec.MustRun(balanced, x)
+		}
+	})
+	b.Run("tuned", func(b *testing.B) {
+		b.SetBytes(int64(8 << n))
+		for i := 0; i < b.N; i++ {
+			exec.MustRun(tuned, x)
+		}
+	})
+}
+
+// Parallel candidate evaluation in the search layer: the same pruned
+// search, sequential vs fanned out over a worker pool of forked
+// virtual-cycle tracers.
+func BenchmarkPrunedSearchWorkers(b *testing.B) {
+	mach := machine.VirtualOpteron224()
+	model := search.ModelInstructions(mach.Cost)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				search.Pruned(14, 200, 1, model, search.NewCycleCoster(mach), 0.1,
+					search.Options{Workers: workers})
+			}
+		})
+	}
 }
 
 // The schedule cache behind Transform: repeated default-size calls hit the

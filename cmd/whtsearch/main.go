@@ -1,16 +1,22 @@
-// Command whtsearch finds fast WHT plans on the virtual machine, the
-// analogue of the WHT package's search driver.
+// Command whtsearch finds fast WHT plans, the analogue of the WHT
+// package's search driver.
 //
 // Usage:
 //
-//	whtsearch -n 18 [-method dp|exhaustive|random|pruned] [-arity 2]
-//	          [-count 1000] [-keep 0.1] [-seed 1] [-cost cycles|instructions]
+//	whtsearch -n 18 [-method dp|exhaustive|random|pruned|anneal] [-arity 2]
+//	          [-count 1000] [-keep 0.1] [-seed 1] [-workers 1]
+//	          [-cost cycles|instructions|measured] [-wisdom out.json]
 //
 // It prints the best plan found, its cost, and how it compares with the
-// three canonical algorithms — both on the virtual machine and, with
-// -time, executed for real through the compiled engine (each plan is
-// flattened once with exec.Compile and the schedule replayed many times,
-// the engine's compile-once/run-many serving shape).
+// three canonical algorithms — on the virtual machine and, with -time,
+// executed for real through the compiled engine (each plan is flattened
+// once with exec.Compile and the schedule replayed many times, the
+// engine's compile-once/run-many serving shape).
+//
+// -cost measured drives the search by real timings of compiled schedules
+// instead of model or simulator values (memoized by plan hash, since a
+// measurement costs milliseconds).  -wisdom writes the winning plan to a
+// wisdom file that cmd/whttune and wht.LoadWisdom can serve from.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/search"
 	"repro/internal/trace"
+	"repro/internal/wisdom"
 )
 
 func main() {
@@ -37,7 +44,9 @@ func main() {
 	count := flag.Int("count", 1000, "candidates for random/pruned search")
 	keep := flag.Float64("keep", 0.1, "fraction kept by the model filter in pruned search")
 	seed := flag.Uint64("seed", 1, "sampling seed")
-	costName := flag.String("cost", "cycles", "cycles | instructions")
+	workers := flag.Int("workers", 1, "parallel cost evaluations for random/pruned search")
+	costName := flag.String("cost", "cycles", "cycles | instructions | measured")
+	wisdomOut := flag.String("wisdom", "", "write the best plan to this wisdom file")
 	timeReal := flag.Bool("time", false, "also time each plan for real through the compiled engine")
 	flag.Parse()
 
@@ -45,17 +54,19 @@ func main() {
 		log.Fatalf("-n %d outside [1, 26]", *n)
 	}
 	mach := machine.VirtualOpteron224()
-	var cost search.Cost
+	var cost search.Coster
 	switch *costName {
 	case "cycles":
-		cost = search.VirtualCycles(mach)
+		cost = search.NewCycleCoster(mach)
 	case "instructions":
-		cost = search.ModelInstructions(mach.Cost)
+		cost = search.NewModelCoster(mach.Cost) // forkable: -workers engages
+	case "measured":
+		cost = search.Memoize(search.NewMeasuredCoster(exec.TimingOptions{}))
 	default:
 		log.Fatalf("unknown cost %q", *costName)
 	}
 
-	opts := search.Options{MaxArity: *arity}
+	opts := search.Options{MaxArity: *arity, Workers: *workers}
 	var res search.Result
 	evaluations := 0
 	switch *method {
@@ -101,11 +112,15 @@ func main() {
 		{"right", plan.RightRecursive(*n)},
 		{"left", plan.LeftRecursive(*n)},
 	}
+	// "vs best" compares like with like: each plan's virtual cycles
+	// against the best plan's virtual cycles, regardless of which cost
+	// drove the search.
+	bestCycles := core.Measure(tr, res.Plan).Cycles
 	fmt.Printf("\n%-12s %14s %14s %12s %10s\n", "plan", "cycles", "instructions", "l1 misses", "vs best")
 	for _, ref := range refs {
 		m := core.Measure(tr, ref.p)
 		fmt.Fprintf(os.Stdout, "%-12s %14.0f %14d %12d %9.2fx\n",
-			ref.name, m.Cycles, m.Instructions, m.L1Misses, m.Cycles/res.Cost)
+			ref.name, m.Cycles, m.Instructions, m.L1Misses, m.Cycles/bestCycles)
 	}
 
 	if *timeReal {
@@ -113,28 +128,27 @@ func main() {
 		fmt.Printf("%-12s %8s %12s %10s\n", "plan", "stages", "ns/run", "GB/s")
 		for _, ref := range refs {
 			sched := exec.Compile(ref.p)
-			nsPerRun, gbps := timePlan(sched)
+			nsPerRun := exec.TimeSchedule(sched, exec.TimingOptions{Repeat: 3, MinDuration: 30 * time.Millisecond})
+			gbps := float64(8*sched.Size()) / nsPerRun
 			fmt.Fprintf(os.Stdout, "%-12s %8d %12.0f %10.2f\n", ref.name, sched.NumStages(), nsPerRun, gbps)
 		}
 	}
-}
 
-// timePlan replays a compiled schedule until ~100ms of work has run and
-// reports the per-run latency and the in-place traffic rate.
-func timePlan(sched *exec.Schedule) (nsPerRun, gbps float64) {
-	x := make([]float64, sched.Size())
-	for i := range x {
-		x[i] = float64(i&7) - 3.5
+	if *wisdomOut != "" {
+		ns := res.Cost
+		// Only a measured-cost search produced a latency — and dpctx
+		// scores by simulator cycles regardless of the -cost flag.  In
+		// every other case, measure the winner once.
+		if *costName != "measured" || *method == "dpctx" {
+			ns = exec.TimeSchedule(exec.Compile(res.Plan), exec.TimingOptions{})
+		}
+		w := wisdom.New()
+		if _, err := w.Record(wisdom.Float64, res.Plan, ns); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Save(*wisdomOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwisdom:      %s (%.0f ns/run) -> %s\n", res.Plan, ns, *wisdomOut)
 	}
-	exec.MustRun(sched, x) // warm up caches and the kernel table path
-	runs := 0
-	start := time.Now()
-	for time.Since(start) < 100*time.Millisecond {
-		exec.MustRun(sched, x)
-		runs++
-	}
-	elapsed := time.Since(start)
-	nsPerRun = float64(elapsed.Nanoseconds()) / float64(runs)
-	gbps = float64(8*sched.Size()) / nsPerRun
-	return nsPerRun, gbps
 }

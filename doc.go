@@ -4,7 +4,12 @@
 // plans are evaluated by the compiled execution engine of
 // repro/internal/exec, which flattens each split tree once into a linear
 // schedule of butterfly stages and replays it for single vectors, strided
-// views, batches, and parallel runs.  The root package exists to host the
-// paper-figure and engine benchmark harness (bench_test.go).  See
-// README.md for the quickstart and package map.
+// views, batches, and parallel runs.  The measured-cost autotuner
+// (wht.Tune, cmd/whttune) searches over real timings of compiled
+// schedules, serves the winner from the process-wide schedule cache, and
+// persists it across restarts as a fingerprinted wisdom file
+// (wht.SaveWisdom/LoadWisdom) — the paper's conclusion that search must
+// be driven by measurements, closed end to end.  The root package exists
+// to host the paper-figure and engine benchmark harness (bench_test.go).
+// See README.md for the quickstart and package map.
 package repro

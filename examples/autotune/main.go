@@ -1,13 +1,19 @@
 // Autotune: use the dynamic-programming search (the WHT package's "best"
 // algorithm, as in the paper's Figures 1-3) to find a fast plan on the
 // virtual Opteron, then compare it against the three canonical algorithms
-// both in virtual cycles and in real Go wall-clock time.
+// both in virtual cycles and in real Go wall-clock time.  The final step
+// is the measured-cost tuner: wht.Tune times real compiled schedules,
+// serves the winner from Transform's schedule cache, and persists it as
+// wisdom for later processes — the paper's point that search must
+// ultimately be driven by measurements, closed end to end.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/wht"
@@ -51,6 +57,23 @@ func main() {
 	fmt.Println("\nNote: virtual cycles are deterministic simulator output (the paper's")
 	fmt.Println("Opteron stand-in); Go wall-clock depends on the host but should show the")
 	fmt.Println("same ordering for the extreme plans (left-recursive worst at this size).")
+
+	// Measured-cost tuning: search over real timings, then serve the
+	// winner from the schedule cache and persist it as wisdom.
+	start = time.Now()
+	tuned, err := wht.Tune(n, wht.TuneOptions{Candidates: 16, KeepFrac: 0.25, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured tuning picked %s (%.0f ns/run, %d plans timed) in %v\n",
+		tuned.Plan, tuned.NsPerRun, tuned.Measured, time.Since(start).Round(time.Millisecond))
+
+	path := filepath.Join(os.TempDir(), "wht-wisdom.json")
+	if err := wht.SaveWisdom(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wisdom saved to %s — a later process calls wht.LoadWisdom(%q)\n", path, path)
+	fmt.Println("and wht.Transform serves the tuned plan from its first call on.")
 }
 
 // timeTransform runs the plan a few times on a private copy and returns

@@ -7,17 +7,28 @@ import (
 )
 
 // ScheduleCache is a size-keyed LRU cache of compiled schedules — the
-// library's FFTW-"wisdom" analogue.  Transform/Transform32 answer repeated
-// default-size traffic from it instead of reconstructing plan.Balanced and
-// recompiling on every call.  Schedules are immutable, so a cached
-// schedule is returned to concurrent callers without copying; one entry
-// serves both the float64 and float32 engines.
+// in-memory half of the library's FFTW-"wisdom" story.  Transform/
+// Transform32 answer repeated default-size traffic from it instead of
+// reconstructing a plan and recompiling on every call.  Schedules are
+// immutable, so a cached schedule is returned to concurrent callers
+// without copying; one entry serves both the float64 and float32 engines.
 type ScheduleCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[int]*cacheEntry // keyed by transform log-size
 	head    *cacheEntry         // most recently used
 	tail    *cacheEntry         // least recently used
+	stats   CacheStats
+}
+
+// CacheStats counts cache traffic since construction (or the last Purge).
+// A lookup that loses the concurrent-build race still counts as a single
+// miss: the caller paid for a build even though another goroutine's
+// schedule won.
+type CacheStats struct {
+	Hits      uint64 // lookups served from the cache
+	Misses    uint64 // lookups that had to build
+	Evictions uint64 // entries dropped by the LRU bound
 }
 
 type cacheEntry struct {
@@ -42,11 +53,13 @@ func NewScheduleCache(cap int) *ScheduleCache {
 func (c *ScheduleCache) Get(n int, build func() *Schedule) *Schedule {
 	c.mu.Lock()
 	if e, ok := c.entries[n]; ok {
+		c.stats.Hits++
 		c.moveToFront(e)
 		s := e.sched
 		c.mu.Unlock()
 		return s
 	}
+	c.stats.Misses++
 	c.mu.Unlock()
 
 	s := build()
@@ -57,6 +70,31 @@ func (c *ScheduleCache) Get(n int, build func() *Schedule) *Schedule {
 		c.moveToFront(e)
 		return e.sched
 	}
+	c.insert(n, s)
+	return s
+}
+
+// Warm inserts a prebuilt schedule for log-size n as the most recently
+// used entry, replacing any cached schedule of that size.  It is the
+// seed-from-wisdom path: a tuner (or a loaded wisdom file) plants its
+// schedule so the first Get at that size is already a hit.
+func (c *ScheduleCache) Warm(n int, s *Schedule) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[n]; ok {
+		e.sched = s
+		c.moveToFront(e)
+		return
+	}
+	c.insert(n, s)
+}
+
+// insert adds a new entry at the front and enforces the LRU bound.
+// Callers hold c.mu.
+func (c *ScheduleCache) insert(n int, s *Schedule) {
 	e := &cacheEntry{n: n, sched: s}
 	c.entries[n] = e
 	c.pushFront(e)
@@ -64,8 +102,15 @@ func (c *ScheduleCache) Get(n int, build func() *Schedule) *Schedule {
 		evict := c.tail
 		c.unlink(evict)
 		delete(c.entries, evict.n)
+		c.stats.Evictions++
 	}
-	return s
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *ScheduleCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Len returns the number of cached schedules.
@@ -75,12 +120,13 @@ func (c *ScheduleCache) Len() int {
 	return len(c.entries)
 }
 
-// Purge drops every cached schedule.
+// Purge drops every cached schedule and resets the counters.
 func (c *ScheduleCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[int]*cacheEntry, c.cap)
 	c.head, c.tail = nil, nil
+	c.stats = CacheStats{}
 }
 
 func (c *ScheduleCache) moveToFront(e *cacheEntry) {
@@ -121,10 +167,64 @@ func (c *ScheduleCache) unlink(e *cacheEntry) {
 // engine can address.
 var defaultCache = NewScheduleCache(32)
 
-// ForSize returns the process-wide cached schedule of the default
-// (balanced, codelet-leaved) plan for WHT(2^n).
+// tunedPlans maps log-size to the plan a tuner registered as preferred.
+// ForSize compiles from it instead of plan.Balanced, including when the
+// LRU has evicted the compiled schedule — a tuned size stays tuned for
+// the life of the process (or until ResetTunedPlans).
+var (
+	tunedMu    sync.RWMutex
+	tunedPlans = map[int]*plan.Node{}
+)
+
+// UseTunedPlan registers p as the preferred plan behind ForSize for its
+// size and seeds the default cache with its compiled schedule, so the
+// next Transform at that length is served from the tuned plan with zero
+// build work.  The plan is validated and compiled before anything is
+// published.
+func UseTunedPlan(p *plan.Node) error {
+	s, err := NewSchedule(p)
+	if err != nil {
+		return err
+	}
+	tunedMu.Lock()
+	tunedPlans[s.Log2Size()] = p
+	tunedMu.Unlock()
+	defaultCache.Warm(s.Log2Size(), s)
+	return nil
+}
+
+// TunedPlan returns the plan registered for log-size n, if any.
+func TunedPlan(n int) (*plan.Node, bool) {
+	tunedMu.RLock()
+	defer tunedMu.RUnlock()
+	p, ok := tunedPlans[n]
+	return p, ok
+}
+
+// ResetTunedPlans drops every registered tuned plan and purges the
+// default schedule cache, restoring the untuned balanced defaults (used
+// by tests and by benchmarks that need an untuned baseline).
+func ResetTunedPlans() {
+	tunedMu.Lock()
+	tunedPlans = map[int]*plan.Node{}
+	tunedMu.Unlock()
+	defaultCache.Purge()
+}
+
+// DefaultCacheStats returns the traffic counters of the process-wide
+// schedule cache behind Transform/Transform32/ForSize.
+func DefaultCacheStats() CacheStats {
+	return defaultCache.Stats()
+}
+
+// ForSize returns the process-wide cached schedule for WHT(2^n): the
+// tuned plan when one has been registered (UseTunedPlan, typically via a
+// wisdom file), the balanced codelet-leaved default otherwise.
 func ForSize(n int) *Schedule {
 	return defaultCache.Get(n, func() *Schedule {
+		if p, ok := TunedPlan(n); ok {
+			return Compile(p)
+		}
 		return Compile(plan.Balanced(n, plan.MaxLeafLog))
 	})
 }

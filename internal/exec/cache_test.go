@@ -73,6 +73,7 @@ func TestScheduleCacheConcurrent(t *testing.T) {
 }
 
 func TestForSizeCachesDefaultPlan(t *testing.T) {
+	ResetTunedPlans()
 	a := ForSize(10)
 	b := ForSize(10)
 	if a != b {
@@ -81,5 +82,124 @@ func TestForSizeCachesDefaultPlan(t *testing.T) {
 	want := Compile(plan.Balanced(10, plan.MaxLeafLog))
 	if a.NumStages() != want.NumStages() || a.Size() != want.Size() {
 		t.Fatalf("ForSize schedule differs from balanced default")
+	}
+}
+
+func TestScheduleCacheStats(t *testing.T) {
+	c := NewScheduleCache(2)
+	build := func(n int) func() *Schedule {
+		return func() *Schedule { return Compile(plan.Balanced(n, plan.MaxLeafLog)) }
+	}
+	c.Get(4, build(4)) // miss
+	c.Get(4, build(4)) // hit
+	c.Get(5, build(5)) // miss
+	c.Get(6, build(6)) // miss, evicts 4 (LRU)
+	c.Get(4, build(4)) // miss again, evicts 5
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want {Hits:1 Misses:4 Evictions:2}", st)
+	}
+	c.Purge()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("stats after Purge = %+v, want zero", st)
+	}
+}
+
+// The concurrent-miss race path: two goroutines miss the same size, both
+// build, one build wins.  Both lookups count as misses, exactly one entry
+// exists, and later lookups hit it.
+func TestScheduleCacheStatsConcurrentMiss(t *testing.T) {
+	c := NewScheduleCache(4)
+	inBuild := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*Schedule, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(7, func() *Schedule {
+				inBuild <- struct{}{}
+				<-release // hold both goroutines inside build simultaneously
+				return Compile(plan.Balanced(7, plan.MaxLeafLog))
+			})
+		}(i)
+	}
+	<-inBuild
+	<-inBuild
+	close(release)
+	wg.Wait()
+	if results[0] != results[1] {
+		t.Fatal("racing builders got different schedules")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want {Hits:0 Misses:2}", st)
+	}
+	c.Get(7, func() *Schedule { t.Fatal("unexpected rebuild"); return nil })
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hits after cached lookup = %d, want 1", st.Hits)
+	}
+}
+
+func TestScheduleCacheWarm(t *testing.T) {
+	c := NewScheduleCache(2)
+	tuned := Compile(plan.MustParse("split[small[4],small[5]]"))
+	c.Warm(9, tuned)
+	got := c.Get(9, func() *Schedule { t.Fatal("Warm entry missed"); return nil })
+	if got != tuned {
+		t.Fatal("Get did not serve the warmed schedule")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want a pure hit", st)
+	}
+	// Warming an existing size replaces the schedule in place.
+	tuned2 := Compile(plan.Balanced(9, 6))
+	c.Warm(9, tuned2)
+	if got := c.Get(9, func() *Schedule { return nil }); got != tuned2 {
+		t.Fatal("re-Warm did not replace the schedule")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestForSizePrefersTunedPlan(t *testing.T) {
+	ResetTunedPlans()
+	defer ResetTunedPlans()
+	tuned := plan.MustParse("split[small[4],small[6]]")
+	if err := UseTunedPlan(tuned); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := TunedPlan(10); !ok || !p.Equal(tuned) {
+		t.Fatalf("TunedPlan(10) = %v, %v", p, ok)
+	}
+	got := ForSize(10)
+	want := Compile(tuned)
+	if got.String() != want.String() {
+		t.Fatalf("ForSize serves %s, want tuned %s", got, want)
+	}
+	// The registration outlives cache eviction: after a purge, ForSize
+	// still rebuilds from the tuned plan, not the balanced default.
+	defaultCache.Purge()
+	if got := ForSize(10); got.String() != want.String() {
+		t.Fatalf("after eviction ForSize serves %s, want tuned %s", got, want)
+	}
+	ResetTunedPlans()
+	balanced := Compile(plan.Balanced(10, plan.MaxLeafLog))
+	if got := ForSize(10); got.String() != balanced.String() {
+		t.Fatalf("after reset ForSize serves %s, want balanced %s", got, balanced)
+	}
+}
+
+func TestUseTunedPlanRejectsInvalid(t *testing.T) {
+	if err := UseTunedPlan(nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if err := UseTunedPlan(new(plan.Node)); err == nil {
+		t.Fatal("invalid plan accepted")
 	}
 }

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"sort"
+	"time"
+)
+
+// TimingOptions controls TimeSchedule.  The zero value selects defaults
+// suitable for search-time measurement: one warmup run, three timed
+// repetitions, at least 2ms of work per repetition.
+type TimingOptions struct {
+	Warmup      int           // untimed warmup runs before measuring (default 1)
+	Repeat      int           // timed repetitions; the median is reported (default 3)
+	MinDuration time.Duration // minimum wall time per repetition (default 2ms)
+}
+
+func (o TimingOptions) withDefaults() TimingOptions {
+	if o.Warmup <= 0 {
+		o.Warmup = 1
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 3
+	}
+	if o.MinDuration <= 0 {
+		o.MinDuration = 2 * time.Millisecond
+	}
+	return o
+}
+
+// TimeSchedule measures the real per-run latency of a compiled schedule in
+// nanoseconds: it replays the schedule in place on a scratch float64
+// vector until each repetition has accumulated at least MinDuration of
+// work, and reports the median over Repeat repetitions.  Warmup runs
+// (untimed) populate the caches and the kernel table path first.  It is
+// the shared timing loop behind the measured-cost search backend, the
+// tuner, and cmd/whtsearch -time.
+//
+// Timing is wall-clock and therefore host-dependent and noisy; callers
+// comparing plans should keep the host quiet and rely on the median to
+// reject scheduling outliers.  TimeSchedule is not safe for concurrent
+// use with other measurements on the same machine in the sense that
+// simultaneous timings perturb each other; serialize measurements that
+// will be compared.
+func TimeSchedule(s *Schedule, opt TimingOptions) (nsPerRun float64) {
+	opt = opt.withDefaults()
+	x := make([]float64, s.Size())
+	for i := range x {
+		x[i] = float64(i&7) - 3.5
+	}
+	for w := 0; w < opt.Warmup; w++ {
+		MustRun(s, x)
+	}
+	samples := make([]float64, 0, opt.Repeat)
+	for r := 0; r < opt.Repeat; r++ {
+		runs := 0
+		chunk := 1
+		start := time.Now()
+		var elapsed time.Duration
+		for {
+			for i := 0; i < chunk; i++ {
+				MustRun(s, x)
+			}
+			runs += chunk
+			elapsed = time.Since(start)
+			if elapsed >= opt.MinDuration {
+				break
+			}
+			// Grow the chunk so the clock is read O(log runs) times and
+			// tiny schedules are not dominated by timer overhead.
+			if chunk < 1<<10 {
+				chunk <<= 1
+			}
+		}
+		samples = append(samples, float64(elapsed.Nanoseconds())/float64(runs))
+	}
+	sort.Float64s(samples)
+	mid := len(samples) / 2
+	if len(samples)%2 == 1 {
+		return samples[mid]
+	}
+	return (samples[mid-1] + samples[mid]) / 2
+}

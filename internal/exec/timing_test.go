@@ -1,0 +1,32 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+)
+
+func TestTimeScheduleReportsPlausibleLatency(t *testing.T) {
+	opt := TimingOptions{Warmup: 1, Repeat: 3, MinDuration: 200 * time.Microsecond}
+	small := TimeSchedule(Compile(plan.Balanced(6, plan.MaxLeafLog)), opt)
+	large := TimeSchedule(Compile(plan.Balanced(14, plan.MaxLeafLog)), opt)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("non-positive latencies: %g, %g", small, large)
+	}
+	if large < small {
+		t.Fatalf("2^14 (%g ns) timed faster than 2^6 (%g ns)", large, small)
+	}
+}
+
+func TestTimeScheduleDefaults(t *testing.T) {
+	o := TimingOptions{}.withDefaults()
+	if o.Warmup != 1 || o.Repeat != 3 || o.MinDuration != 2*time.Millisecond {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// An explicit configuration passes through untouched.
+	set := TimingOptions{Warmup: 2, Repeat: 5, MinDuration: time.Millisecond}
+	if got := set.withDefaults(); got != set {
+		t.Fatalf("explicit options rewritten: %+v", got)
+	}
+}

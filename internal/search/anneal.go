@@ -3,6 +3,7 @@ package search
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/plan"
 )
@@ -43,15 +44,55 @@ func Neighbor(p *plan.Node, s *plan.Sampler, rng *rand.Rand) *plan.Node {
 
 // AnnealOptions tunes the annealing schedule.
 type AnnealOptions struct {
-	Iterations int     // total cost evaluations (default 200)
+	Iterations int     // cost evaluations per chain (default 200)
 	StartTemp  float64 // initial temperature as a fraction of the seed cost (default 0.05)
 	LeafMax    int
+	// Restarts runs that many independent chains (seeded rngSeed,
+	// rngSeed+1, ...) concurrently on forked costers and returns the best
+	// plan over all chains, ties broken toward the lowest chain index —
+	// deterministic for deterministic coster backends.  <= 1 means one
+	// sequential chain.
+	Restarts int
 }
 
 // Anneal runs simulated annealing from the given seed plan (pass nil to
 // start from a random draw).  It returns the best plan encountered and
-// the number of cost evaluations spent.
-func Anneal(n int, seed *plan.Node, cost Cost, rngSeed uint64, opt AnnealOptions) (Result, int) {
+// the number of cost evaluations spent across all chains.
+func Anneal(n int, seed *plan.Node, cost Coster, rngSeed uint64, opt AnnealOptions) (Result, int) {
+	if opt.Restarts > 1 {
+		results := make([]Result, opt.Restarts)
+		evals := make([]int, opt.Restarts)
+		single := opt
+		single.Restarts = 1
+		if _, plain := cost.(Cost); plain {
+			// A plain Cost functor forks to itself and need not be safe
+			// for concurrent use (VirtualCycles owns one tracer), so its
+			// chains run sequentially — same plans, same result, no race.
+			for i := 0; i < opt.Restarts; i++ {
+				results[i], evals[i] = Anneal(n, seed, cost, rngSeed+uint64(i), single)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := 0; i < opt.Restarts; i++ {
+				fork := cost.Fork()
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], evals[i] = Anneal(n, seed, fork, rngSeed+uint64(i), single)
+				}(i)
+			}
+			wg.Wait()
+		}
+		best := Result{Cost: math.Inf(1)}
+		total := 0
+		for i, r := range results {
+			total += evals[i]
+			if r.Cost < best.Cost {
+				best = r
+			}
+		}
+		return best, total
+	}
 	if opt.Iterations <= 0 {
 		opt.Iterations = 200
 	}
@@ -68,7 +109,7 @@ func Anneal(n int, seed *plan.Node, cost Cost, rngSeed uint64, opt AnnealOptions
 	if current == nil {
 		current = sampler.Plan(n)
 	}
-	currentCost := cost(current)
+	currentCost := cost.Cost(current)
 	best := Result{Plan: current, Cost: currentCost}
 	evaluations := 1
 
@@ -79,7 +120,7 @@ func Anneal(n int, seed *plan.Node, cost Cost, rngSeed uint64, opt AnnealOptions
 		temp := temp0 * math.Pow(0.01, frac)
 
 		candidate := Neighbor(current, sampler, rng)
-		c := cost(candidate)
+		c := cost.Cost(candidate)
 		evaluations++
 		accept := c < currentCost
 		if !accept && temp > 0 {

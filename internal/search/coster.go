@@ -1,0 +1,199 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// Coster is the unified plan-scoring abstraction of the search layer
+// (lower is better).  The three backends — the closed-form models, the
+// virtual-cycle simulator, and real measured execution — are
+// interchangeable behind it, which is the paper's central experimental
+// setup: the same search driven by model values, simulated cycles, or
+// actual timings.
+//
+// Fork returns an evaluator that may be used from another goroutine.
+// Stateless backends return the receiver; the simulator backend clones
+// its tracer; the measured backend shares a timing lock so concurrent
+// searches never time two plans simultaneously.
+type Coster interface {
+	Cost(p *plan.Node) float64
+	Fork() Coster
+}
+
+// Cost satisfies Coster so existing cost functors and ad-hoc closures
+// keep working with every search.  Fork returns the functor itself: a
+// plain Cost only parallelizes safely if the underlying closure does
+// (the tracer-owning VirtualCycles functor does not — use NewCycleCoster
+// with Options.Workers > 1).
+func (f Cost) Cost(p *plan.Node) float64 { return f(p) }
+
+// Fork implements Coster; see the type comment for the safety caveat.
+func (f Cost) Fork() Coster { return f }
+
+// modelCoster evaluates the closed-form instruction model.  It is
+// stateless, so forks alias the receiver and parallelize freely.
+type modelCoster struct {
+	cost machine.CostModel
+}
+
+// NewModelCoster returns the closed-form instruction-model backend: the
+// forkable counterpart of ModelInstructions, for parallel model phases.
+func NewModelCoster(cost machine.CostModel) Coster { return &modelCoster{cost: cost} }
+
+func (m *modelCoster) Cost(p *plan.Node) float64 { return float64(core.Instructions(p, m.cost)) }
+func (m *modelCoster) Fork() Coster              { return m }
+
+// cycleCoster measures deterministic virtual cycles; each fork owns a
+// fresh tracer, and RunAt resets the hierarchy per plan, so forked
+// evaluators produce bit-identical costs to a single sequential tracer.
+type cycleCoster struct {
+	m  *machine.Machine
+	tr *trace.Tracer
+}
+
+// NewCycleCoster returns the virtual-cycle backend for concurrent search:
+// the concurrency-safe counterpart of VirtualCycles.
+func NewCycleCoster(m *machine.Machine) Coster {
+	return &cycleCoster{m: m, tr: trace.New(m)}
+}
+
+func (c *cycleCoster) Cost(p *plan.Node) float64 { return core.Measure(c.tr, p).Cycles }
+func (c *cycleCoster) Fork() Coster              { return &cycleCoster{m: c.m, tr: trace.New(c.m)} }
+
+// measuredCoster compiles each candidate through the execution engine and
+// times real runs — the backend that closes the model/measurement gap the
+// paper documents.  All forks share one mutex: timing two plans at once
+// would perturb both measurements, so concurrent searches serialize the
+// stopwatch while candidate generation, model filtering and memo lookups
+// still run in parallel.
+type measuredCoster struct {
+	opt exec.TimingOptions
+	mu  *sync.Mutex
+}
+
+// NewMeasuredCoster returns the measured-execution backend.  A plan that
+// fails to compile costs +Inf, so invalid candidates lose to every
+// runnable one instead of aborting the search.
+func NewMeasuredCoster(opt exec.TimingOptions) Coster {
+	return &measuredCoster{opt: opt, mu: &sync.Mutex{}}
+}
+
+func (m *measuredCoster) Cost(p *plan.Node) float64 {
+	s, err := exec.NewSchedule(p)
+	if err != nil {
+		return math.Inf(1)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return exec.TimeSchedule(s, m.opt)
+}
+
+func (m *measuredCoster) Fork() Coster { return m }
+
+// memoCoster caches costs by structural plan hash.  All forks share the
+// table, so revisited plans are served from it — essential for the
+// measured backend, where one evaluation costs milliseconds, and for
+// annealing, which revisits plans.  There is no per-hash singleflight:
+// workers that miss the same plan concurrently may each evaluate it
+// (last store wins), so the cache bounds repeat work, it does not
+// guarantee at-most-once evaluation.
+type memoCoster struct {
+	inner Coster
+	table *sync.Map // plan.Hash() -> float64
+}
+
+// Memoize wraps c with a concurrent plan-hash memo shared across forks.
+// A plain Cost functor is additionally serialized behind a lock, since
+// its forks alias one closure that may own unsynchronized state.
+func Memoize(c Coster) Coster {
+	if f, plain := c.(Cost); plain {
+		c = &lockedCoster{f: f, mu: &sync.Mutex{}}
+	}
+	return &memoCoster{inner: c, table: &sync.Map{}}
+}
+
+// lockedCoster serializes an unsynchronized functor; forks share the lock.
+type lockedCoster struct {
+	f  Cost
+	mu *sync.Mutex
+}
+
+func (l *lockedCoster) Cost(p *plan.Node) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f(p)
+}
+
+func (l *lockedCoster) Fork() Coster { return l }
+
+func (m *memoCoster) Cost(p *plan.Node) float64 {
+	h := p.Hash()
+	if v, ok := m.table.Load(h); ok {
+		return v.(float64)
+	}
+	c := m.inner.Cost(p)
+	m.table.Store(h, c)
+	return c
+}
+
+func (m *memoCoster) Fork() Coster { return &memoCoster{inner: m.inner.Fork(), table: m.table} }
+
+// evalAll scores plans[i] into a cost slice of the same order, fanning
+// the work over workers goroutines with per-worker forks of c.  With
+// workers <= 1 — or a plain Cost functor, which forks to itself and may
+// own unsynchronized state like a tracer — it degenerates to a plain
+// sequential loop over c itself.
+func evalAll(plans []*plan.Node, c Coster, workers int) []float64 {
+	if _, plain := c.(Cost); plain {
+		workers = 1
+	}
+	costs := make([]float64, len(plans))
+	if workers <= 1 || len(plans) < 2 {
+		for i, p := range plans {
+			costs[i] = c.Cost(p)
+		}
+		return costs
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		fork := c.Fork()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) {
+					return
+				}
+				costs[i] = fork.Cost(plans[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return costs
+}
+
+// bestOf selects the minimum-cost result, breaking ties toward the lowest
+// index — exactly what the sequential first-strict-improvement loops did,
+// so parallel and sequential searches agree on the winning plan.
+func bestOf(plans []*plan.Node, costs []float64) Result {
+	best := Result{Cost: math.Inf(1)}
+	for i, p := range plans {
+		if costs[i] < best.Cost {
+			best = Result{Plan: p, Cost: costs[i]}
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package search
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+func TestCycleCosterMatchesVirtualCycles(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	functor := VirtualCycles(m)
+	coster := NewCycleCoster(m)
+	s := plan.NewSampler(3, plan.MaxLeafLog)
+	for i := 0; i < 20; i++ {
+		p := s.Plan(10)
+		if a, b := functor(p), coster.Cost(p); a != b {
+			t.Fatalf("plan %v: functor %g, coster %g", p, a, b)
+		}
+	}
+	// A fork must score identically: RunAt resets the hierarchy per plan.
+	fork := coster.Fork()
+	p := s.Plan(12)
+	if a, b := coster.Cost(p), fork.Cost(p); a != b {
+		t.Fatalf("fork disagrees: %g vs %g", a, b)
+	}
+}
+
+func TestRandomParallelMatchesSequential(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	seq, allSeq := Random(10, 60, 42, NewCycleCoster(m), Options{})
+	par, allPar := Random(10, 60, 42, NewCycleCoster(m), Options{Workers: 4})
+	if !seq.Plan.Equal(par.Plan) || seq.Cost != par.Cost {
+		t.Fatalf("parallel best (%g, %v) differs from sequential (%g, %v)",
+			par.Cost, par.Plan, seq.Cost, seq.Plan)
+	}
+	if len(allSeq) != len(allPar) {
+		t.Fatalf("result counts differ: %d vs %d", len(allSeq), len(allPar))
+	}
+	for i := range allSeq {
+		if allSeq[i].Cost != allPar[i].Cost || !allSeq[i].Plan.Equal(allPar[i].Plan) {
+			t.Fatalf("result %d differs: %g vs %g", i, allSeq[i].Cost, allPar[i].Cost)
+		}
+	}
+}
+
+func TestPrunedParallelMatchesSequential(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	model := ModelInstructions(m.Cost)
+	seq, keptSeq := Pruned(10, 120, 7, model, NewCycleCoster(m), 0.2, Options{})
+	par, keptPar := Pruned(10, 120, 7, model, NewCycleCoster(m), 0.2, Options{Workers: 4})
+	if keptSeq != keptPar {
+		t.Fatalf("kept %d vs %d", keptSeq, keptPar)
+	}
+	if !seq.Plan.Equal(par.Plan) || seq.Cost != par.Cost {
+		t.Fatalf("parallel best (%g, %v) differs from sequential (%g, %v)",
+			par.Cost, par.Plan, seq.Cost, seq.Plan)
+	}
+}
+
+// Plain Cost functors may own unsynchronized state (VirtualCycles owns
+// one tracer), so parallel paths must fall back to sequential evaluation
+// for them: under -race these calls would crash if a pool still forked
+// the shared closure across goroutines, and the results must match the
+// forkable backend's.
+func TestPlainCostFunctorsEvaluateSequentially(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	functor, _ := Random(9, 40, 11, VirtualCycles(m), Options{Workers: 8})
+	forkable, _ := Random(9, 40, 11, NewCycleCoster(m), Options{Workers: 8})
+	if !functor.Plan.Equal(forkable.Plan) || functor.Cost != forkable.Cost {
+		t.Fatalf("functor best (%g) differs from forkable best (%g)", functor.Cost, forkable.Cost)
+	}
+	a, _ := Anneal(9, nil, VirtualCycles(m), 3, AnnealOptions{Iterations: 30, Restarts: 4})
+	b, _ := Anneal(9, nil, NewCycleCoster(m), 3, AnnealOptions{Iterations: 30, Restarts: 4})
+	if !a.Plan.Equal(b.Plan) || a.Cost != b.Cost {
+		t.Fatal("restarted annealing differs between plain functor and forkable coster")
+	}
+	// Memoize makes a plain functor safe for the pool by serializing it.
+	memoized, _ := Random(9, 40, 11, Memoize(VirtualCycles(m)), Options{Workers: 8})
+	if !memoized.Plan.Equal(forkable.Plan) || memoized.Cost != forkable.Cost {
+		t.Fatalf("memoized functor best (%g) differs from forkable best (%g)", memoized.Cost, forkable.Cost)
+	}
+}
+
+func TestAnnealRestartsDeterministicAndBest(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	opt := AnnealOptions{Iterations: 40, Restarts: 3}
+	a, evalsA := Anneal(10, nil, NewCycleCoster(m), 5, opt)
+	b, evalsB := Anneal(10, nil, NewCycleCoster(m), 5, opt)
+	if !a.Plan.Equal(b.Plan) || a.Cost != b.Cost || evalsA != evalsB {
+		t.Fatal("restarted annealing not deterministic under equal seeds")
+	}
+	if evalsA != 120 {
+		t.Fatalf("evaluations = %d, want 120 across 3 chains", evalsA)
+	}
+	// The multi-chain best can never be worse than the first chain alone.
+	single, _ := Anneal(10, nil, NewCycleCoster(m), 5, AnnealOptions{Iterations: 40})
+	if a.Cost > single.Cost {
+		t.Fatalf("3-restart best %g worse than single chain %g", a.Cost, single.Cost)
+	}
+}
+
+// countingCoster counts underlying evaluations through the memo layer.
+type countingCoster struct{ calls *atomic.Int64 }
+
+func (c countingCoster) Cost(p *plan.Node) float64 {
+	c.calls.Add(1)
+	return float64(p.LeafSizes()[0])
+}
+func (c countingCoster) Fork() Coster { return c }
+
+func TestMemoizeScoresEachPlanOnce(t *testing.T) {
+	var calls atomic.Int64
+	memo := Memoize(countingCoster{&calls})
+	p := plan.MustParse("split[small[2],small[3]]")
+	q := plan.MustParse("split[small[3],small[2]]")
+	for i := 0; i < 5; i++ {
+		memo.Cost(p)
+		memo.Fork().Cost(q) // forks share the table
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("underlying coster called %d times, want 2", got)
+	}
+	if memo.Cost(p) == memo.Cost(q) {
+		t.Fatal("distinct plans collided in the memo")
+	}
+}
+
+func TestMeasuredCosterTimesRealExecution(t *testing.T) {
+	c := NewMeasuredCoster(exec.TimingOptions{Warmup: 1, Repeat: 1, MinDuration: 100 * time.Microsecond})
+	small := c.Cost(plan.Balanced(6, plan.MaxLeafLog))
+	large := c.Cost(plan.Balanced(14, plan.MaxLeafLog))
+	if small <= 0 || large <= 0 || math.IsInf(small, 1) || math.IsInf(large, 1) {
+		t.Fatalf("bad measurements: small %g, large %g", small, large)
+	}
+	if large < small {
+		t.Fatalf("2^14 measured faster (%g ns) than 2^6 (%g ns)", large, small)
+	}
+	// An invalid plan costs +Inf instead of failing the search.
+	if got := c.Cost(new(plan.Node)); !math.IsInf(got, 1) {
+		t.Fatalf("invalid plan cost %g, want +Inf", got)
+	}
+}

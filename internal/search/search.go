@@ -17,7 +17,10 @@ import (
 )
 
 // Cost evaluates a plan; lower is better.  Implementations need not be
-// safe for concurrent use.
+// safe for concurrent use.  Cost satisfies the Coster interface (see
+// coster.go), so functors and closures plug into every search; concurrent
+// search (Options.Workers > 1) should use a forkable backend such as
+// NewCycleCoster or NewMeasuredCoster instead.
 type Cost func(p *plan.Node) float64
 
 // VirtualCycles returns a cost functor measuring deterministic virtual
@@ -52,6 +55,16 @@ func CombinedModel(cost machine.CostModel, alpha, beta float64, lgLines int) Cos
 type Options struct {
 	LeafMax  int // largest codelet log-size considered (default MaxLeafLog)
 	MaxArity int // largest split arity the DP considers (default 2)
+	// Workers sets how many goroutines Random/Pruned evaluate candidates
+	// on (<= 1 means sequential).  Candidate generation stays sequential
+	// and best-selection breaks ties by candidate index, so a parallel
+	// search returns the same plan as the sequential one under a fixed
+	// seed — provided the coster's forks score deterministically (the
+	// model and virtual-cycle backends do).  Plain Cost functors fork to
+	// themselves and may own unsynchronized state, so they always
+	// evaluate sequentially regardless of Workers; use NewCycleCoster /
+	// NewMeasuredCoster to parallelize.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,7 +89,7 @@ type Result struct {
 // best plans.  Like the original, it is a heuristic — subplans are
 // evaluated in a top-level context even though the optimal subplan depends
 // on its calling context (stride), a caveat the paper notes explicitly.
-func DP(n int, cost Cost, opt Options) Result {
+func DP(n int, cost Coster, opt Options) Result {
 	opt = opt.withDefaults()
 	best := make([]*plan.Node, n+1)
 	bestCost := make([]float64, n+1)
@@ -84,7 +97,7 @@ func DP(n int, cost Cost, opt Options) Result {
 		bestCost[m] = math.Inf(1)
 		if m <= opt.LeafMax {
 			leaf := plan.Leaf(m)
-			best[m], bestCost[m] = leaf, cost(leaf)
+			best[m], bestCost[m] = leaf, cost.Cost(leaf)
 		}
 		// Enumerate compositions of m into 2..MaxArity parts.
 		var parts []int
@@ -99,7 +112,7 @@ func DP(n int, cost Cost, opt Options) Result {
 					kids[i] = best[sz]
 				}
 				candidate := plan.Split(kids...)
-				if c := cost(candidate); c < bestCost[m] {
+				if c := cost.Cost(candidate); c < bestCost[m] {
 					best[m], bestCost[m] = candidate, c
 				}
 				return
@@ -123,11 +136,11 @@ func DP(n int, cost Cost, opt Options) Result {
 
 // Exhaustive evaluates every plan of size 2^n and returns the optimum.
 // Feasible only for small n (the space grows like ~7^n).
-func Exhaustive(n int, cost Cost, opt Options) Result {
+func Exhaustive(n int, cost Coster, opt Options) Result {
 	opt = opt.withDefaults()
 	best := Result{Cost: math.Inf(1)}
 	forEachPlan(n, opt.LeafMax, func(p *plan.Node) {
-		if c := cost(p); c < best.Cost {
+		if c := cost.Cost(p); c < best.Cost {
 			best = Result{Plan: p, Cost: c}
 		}
 	})
@@ -175,21 +188,20 @@ func forEachPlan(n, leafMax int, visit func(*plan.Node)) {
 
 // Random draws count plans from the recursive split uniform distribution,
 // evaluates them all and returns the best along with every result (the raw
-// material of the paper's Figures 4–11).
-func Random(n, count int, seed uint64, cost Cost, opt Options) (Result, []Result) {
+// material of the paper's Figures 4–11).  With opt.Workers > 1 the
+// evaluations fan out over a worker pool; sampling stays sequential and
+// ties break by draw order, so the best plan matches the sequential
+// search under the same seed.
+func Random(n, count int, seed uint64, cost Coster, opt Options) (Result, []Result) {
 	opt = opt.withDefaults()
 	s := plan.NewSampler(seed, opt.LeafMax)
-	best := Result{Cost: math.Inf(1)}
-	all := make([]Result, 0, count)
-	for i := 0; i < count; i++ {
-		p := s.Plan(n)
-		c := cost(p)
-		all = append(all, Result{Plan: p, Cost: c})
-		if c < best.Cost {
-			best = Result{Plan: p, Cost: c}
-		}
+	plans := s.Plans(n, count)
+	costs := evalAll(plans, cost, opt.Workers)
+	all := make([]Result, count)
+	for i := range all {
+		all[i] = Result{Plan: plans[i], Cost: costs[i]}
 	}
-	return best, all
+	return bestOf(plans, costs), all
 }
 
 // Pruned implements the paper's conclusion: draw candidates, rank them by
@@ -197,31 +209,51 @@ func Random(n, count int, seed uint64, cost Cost, opt Options) (Result, []Result
 // model values, and spend the expensive cost evaluations on those.  It
 // returns the best surviving plan and the number of expensive evaluations
 // performed.
-func Pruned(n, count int, seed uint64, model Cost, expensive Cost, keepFrac float64, opt Options) (Result, int) {
+// Both scoring phases respect opt.Workers; the model ranking is made
+// deterministic by breaking model-value ties on draw order, so the
+// parallel search keeps (and selects) the same plans as the sequential
+// one under a fixed seed.
+func Pruned(n, count int, seed uint64, model Coster, expensive Coster, keepFrac float64, opt Options) (Result, int) {
 	opt = opt.withDefaults()
 	s := plan.NewSampler(seed, opt.LeafMax)
-	type scored struct {
-		p *plan.Node
-		v float64
+	plans := s.Plans(n, count)
+	modelCosts := evalAll(plans, model, opt.Workers)
+	scored := make([]Result, count)
+	for i := range scored {
+		scored[i] = Result{Plan: plans[i], Cost: modelCosts[i]}
 	}
-	candidates := make([]scored, count)
-	for i := range candidates {
-		p := s.Plan(n)
-		candidates[i] = scored{p, model(p)}
+	kept := Shortlist(scored, keepFrac)
+	costs := evalAll(kept, expensive, opt.Workers)
+	return bestOf(kept, costs), len(kept)
+}
+
+// Shortlist returns the plans of the ceil(keepFrac * len) cheapest
+// results, ranked by cost with input order breaking ties (always at
+// least one, at most all).  It is the model-filter step of Pruned,
+// exposed so tuners can shortlist a scored sample and measure the
+// survivors themselves.
+func Shortlist(scored []Result, keepFrac float64) []*plan.Node {
+	order := make([]int, len(scored))
+	for i := range order {
+		order[i] = i
 	}
-	sort.Slice(candidates, func(a, b int) bool { return candidates[a].v < candidates[b].v })
-	keep := int(math.Ceil(keepFrac * float64(count)))
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scored[ia].Cost != scored[ib].Cost {
+			return scored[ia].Cost < scored[ib].Cost
+		}
+		return ia < ib
+	})
+	keep := int(math.Ceil(keepFrac * float64(len(scored))))
 	if keep < 1 {
 		keep = 1
 	}
-	if keep > count {
-		keep = count
+	if keep > len(scored) {
+		keep = len(scored)
 	}
-	best := Result{Cost: math.Inf(1)}
-	for _, cand := range candidates[:keep] {
-		if c := expensive(cand.p); c < best.Cost {
-			best = Result{Plan: cand.p, Cost: c}
-		}
+	out := make([]*plan.Node, keep)
+	for i := range out {
+		out[i] = scored[order[i]].Plan
 	}
-	return best, keep
+	return out
 }

@@ -1,0 +1,214 @@
+// Package tune closes the loop the paper argues for: model-predicted
+// costs and real measured performance diverge, so the plan a library
+// serves should ultimately be chosen by measurement.  Tune runs the
+// paper's model-pruned search with a measured-cost final stage — draw
+// random candidates, discard the ones the instruction model already
+// condemns, time the survivors for real through the compiled engine —
+// then registers the winner behind the serving path (exec.ForSize) and
+// records it in a process-wide wisdom store that SaveWisdom/LoadWisdom
+// persist across restarts.
+package tune
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/wisdom"
+)
+
+// Options bounds a tuning run.  The zero value is a sensible quick tune:
+// 24 random candidates, the best quarter measured for real, plus the
+// canonical baselines.
+type Options struct {
+	Candidates int                // random rsu candidates drawn (default 24)
+	KeepFrac   float64            // fraction surviving the model filter into real timing (default 0.25)
+	Seed       uint64             // sampling seed (default 1)
+	Workers    int                // goroutines for the model-filter phase (<= 1 sequential)
+	Timing     exec.TimingOptions // warmup/repeat/min-duration of each real measurement
+	LeafMax    int                // largest codelet log-size (default plan.MaxLeafLog)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Candidates <= 0 {
+		o.Candidates = 24
+	}
+	if o.KeepFrac <= 0 || o.KeepFrac > 1 {
+		o.KeepFrac = 0.25
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result is the outcome of one tuning run.
+type Result struct {
+	Plan       *plan.Node // the measured-fastest plan
+	NsPerRun   float64    // its measured median latency
+	BaselineNs float64    // the balanced default's latency from the same run
+	Measured   int        // real timings spent (model pruning, dedup, rematch included)
+}
+
+// rematchTiming doubles the measurement effort for the final head-to-head
+// (defaults filled in first so doubling acts on the real values).
+func rematchTiming(t exec.TimingOptions) exec.TimingOptions {
+	if t.Repeat < 3 {
+		t.Repeat = 3
+	}
+	if t.MinDuration <= 0 {
+		t.MinDuration = 2 * time.Millisecond
+	}
+	t.MinDuration *= 2
+	return t
+}
+
+// Tune finds a measured-fast plan for WHT(2^n), registers it as the plan
+// ForSize/Transform serve at that size, and records it in the process
+// wisdom store.  The measured candidate set always includes the balanced
+// default and the model-optimal DP plan, so the tuned result is never a
+// regression against the untuned serving path (up to timing noise).
+func Tune(n int, opt Options) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("tune: size 2^%d out of range", n)
+	}
+	opt = opt.withDefaults()
+	mach := machine.VirtualOpteron224()
+	model := search.NewModelCoster(mach.Cost) // forkable: the model phase parallelizes
+
+	// Phase 1: the paper's conclusion — spend cheap model evaluations to
+	// shortlist, and expensive measurements only on the shortlist.
+	sOpt := search.Options{LeafMax: opt.LeafMax, Workers: opt.Workers}
+	_, scored := search.Random(n, opt.Candidates, opt.Seed, model, sOpt)
+	shortlist := search.Shortlist(scored, opt.KeepFrac)
+
+	// Baselines first: index order breaks ties, so on a tie the balanced
+	// default wins and serving behavior does not churn.
+	candidates := []*plan.Node{plan.Balanced(n, leafMax(opt.LeafMax))}
+	candidates = append(candidates, search.DP(n, model, sOpt).Plan)
+	candidates = append(candidates, shortlist...)
+	candidates = dedupe(candidates)
+
+	// Phase 2: measure.  The memo table guards against duplicates that
+	// survive dedupe via forks; the measured coster serializes timings.
+	coster := search.Memoize(search.NewMeasuredCoster(opt.Timing))
+	best := search.Result{Plan: nil, Cost: 0}
+	for i, p := range candidates {
+		c := coster.Cost(p)
+		if i == 0 || c < best.Cost {
+			best = search.Result{Plan: p, Cost: c}
+		}
+	}
+	measured := len(candidates)
+	baselineNs := coster.Cost(candidates[0]) // memoized: no extra timing
+
+	// Phase 3: rematch.  One noisy pass on a busy host can crown the
+	// wrong plan, and serving must never churn onto a plan that cannot
+	// beat the balanced default head to head — so the winner and the
+	// baseline are re-timed back to back at double the duration, and the
+	// baseline keeps the slot on anything but a clear loss.
+	if baseline := candidates[0]; !best.Plan.Equal(baseline) {
+		rematch := search.NewMeasuredCoster(rematchTiming(opt.Timing))
+		bestNs := rematch.Cost(best.Plan)
+		baseNs := rematch.Cost(baseline)
+		measured += 2
+		baselineNs = baseNs
+		if baseNs <= bestNs {
+			best = search.Result{Plan: baseline, Cost: baseNs}
+		} else {
+			best.Cost = bestNs
+		}
+	}
+	res := Result{Plan: best.Plan, NsPerRun: best.Cost, BaselineNs: baselineNs, Measured: measured}
+
+	if err := exec.UseTunedPlan(res.Plan); err != nil {
+		return Result{}, fmt.Errorf("tune: %w", err)
+	}
+	store := processWisdom()
+	if _, err := store.Record(wisdom.Float64, res.Plan, res.NsPerRun); err != nil {
+		return Result{}, fmt.Errorf("tune: %w", err)
+	}
+	return res, nil
+}
+
+func leafMax(v int) int {
+	if v <= 0 || v > plan.MaxLeafLog {
+		return plan.MaxLeafLog
+	}
+	return v
+}
+
+// dedupe removes structurally identical plans, keeping first occurrences.
+func dedupe(plans []*plan.Node) []*plan.Node {
+	seen := make(map[uint64]bool, len(plans))
+	out := plans[:0]
+	for _, p := range plans {
+		if h := p.Hash(); !seen[h] {
+			seen[h] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// The process wisdom store: every Tune result accumulates here, and
+// SaveWisdom/LoadWisdom persist and restore it.
+var (
+	storeMu sync.Mutex
+	store   *wisdom.Wisdom
+)
+
+func processWisdom() *wisdom.Wisdom {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	if store == nil {
+		store = wisdom.New()
+	}
+	return store
+}
+
+// Wisdom exposes the process store (for inspection and tooling).
+func Wisdom() *wisdom.Wisdom { return processWisdom() }
+
+// SaveWisdom writes every plan tuned or loaded in this process to path.
+func SaveWisdom(path string) error {
+	return processWisdom().Save(path)
+}
+
+// LoadWisdom reads a wisdom file, merges it into the process store
+// (keeping the faster entry per size), and registers every float64 entry
+// as the plan the serving path uses for its size — the seed-from-wisdom
+// path: a fresh process that loads wisdom serves tuned plans from the
+// first Transform call on.
+func LoadWisdom(path string) error {
+	w, err := wisdom.Load(path)
+	if err != nil {
+		return err
+	}
+	if err := processWisdom().Merge(w); err != nil {
+		return err
+	}
+	for _, e := range w.Entries() {
+		if e.Type != wisdom.Float64 {
+			continue
+		}
+		// Entries are validated by wisdom.Load, so the plan parses.
+		if err := exec.UseTunedPlan(plan.MustParse(e.Plan)); err != nil {
+			return fmt.Errorf("tune: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reset drops the process wisdom store and every registered tuned plan,
+// restoring the untuned defaults (tests and benchmark baselines).
+func Reset() {
+	storeMu.Lock()
+	store = wisdom.New()
+	storeMu.Unlock()
+	exec.ResetTunedPlans()
+}

@@ -1,0 +1,278 @@
+// Package wisdom is the persistent plan registry of the library — the
+// FFTW-wisdom analogue the measured-cost tuner feeds and the serving path
+// loads.  A wisdom store maps (transform log-size, element type) to the
+// fastest plan measured so far on one machine, identified by a runtime
+// fingerprint; stores serialize to a small versioned JSON file so a
+// tune-once/serve-forever deployment can carry its tuning results across
+// process restarts.
+//
+// The file format (version 1):
+//
+//	{
+//	  "version": 1,
+//	  "fingerprint": {"os": "linux", "arch": "amd64", "maxprocs": 8},
+//	  "entries": [
+//	    {"n": 18, "type": "float64",
+//	     "plan": "split[small[6],split[small[4],small[8]]]",
+//	     "ns_per_run": 1234567.8}
+//	  ]
+//	}
+//
+// Every plan string must parse in the WHT package grammar, validate, and
+// match its entry's log-size; Load rejects files that fail any of these
+// checks, carry an unknown version, or were measured under a different
+// fingerprint (measured timings do not transfer across machines or
+// GOMAXPROCS settings).
+package wisdom
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// FormatVersion is the serialization version this package reads and
+// writes.
+const FormatVersion = 1
+
+// Element types an entry can be measured under.
+const (
+	Float64 = "float64"
+	Float32 = "float32"
+)
+
+// Fingerprint identifies the machine and runtime shape a measurement was
+// taken on.  Measured plan timings are only meaningful on a matching
+// fingerprint.
+type Fingerprint struct {
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	MaxProcs int    `json:"maxprocs"`
+}
+
+// CurrentFingerprint returns the fingerprint of the running process.
+func CurrentFingerprint() Fingerprint {
+	return Fingerprint{OS: runtime.GOOS, Arch: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// Entry is one tuned-plan record.
+type Entry struct {
+	N        int     `json:"n"`          // transform log-size
+	Type     string  `json:"type"`       // element type: "float64" or "float32"
+	Plan     string  `json:"plan"`       // plan in the WHT package grammar
+	NsPerRun float64 `json:"ns_per_run"` // measured median latency
+}
+
+// Key identifies an entry: one tuned plan per (size, element type).
+type Key struct {
+	N    int
+	Type string
+}
+
+// Wisdom is an in-memory store of tuned plans for one fingerprint.  It is
+// safe for concurrent use.
+type Wisdom struct {
+	mu      sync.Mutex
+	fp      Fingerprint
+	entries map[Key]Entry
+}
+
+// New returns an empty store fingerprinted for the running process.
+func New() *Wisdom { return NewFor(CurrentFingerprint()) }
+
+// NewFor returns an empty store for an explicit fingerprint (tests,
+// cross-machine tooling).
+func NewFor(fp Fingerprint) *Wisdom {
+	return &Wisdom{fp: fp, entries: make(map[Key]Entry)}
+}
+
+// Fingerprint returns the store's machine fingerprint.
+func (w *Wisdom) Fingerprint() Fingerprint { return w.fp }
+
+// Len returns the number of entries.
+func (w *Wisdom) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// Record stores a measured plan, keeping the faster of the new and any
+// existing entry for the same (size, type) key.  It reports whether the
+// new measurement became (or stayed) the stored one.
+func (w *Wisdom) Record(typ string, p *plan.Node, nsPerRun float64) (bool, error) {
+	if err := validType(typ); err != nil {
+		return false, err
+	}
+	if p == nil {
+		return false, fmt.Errorf("wisdom: nil plan")
+	}
+	if err := p.Validate(); err != nil {
+		return false, fmt.Errorf("wisdom: %w", err)
+	}
+	if nsPerRun <= 0 {
+		return false, fmt.Errorf("wisdom: non-positive measurement %g", nsPerRun)
+	}
+	e := Entry{N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.keepFaster(e), nil
+}
+
+// keepFaster installs e unless a strictly faster entry already holds its
+// key.  Callers hold w.mu.
+func (w *Wisdom) keepFaster(e Entry) bool {
+	k := Key{N: e.N, Type: e.Type}
+	if old, ok := w.entries[k]; ok && old.NsPerRun <= e.NsPerRun {
+		return false
+	}
+	w.entries[k] = e
+	return true
+}
+
+// Lookup returns the stored plan and measured ns/run for (n, typ).
+func (w *Wisdom) Lookup(n int, typ string) (*plan.Node, float64, bool) {
+	w.mu.Lock()
+	e, ok := w.entries[Key{N: n, Type: typ}]
+	w.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	// Entries are validated on the way in, so the stored string parses.
+	return plan.MustParse(e.Plan), e.NsPerRun, true
+}
+
+// Entries returns the records sorted by (size, type) — a deterministic
+// order for serialization and display.
+func (w *Wisdom) Entries() []Entry {
+	w.mu.Lock()
+	out := make([]Entry, 0, len(w.entries))
+	for _, e := range w.entries {
+		out = append(out, e)
+	}
+	w.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].N != out[b].N {
+			return out[a].N < out[b].N
+		}
+		return out[a].Type < out[b].Type
+	})
+	return out
+}
+
+// Merge folds other into w, keeping the faster entry per key.  The
+// fingerprints must match: timings from a different machine shape are not
+// comparable.
+func (w *Wisdom) Merge(other *Wisdom) error {
+	if other == nil {
+		return nil
+	}
+	if other.fp != w.fp {
+		return fmt.Errorf("wisdom: cannot merge fingerprint %+v into %+v", other.fp, w.fp)
+	}
+	for _, e := range other.Entries() {
+		w.mu.Lock()
+		w.keepFaster(e)
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// file is the serialized form.
+type file struct {
+	Version     int         `json:"version"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Entries     []Entry     `json:"entries"`
+}
+
+// Save writes the store to path as versioned JSON (atomically: a temp
+// file in the same directory renamed over the target).
+func (w *Wisdom) Save(path string) error {
+	f := file{Version: FormatVersion, Fingerprint: w.fp, Entries: w.Entries()}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".wisdom-*")
+	if err != nil {
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	return nil
+}
+
+// Load reads a wisdom file for the running process: LoadFor with the
+// current fingerprint.
+func Load(path string) (*Wisdom, error) {
+	return LoadFor(path, CurrentFingerprint())
+}
+
+// LoadFor reads and validates a wisdom file, rejecting unknown versions,
+// fingerprints other than fp, and any structurally invalid entry (a plan
+// that fails to parse or validate, a size mismatch, an unknown element
+// type, or a non-positive measurement).  Duplicate keys in the file fold
+// to the faster entry.
+func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wisdom: %w", err)
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wisdom: corrupt file %s: %w", path, err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("wisdom: %s has format version %d, want %d", path, f.Version, FormatVersion)
+	}
+	if f.Fingerprint != fp {
+		return nil, fmt.Errorf("wisdom: %s was measured on %+v, this process is %+v", path, f.Fingerprint, fp)
+	}
+	w := NewFor(fp)
+	for i, e := range f.Entries {
+		if err := validType(e.Type); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if e.NsPerRun <= 0 {
+			return nil, fmt.Errorf("wisdom: %s entry %d: non-positive measurement %g", path, i, e.NsPerRun)
+		}
+		p, err := plan.Parse(e.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if p.Log2Size() != e.N {
+			return nil, fmt.Errorf("wisdom: %s entry %d: plan size 2^%d does not match n=%d",
+				path, i, p.Log2Size(), e.N)
+		}
+		w.mu.Lock()
+		w.keepFaster(e)
+		w.mu.Unlock()
+	}
+	return w, nil
+}
+
+func validType(typ string) error {
+	if typ != Float64 && typ != Float32 {
+		return fmt.Errorf("wisdom: unknown element type %q", typ)
+	}
+	return nil
+}

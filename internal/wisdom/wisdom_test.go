@@ -1,0 +1,162 @@
+package wisdom
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestRoundTripBothElementTypes(t *testing.T) {
+	p64 := plan.MustParse("split[small[4],split[small[6],small[8]]]")
+	p32 := plan.MustParse("split[small[8],small[8],small[2]]")
+	w := New()
+	if _, err := w.Record(Float64, p64, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Record(Float32, p32, 900); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", loaded.Len())
+	}
+	got64, ns64, ok := loaded.Lookup(18, Float64)
+	if !ok || !got64.Equal(p64) || ns64 != 1500 {
+		t.Fatalf("float64 lookup = (%v, %g, %v)", got64, ns64, ok)
+	}
+	got32, ns32, ok := loaded.Lookup(18, Float32)
+	if !ok || !got32.Equal(p32) || ns32 != 900 {
+		t.Fatalf("float32 lookup = (%v, %g, %v)", got32, ns32, ok)
+	}
+	if _, _, ok := loaded.Lookup(7, Float64); ok {
+		t.Fatal("lookup of untuned size succeeded")
+	}
+}
+
+func TestRecordKeepsFasterEntry(t *testing.T) {
+	w := New()
+	fast := plan.MustParse("split[small[5],small[5]]")
+	slow := plan.MustParse("split[small[2],small[8]]")
+	if kept, _ := w.Record(Float64, fast, 100); !kept {
+		t.Fatal("first record not kept")
+	}
+	if kept, _ := w.Record(Float64, slow, 200); kept {
+		t.Fatal("slower record displaced a faster one")
+	}
+	if p, ns, _ := w.Lookup(10, Float64); !p.Equal(fast) || ns != 100 {
+		t.Fatalf("lookup = (%v, %g), want the faster entry", p, ns)
+	}
+	if kept, _ := w.Record(Float64, slow, 50); !kept {
+		t.Fatal("faster record rejected")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestRecordRejectsBadInput(t *testing.T) {
+	w := New()
+	good := plan.MustParse("small[3]")
+	if _, err := w.Record("complex128", good, 10); err == nil {
+		t.Fatal("unknown element type accepted")
+	}
+	if _, err := w.Record(Float64, nil, 10); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := w.Record(Float64, new(plan.Node), 10); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if _, err := w.Record(Float64, good, 0); err == nil {
+		t.Fatal("non-positive measurement accepted")
+	}
+}
+
+func TestMergeKeepsFasterPerKeyAndUnionsKeys(t *testing.T) {
+	a, b := New(), New()
+	pa := plan.MustParse("split[small[4],small[4]]")
+	pb := plan.MustParse("split[small[2],small[6]]")
+	other := plan.MustParse("split[small[6],small[6]]")
+	a.Record(Float64, pa, 100)
+	b.Record(Float64, pb, 50) // same key, faster
+	b.Record(Float64, other, 300)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if p, ns, _ := a.Lookup(8, Float64); !p.Equal(pb) || ns != 50 {
+		t.Fatalf("merge kept (%v, %g), want the faster entry", p, ns)
+	}
+	if p, _, ok := a.Lookup(12, Float64); !ok || !p.Equal(other) {
+		t.Fatal("merge dropped a disjoint key")
+	}
+
+	foreign := NewFor(Fingerprint{OS: "plan9", Arch: "mips", MaxProcs: 1})
+	foreign.Record(Float64, pa, 10)
+	if err := a.Merge(foreign); err == nil {
+		t.Fatal("merge across fingerprints accepted")
+	}
+}
+
+func TestLoadRejectsCorruptAndMismatchedFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	entry := func(n int, p, typ string, ns float64) string {
+		e, _ := json.Marshal(Entry{N: n, Type: typ, Plan: p, NsPerRun: ns})
+		return string(e)
+	}
+	fp, _ := json.Marshal(CurrentFingerprint())
+	valid := func(entries ...string) string {
+		return `{"version": 1, "fingerprint": ` + string(fp) + `, "entries": [` +
+			strings.Join(entries, ",") + `]}`
+	}
+
+	cases := map[string]string{
+		"garbage":      "not json at all{",
+		"bad-version":  `{"version": 99, "fingerprint": ` + string(fp) + `, "entries": []}`,
+		"bad-machine":  `{"version": 1, "fingerprint": {"os": "plan9", "arch": "mips", "maxprocs": 1}, "entries": []}`,
+		"bad-plan":     valid(entry(4, "split[small[9000]]", Float64, 10)),
+		"size-clash":   valid(entry(5, "split[small[2],small[2]]", Float64, 10)),
+		"bad-type":     valid(entry(4, "split[small[2],small[2]]", "int8", 10)),
+		"bad-ns":       valid(entry(4, "split[small[2],small[2]]", Float64, -1)),
+		"missing-file": "", // never written; path below
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, "missing.json")
+		if content != "" {
+			path = write(name+".json", content)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: Load accepted a bad file", name)
+		}
+	}
+
+	// Sanity: the valid shape loads, and duplicate keys fold to faster.
+	path := write("ok.json", valid(
+		entry(4, "split[small[2],small[2]]", Float64, 100),
+		entry(4, "split[small[1],small[3]]", Float64, 40),
+	))
+	w, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ns, _ := w.Lookup(4, Float64); ns != 40 || p.String() != "split[small[1],small[3]]" {
+		t.Fatalf("duplicate fold kept (%v, %g)", p, ns)
+	}
+}

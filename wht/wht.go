@@ -34,11 +34,26 @@
 //
 // or hand the whole batch over: wht.ApplyBatch(p, vectors).
 //
-// Autotuning:
+// Model-driven search on the virtual machine:
 //
 //	mach := wht.NewMachine()
 //	best := wht.SearchDP(20, wht.VirtualCycles(mach), wht.SearchOptions{})
 //	_ = wht.Apply(best.Plan, x)
+//
+// Autotuning with real measurements and persistent wisdom: Tune runs the
+// paper's model-pruned search with a measured-cost final stage (each
+// surviving candidate is compiled and timed for real), registers the
+// winner behind Transform's schedule cache, and records it in a process
+// wisdom store.  SaveWisdom/LoadWisdom persist that store as a small
+// versioned JSON file keyed by a machine fingerprint
+// (GOOS/GOARCH/GOMAXPROCS), so a fresh process serves tuned plans from
+// its first Transform call:
+//
+//	res, _ := wht.Tune(18, wht.TuneOptions{})
+//	_ = wht.SaveWisdom("wht-wisdom.json")   // tune once ...
+//	// ... later, in a new process:
+//	_ = wht.LoadWisdom("wht-wisdom.json")   // ... serve forever
+//	_ = wht.Transform(x)                    // uses the tuned plan
 package wht
 
 import (
@@ -50,6 +65,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/theory"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/wht"
 )
 
@@ -201,12 +217,34 @@ var Combined = core.Combined
 
 // Search API.
 type (
-	// SearchCost scores a plan (lower is better).
+	// SearchCost scores a plan (lower is better).  It satisfies Coster,
+	// so functors and closures plug into every search.
 	SearchCost = search.Cost
+	// Coster is the unified scoring abstraction: the closed-form model,
+	// the virtual-cycle simulator, and real measured execution are
+	// interchangeable backends behind it.  Fork yields per-goroutine
+	// evaluators for concurrent search (SearchOptions.Workers > 1).
+	Coster = search.Coster
 	// SearchOptions bounds the searches.
 	SearchOptions = search.Options
 	// SearchResult is a plan with its cost.
 	SearchResult = search.Result
+)
+
+// Coster backends and combinators.
+var (
+	// NewModelCoster is the forkable closed-form instruction-model
+	// backend (stateless, parallelizes freely).
+	NewModelCoster = search.NewModelCoster
+	// NewCycleCoster is the concurrency-safe virtual-cycle backend (one
+	// tracer per fork).
+	NewCycleCoster = search.NewCycleCoster
+	// NewMeasuredCoster compiles and times candidates for real — the
+	// backend that closes the model/measurement gap the paper documents.
+	NewMeasuredCoster = search.NewMeasuredCoster
+	// Memoize wraps a Coster with a concurrent plan-hash memo shared
+	// across forks.
+	Memoize = search.Memoize
 )
 
 var (
@@ -231,6 +269,46 @@ var (
 
 // AnnealOptions tunes SearchAnneal.
 type AnnealOptions = search.AnnealOptions
+
+// Autotuning: measured-cost search plus persistent wisdom.
+type (
+	// TimingOptions controls real-execution timing (warmup runs, timed
+	// repetitions, minimum duration per repetition).
+	TimingOptions = exec.TimingOptions
+	// TuneOptions bounds a tuning run.
+	TuneOptions = tune.Options
+	// TuneResult is the outcome of a tuning run.
+	TuneResult = tune.Result
+	// CacheStats counts schedule-cache traffic (hits/misses/evictions).
+	CacheStats = exec.CacheStats
+)
+
+var (
+	// TimeSchedule measures the median real per-run latency of a
+	// compiled schedule in nanoseconds — the shared timing loop behind
+	// the measured-cost search backend and the tuner.
+	TimeSchedule = exec.TimeSchedule
+	// Tune finds a measured-fast plan for WHT(2^n), serves it from the
+	// schedule cache behind Transform, and records it in the process
+	// wisdom store.
+	Tune = tune.Tune
+	// SaveWisdom persists every plan tuned or loaded in this process.
+	SaveWisdom = tune.SaveWisdom
+	// LoadWisdom restores a wisdom file and serves its plans from the
+	// schedule cache (rejecting corrupt, mis-versioned, or
+	// wrong-machine-fingerprint files).
+	LoadWisdom = tune.LoadWisdom
+	// ResetTuning drops tuned plans and wisdom, restoring the untuned
+	// balanced defaults.
+	ResetTuning = tune.Reset
+	// ScheduleCacheStats reports traffic counters of the process-wide
+	// schedule cache behind Transform/Transform32.
+	ScheduleCacheStats = exec.DefaultCacheStats
+	// ScheduleForSize returns the process-wide cached schedule serving
+	// WHT(2^n): the tuned plan when one is registered, the balanced
+	// default otherwise.
+	ScheduleForSize = exec.ForSize
+)
 
 // Record is a flat measurement row; Collect measures plans in parallel.
 type Record = dataset.Record
