@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/figures"
@@ -389,6 +390,39 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Stage-shape kernel variants at the paper's sizes: the same plan
+// compiled strided-only (the legacy engine), contiguous-only, and with
+// full variant dispatch (contiguous + interleaved).  The balanced plan's
+// last stage runs at S up to 2^(n-8), the stride regime where the
+// interleaved kernel's unit-stride streaming passes beat the strided
+// walk's cache-hostile access pattern.
+func BenchmarkVariantStages(b *testing.B) {
+	policies := []struct {
+		name string
+		pol  codelet.Policy
+	}{
+		{"strided", codelet.Policy{StridedOnly: true}},
+		{"contig", codelet.Policy{ILMinS: -1}},
+		{"contig+il", codelet.DefaultPolicy()},
+	}
+	for _, n := range []int{16, 17, 18, 19, 20} {
+		p := plan.Balanced(n, plan.MaxLeafLog)
+		x := make([]float64, 1<<n)
+		for i := range x {
+			x[i] = float64(i&15) - 7.5
+		}
+		for _, pc := range policies {
+			sched := exec.CompileWith(p, pc.pol)
+			b.Run(fmt.Sprintf("n=%d/%s", n, pc.name), func(b *testing.B) {
+				b.SetBytes(int64(8 << n))
+				for i := 0; i < b.N; i++ {
+					exec.MustRun(sched, x)
+				}
+			})
+		}
+	}
 }
 
 // Measured-cost autotuning vs the balanced default at the paper's hard

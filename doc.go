@@ -3,13 +3,16 @@
 // Algorithms", IPPS 2007).  The public API lives in package repro/wht;
 // plans are evaluated by the compiled execution engine of
 // repro/internal/exec, which flattens each split tree once into a linear
-// schedule of butterfly stages and replays it for single vectors, strided
-// views, batches, and parallel runs.  The measured-cost autotuner
+// schedule of butterfly stages — each stage specialized at compile time
+// to a shape-matched kernel variant (strided, contiguous, or interleaved;
+// see internal/codelet.Variant) — and replays it for single vectors,
+// strided views, batches, and parallel runs.  The measured-cost autotuner
 // (wht.Tune, cmd/whttune) searches over real timings of compiled
 // schedules, serves the winner from the process-wide schedule cache, and
 // persists it across restarts as a fingerprinted wisdom file
-// (wht.SaveWisdom/LoadWisdom) — the paper's conclusion that search must
-// be driven by measurements, closed end to end.  The root package exists
+// (wht.SaveWisdom/LoadWisdom), now including the kernel-variant policy
+// the winner was measured under — the paper's conclusion that search
+// must be driven by measurements, closed end to end.  The root package exists
 // to host the paper-figure and engine benchmark harness (bench_test.go).
 // See README.md for the quickstart and package map.
 package repro

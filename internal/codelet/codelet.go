@@ -1,9 +1,13 @@
 // Package codelet provides the unrolled base-case kernels ("small" codelets)
-// of the WHT package: straight-line in-place transforms of size 2^1..2^8 on
-// strided vectors, plus a generic loop kernel for arbitrary sizes.
+// of the WHT package: straight-line in-place transforms of size 2^1..2^8,
+// plus generic loop kernels for arbitrary sizes.
 //
-// The unrolled kernels in codelets_gen.go are produced by cmd/whtgen
-// (go generate ./internal/codelet) in the style of SPIRAL's code generator.
+// Each log-size carries three stage-shape variants (see Variant): the
+// generic strided form, the stride-1 contiguous specialization, and the
+// interleaved form that absorbs a stage's inner k-loop.  The unrolled
+// kernels in codelets_gen.go / codelets32_gen.go are produced by
+// cmd/whtgen (go generate ./internal/codelet) in the style of SPIRAL's
+// code generator.
 package codelet
 
 //go:generate go run ../../cmd/whtgen -max 8 -out codelets_gen.go
@@ -18,8 +22,25 @@ type Kernel func(x []float64, base, stride int)
 // boundaries).
 type Kernel32 func(x []float32, base, stride int)
 
-// For returns the unrolled kernel for log2 size m, or nil if none was
-// generated.
+// ContigKernel computes an in-place WHT(2^m) on the contiguous vector
+// x[base : base+2^m] — the stride-1 specialization whose constant slice
+// indexing the compiler can bounds-check-eliminate.
+type ContigKernel func(x []float64, base int)
+
+// ContigKernel32 is the single-precision contiguous kernel.
+type ContigKernel32 func(x []float32, base int)
+
+// ILKernel computes s interleaved in-place WHT(2^m)s on the contiguous
+// block x[base : base+s*2^m]: vector k (k < s) occupies x[base + k + j*s].
+// One call replaces the s strided kernel calls of a stage's j-row, with
+// every inner loop unit-stride (the WHT package's "IL" optimization).
+type ILKernel func(x []float64, base, s int)
+
+// ILKernel32 is the single-precision interleaved kernel.
+type ILKernel32 func(x []float32, base, s int)
+
+// For returns the unrolled strided kernel for log2 size m, or nil if none
+// was generated.
 func For(m int) Kernel {
 	if m < 1 || m > GeneratedMaxLog {
 		return nil
@@ -27,12 +48,44 @@ func For(m int) Kernel {
 	return Kernels[m]
 }
 
-// For32 returns the unrolled float32 kernel for log2 size m, or nil.
+// For32 returns the unrolled float32 strided kernel for log2 size m, or nil.
 func For32(m int) Kernel32 {
 	if m < 1 || m > GeneratedMaxLog {
 		return nil
 	}
 	return Kernels32[m]
+}
+
+// ForContig returns the unrolled contiguous kernel for log2 size m, or nil.
+func ForContig(m int) ContigKernel {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return ContigKernels[m]
+}
+
+// ForContig32 returns the unrolled float32 contiguous kernel, or nil.
+func ForContig32(m int) ContigKernel32 {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return ContigKernels32[m]
+}
+
+// ForIL returns the unrolled interleaved kernel for log2 size m, or nil.
+func ForIL(m int) ILKernel {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return ILKernels[m]
+}
+
+// ForIL32 returns the unrolled float32 interleaved kernel, or nil.
+func ForIL32(m int) ILKernel32 {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return ILKernels32[m]
 }
 
 // Generic computes an in-place WHT(2^m) on a strided vector using the

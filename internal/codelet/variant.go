@@ -1,0 +1,221 @@
+package codelet
+
+import "fmt"
+
+// Variant identifies the stage-shape-specialized form of a kernel.  The
+// paper's analysis turns on how a stage's (R, 2^m, S) shape drives memory
+// behavior: stride-1 leaves stream through cache while large-S stages
+// thrash it.  The engine therefore carries three codelet forms per
+// log-size and picks one per compiled stage:
+//
+//   - Strided: the generic x[base + j*stride] form — works in every
+//     calling context (including non-unit outer strides) but is
+//     compiler-hostile: every access is a scaled-index load the bounds
+//     checker cannot reason about.
+//   - Contiguous: the stride-1 specialization.  The kernel slices
+//     x[base : base+2^m] once with a constant length, so every butterfly
+//     access is a constant index the compiler proves in bounds.
+//   - Interleaved: the WHT package's "IL" optimization — one call absorbs
+//     the stage's inner k-loop, transforming the S adjacent strided
+//     vectors of a j-row together.  Because vector k of a stage lives at
+//     x[base + k + j*S], the set of elements {(j', k) : j' fixed-level
+//     pair, k < S} is a contiguous run of length h*S, so every inner loop
+//     is unit-stride: the stage streams through memory instead of hopping
+//     by S per access.
+type Variant uint8
+
+const (
+	// Strided is the generic x[base + j*stride] kernel form.
+	Strided Variant = iota
+	// Contiguous is the stride-1 specialization (constant slice indexing).
+	Contiguous
+	// Interleaved absorbs the inner k-loop: one call transforms S adjacent
+	// strided vectors with unit-stride inner access.
+	Interleaved
+
+	numVariants
+)
+
+// NumVariants is the number of kernel variants the registry carries.
+const NumVariants = int(numVariants)
+
+// String returns the short name used in schedule and trace output.
+func (v Variant) String() string {
+	switch v {
+	case Strided:
+		return "strided"
+	case Contiguous:
+		return "contig"
+	case Interleaved:
+		return "il"
+	}
+	return fmt.Sprintf("variant(%d)", uint8(v))
+}
+
+// DefaultILMinS is the default smallest stage S for which the interleaved
+// kernel is selected over the strided one.  Below it the strided codelet's
+// register-resident single pass (2 memory ops per element) beats the
+// interleaved kernel's m streaming passes (2m memory ops per element),
+// because the stage's whole 2^m * S footprint still sits in a few cache
+// lines per call; above it the unit-stride streaming wins back the cache
+// and TLB misses the strided walk pays.  The value was measured on the
+// BenchmarkVariantStages shapes (n = 16..20): thresholds from one cache
+// line (8) up to 256 are within ~10% of each other, with 64 the
+// consistent optimum at the out-of-cache sizes — and the tuner's policy
+// sweep re-decides it per size anyway.
+const DefaultILMinS = 64
+
+// Policy selects a kernel variant from a stage's (m, S) shape.  The zero
+// value is the library default (contiguous at S == 1, interleaved at
+// S >= DefaultILMinS, strided between).  Policies are plain data so the
+// tuner can explore them and wisdom files can round-trip the choice.
+type Policy struct {
+	// ILMinS is the smallest S at which the interleaved variant is chosen.
+	// 0 selects DefaultILMinS; a negative value disables the interleaved
+	// variant entirely.
+	ILMinS int
+	// StridedOnly forces the legacy strided kernel for every stage — the
+	// benchmark baseline and the escape hatch for contexts the shaped
+	// kernels cannot serve.
+	StridedOnly bool
+}
+
+// DefaultPolicy returns the default selection policy (the zero value).
+func DefaultPolicy() Policy { return Policy{} }
+
+// Select picks the variant for a stage applying WHT(2^m) kernels at
+// stride s (the stage's I(S) factor).
+func (p Policy) Select(m, s int) Variant {
+	if p.StridedOnly {
+		return Strided
+	}
+	if s == 1 {
+		return Contiguous
+	}
+	min := p.ILMinS
+	if min == 0 {
+		min = DefaultILMinS
+	}
+	if min > 0 && s >= min {
+		return Interleaved
+	}
+	return Strided
+}
+
+// GenericContig computes an in-place WHT(2^m) on the contiguous vector
+// x[base : base+2^m] — the stride-1 loop kernel the engine falls back to
+// when no unrolled contiguous codelet was generated.
+func GenericContig(x []float64, base, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n]
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for j := range lo {
+				a, b := lo[j], hi[j]
+				lo[j] = a + b
+				hi[j] = a - b
+			}
+		}
+	}
+}
+
+// GenericContig32 is the float32 contiguous loop kernel.
+func GenericContig32(x []float32, base, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n]
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for j := range lo {
+				a, b := lo[j], hi[j]
+				lo[j] = a + b
+				hi[j] = a - b
+			}
+		}
+	}
+}
+
+// GenericIL computes s interleaved in-place WHT(2^m)s on the contiguous
+// block x[base : base+s*2^m]: vector k (k < s) occupies the elements
+// x[base + k + j*s], j < 2^m.  At butterfly level h the pair (j, j+h)
+// across all k is exactly the contiguous run [j*s, (j+h)*s) against
+// [(j+h)*s, (j+2h)*s), so every inner loop is unit-stride regardless of s.
+func GenericIL(x []float64, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	for h := s; h < n*s; h <<= 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for k := range lo {
+				a, b := lo[k], hi[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+	}
+}
+
+// GenericIL32 is the float32 interleaved loop kernel.
+func GenericIL32(x []float32, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	for h := s; h < n*s; h <<= 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for k := range lo {
+				a, b := lo[k], hi[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+	}
+}
+
+// GenericILRange is GenericIL restricted to the vector sub-range
+// [kLo, kHi) of the s interleaved vectors — the splitting primitive the
+// parallel executor uses when a worker's share of an interleaved stage
+// covers only part of a j-row.  The inner loops stay unit-stride (runs of
+// kHi-kLo adjacent elements).
+func GenericILRange(x []float64, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*s
+				hi := lo + h*s
+				for k := kLo; k < kHi; k++ {
+					a, b := x[lo+k], x[hi+k]
+					x[lo+k] = a + b
+					x[hi+k] = a - b
+				}
+			}
+		}
+	}
+}
+
+// GenericILRange32 is the float32 interleaved range kernel.
+func GenericILRange32(x []float32, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*s
+				hi := lo + h*s
+				for k := kLo; k < kHi; k++ {
+					a, b := x[lo+k], x[hi+k]
+					x[lo+k] = a + b
+					x[hi+k] = a - b
+				}
+			}
+		}
+	}
+}

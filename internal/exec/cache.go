@@ -3,6 +3,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -167,27 +168,39 @@ func (c *ScheduleCache) unlink(e *cacheEntry) {
 // engine can address.
 var defaultCache = NewScheduleCache(32)
 
-// tunedPlans maps log-size to the plan a tuner registered as preferred.
-// ForSize compiles from it instead of plan.Balanced, including when the
-// LRU has evicted the compiled schedule — a tuned size stays tuned for
-// the life of the process (or until ResetTunedPlans).
+// tunedPlans maps log-size to the plan (and variant policy) a tuner
+// registered as preferred.  ForSize compiles from it instead of
+// plan.Balanced, including when the LRU has evicted the compiled schedule
+// — a tuned size stays tuned for the life of the process (or until
+// ResetTunedPlans).
+type tunedEntry struct {
+	plan   *plan.Node
+	policy codelet.Policy
+}
+
 var (
 	tunedMu    sync.RWMutex
-	tunedPlans = map[int]*plan.Node{}
+	tunedPlans = map[int]tunedEntry{}
 )
 
-// UseTunedPlan registers p as the preferred plan behind ForSize for its
-// size and seeds the default cache with its compiled schedule, so the
-// next Transform at that length is served from the tuned plan with zero
-// build work.  The plan is validated and compiled before anything is
-// published.
+// UseTunedPlan registers p (compiled under the default variant policy) as
+// the preferred plan behind ForSize for its size; see UseTunedPlanPolicy.
 func UseTunedPlan(p *plan.Node) error {
-	s, err := NewSchedule(p)
+	return UseTunedPlanPolicy(p, codelet.DefaultPolicy())
+}
+
+// UseTunedPlanPolicy registers p, compiled under pol, as the preferred
+// plan behind ForSize for its size and seeds the default cache with its
+// compiled schedule, so the next Transform at that length is served from
+// the tuned plan with zero build work.  The plan is validated and
+// compiled before anything is published.
+func UseTunedPlanPolicy(p *plan.Node, pol codelet.Policy) error {
+	s, err := NewScheduleWith(p, pol)
 	if err != nil {
 		return err
 	}
 	tunedMu.Lock()
-	tunedPlans[s.Log2Size()] = p
+	tunedPlans[s.Log2Size()] = tunedEntry{plan: p, policy: pol}
 	tunedMu.Unlock()
 	defaultCache.Warm(s.Log2Size(), s)
 	return nil
@@ -197,8 +210,17 @@ func UseTunedPlan(p *plan.Node) error {
 func TunedPlan(n int) (*plan.Node, bool) {
 	tunedMu.RLock()
 	defer tunedMu.RUnlock()
-	p, ok := tunedPlans[n]
-	return p, ok
+	e, ok := tunedPlans[n]
+	return e.plan, ok
+}
+
+// TunedPolicy returns the variant policy registered alongside the tuned
+// plan for log-size n (the default policy when the size is untuned).
+func TunedPolicy(n int) (codelet.Policy, bool) {
+	tunedMu.RLock()
+	defer tunedMu.RUnlock()
+	e, ok := tunedPlans[n]
+	return e.policy, ok
 }
 
 // ResetTunedPlans drops every registered tuned plan and purges the
@@ -206,7 +228,7 @@ func TunedPlan(n int) (*plan.Node, bool) {
 // by tests and by benchmarks that need an untuned baseline).
 func ResetTunedPlans() {
 	tunedMu.Lock()
-	tunedPlans = map[int]*plan.Node{}
+	tunedPlans = map[int]tunedEntry{}
 	tunedMu.Unlock()
 	defaultCache.Purge()
 }
@@ -218,12 +240,16 @@ func DefaultCacheStats() CacheStats {
 }
 
 // ForSize returns the process-wide cached schedule for WHT(2^n): the
-// tuned plan when one has been registered (UseTunedPlan, typically via a
-// wisdom file), the balanced codelet-leaved default otherwise.
+// tuned plan compiled under its tuned variant policy when one has been
+// registered (UseTunedPlanPolicy, typically via a wisdom file), the
+// balanced codelet-leaved default otherwise.
 func ForSize(n int) *Schedule {
 	return defaultCache.Get(n, func() *Schedule {
-		if p, ok := TunedPlan(n); ok {
-			return Compile(p)
+		tunedMu.RLock()
+		e, ok := tunedPlans[n]
+		tunedMu.RUnlock()
+		if ok {
+			return CompileWith(e.plan, e.policy)
 		}
 		return Compile(plan.Balanced(n, plan.MaxLeafLog))
 	})

@@ -20,6 +20,13 @@
 // the compile-once/run-many architecture of SPIRAL-generated code and
 // FFHT-style libraries.
 //
+// Compile additionally specializes each stage to a kernel variant chosen
+// from its shape (codelet.Policy): stride-1 stages run the contiguous
+// codelet, large-S stages run the interleaved codelet that absorbs the
+// inner k-loop into unit-stride streaming passes, and the rest run the
+// generic strided codelet — the stage-shape axis the paper identifies as
+// the dominant performance dimension.
+//
 // Schedules are immutable after Compile and safe for concurrent use; one
 // schedule serves both element types.
 package exec
@@ -44,12 +51,18 @@ type Float interface {
 // stride S.  All R*S calls of a stage touch pairwise disjoint elements, so
 // a stage may be executed in any order or concurrently; stages must run in
 // schedule order because stage i+1 reads what stage i wrote.
+//
+// V is the kernel variant the stage executes with when the outer buffer is
+// unit-stride (the common case); executors running inside a non-unit outer
+// stride (RunStrided, Apply2D columns) fall back to the strided kernel,
+// whose correctness does not depend on vector adjacency.
 type Stage struct {
 	M    int // kernel log-size: the stage applies WHT(2^M) kernels
 	R    int // outer repetitions (the I(R) factor)
 	S    int // inner repetitions and kernel stride (the I(S) factor)
 	SLog int // log2(S), for splitting the flattened (j, k) space
 	Blk  int // S << M: base step between consecutive j rows
+	V    codelet.Variant
 }
 
 // Calls returns the number of kernel invocations in the stage (R*S).
@@ -61,6 +74,7 @@ type Schedule struct {
 	n      int // log2 of the transform size
 	size   int // 2^n
 	stages []Stage
+	policy codelet.Policy
 }
 
 // Log2Size returns n such that the schedule computes WHT(2^n).
@@ -76,22 +90,28 @@ func (s *Schedule) Stages() []Stage { return s.stages }
 // NumStages returns the number of stages (= leaves of the source plan).
 func (s *Schedule) NumStages() int { return len(s.stages) }
 
-// String renders the schedule as its stage sequence, e.g.
-// "[I1 x W2^2 x I4] [I4 x W2^2 x I1]".
+// Policy returns the variant-selection policy the schedule was compiled
+// under.
+func (s *Schedule) Policy() codelet.Policy { return s.policy }
+
+// String renders the schedule as its stage sequence with the selected
+// kernel variant per stage, e.g.
+// "[I1 x W2^2 x I4 strided] [I4 x W2^2 x I1 contig]".
 func (s *Schedule) String() string {
 	out := ""
 	for i, st := range s.stages {
 		if i > 0 {
 			out += " "
 		}
-		out += fmt.Sprintf("[I%d x W2^%d x I%d]", st.R, st.M, st.S)
+		out += fmt.Sprintf("[I%d x W2^%d x I%d %s]", st.R, st.M, st.S, st.V)
 	}
 	return out
 }
 
-// Compile flattens the plan into a schedule.  It panics on a nil or
-// structurally invalid plan (plans built with plan.Leaf/Split/Parse are
-// always valid); use NewSchedule to get an error instead.
+// Compile flattens the plan into a schedule under the default variant
+// policy.  It panics on a nil or structurally invalid plan (plans built
+// with plan.Leaf/Split/Parse are always valid); use NewSchedule to get an
+// error instead.
 func Compile(p *plan.Node) *Schedule {
 	s, err := NewSchedule(p)
 	if err != nil {
@@ -100,8 +120,24 @@ func Compile(p *plan.Node) *Schedule {
 	return s
 }
 
-// NewSchedule flattens the plan into a schedule, or reports why it cannot.
+// CompileWith is Compile under an explicit variant-selection policy.
+func CompileWith(p *plan.Node, pol codelet.Policy) *Schedule {
+	s, err := NewScheduleWith(p, pol)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSchedule flattens the plan into a schedule under the default variant
+// policy, or reports why it cannot.
 func NewSchedule(p *plan.Node) (*Schedule, error) {
+	return NewScheduleWith(p, codelet.DefaultPolicy())
+}
+
+// NewScheduleWith flattens the plan into a schedule, selecting each
+// stage's kernel variant with pol.
+func NewScheduleWith(p *plan.Node, pol codelet.Policy) (*Schedule, error) {
 	if p == nil {
 		return nil, fmt.Errorf("exec: nil plan")
 	}
@@ -112,8 +148,9 @@ func NewSchedule(p *plan.Node) (*Schedule, error) {
 		n:      p.Log2Size(),
 		size:   p.Size(),
 		stages: make([]Stage, 0, p.CountLeaves()),
+		policy: pol,
 	}
-	flatten(p, 1, 1, &s.stages)
+	flatten(p, 1, 1, pol, &s.stages)
 	return s, nil
 }
 
@@ -124,14 +161,16 @@ func NewSchedule(p *plan.Node) (*Schedule, error) {
 // index algebra collapses exactly because sibling sizes multiply to the
 // parent size, so the canonical two-loop base pattern is closed under the
 // recursion.
-func flatten(p *plan.Node, r, s int, out *[]Stage) {
+func flatten(p *plan.Node, r, s int, pol codelet.Policy, out *[]Stage) {
 	if p.IsLeaf() {
+		m := p.Log2Size()
 		*out = append(*out, Stage{
-			M:    p.Log2Size(),
+			M:    m,
 			R:    r,
 			S:    s,
 			SLog: log2(s),
-			Blk:  s << uint(p.Log2Size()),
+			Blk:  s << uint(m),
+			V:    pol.Select(m, s),
 		})
 		return
 	}
@@ -141,7 +180,7 @@ func flatten(p *plan.Node, r, s int, out *[]Stage) {
 	for i := len(kids) - 1; i >= 0; i-- {
 		c := kids[i]
 		rLoc /= c.Size()
-		flatten(c, r*rLoc, sLoc*s, out)
+		flatten(c, r*rLoc, sLoc*s, pol, out)
 		sLoc *= c.Size()
 	}
 }
@@ -154,43 +193,77 @@ func log2(v int) int {
 	return lg
 }
 
-// kernelFor returns the typed kernel for log-size m: the unrolled codelet
-// when one was generated, the generic loop kernel otherwise.  The two
-// concrete instantiations share the Float type set, so the assertion
-// through any is exact.
-func kernelFor[T Float](m int) func(x []T, base, stride int) {
+// kernelSet bundles the typed kernels of one log-size, one per variant,
+// plus the range form of the interleaved kernel the parallel executor
+// needs when a worker's share covers only part of a j-row.
+type kernelSet[T Float] struct {
+	strided func(x []T, base, stride int)
+	contig  func(x []T, base int)
+	il      func(x []T, base, s int)
+	ilRange func(x []T, base, s, kLo, kHi int)
+}
+
+// kernelsFor resolves the kernel set for log-size m: the unrolled codelets
+// when generated, the generic loop kernels otherwise.  The two concrete
+// instantiations share the Float type set, so the assertions through any
+// are exact.
+func kernelsFor[T Float](m int) kernelSet[T] {
 	var zero T
 	switch any(zero).(type) {
 	case float64:
-		var f func([]float64, int, int)
-		if k := codelet.For(m); k != nil {
-			f = k
-		} else {
-			f = func(x []float64, base, stride int) { codelet.Generic(x, base, stride, m) }
+		ks := kernelSet[float64]{
+			strided: codelet.For(m),
+			contig:  codelet.ForContig(m),
+			il:      codelet.ForIL(m),
+			ilRange: func(x []float64, base, s, kLo, kHi int) {
+				codelet.GenericILRange(x, base, s, kLo, kHi, m)
+			},
 		}
-		return any(f).(func([]T, int, int))
+		if ks.strided == nil {
+			ks.strided = func(x []float64, base, stride int) { codelet.Generic(x, base, stride, m) }
+		}
+		if ks.contig == nil {
+			ks.contig = func(x []float64, base int) { codelet.GenericContig(x, base, m) }
+		}
+		if ks.il == nil {
+			ks.il = func(x []float64, base, s int) { codelet.GenericIL(x, base, s, m) }
+		}
+		return any(ks).(kernelSet[T])
 	default:
-		var f func([]float32, int, int)
-		if k := codelet.For32(m); k != nil {
-			f = k
-		} else {
-			f = func(x []float32, base, stride int) { codelet.Generic32(x, base, stride, m) }
+		ks := kernelSet[float32]{
+			strided: codelet.For32(m),
+			contig:  codelet.ForContig32(m),
+			il:      codelet.ForIL32(m),
+			ilRange: func(x []float32, base, s, kLo, kHi int) {
+				codelet.GenericILRange32(x, base, s, kLo, kHi, m)
+			},
 		}
-		return any(f).(func([]T, int, int))
+		if ks.strided == nil {
+			ks.strided = func(x []float32, base, stride int) { codelet.Generic32(x, base, stride, m) }
+		}
+		if ks.contig == nil {
+			ks.contig = func(x []float32, base int) { codelet.GenericContig32(x, base, m) }
+		}
+		if ks.il == nil {
+			ks.il = func(x []float32, base, s int) { codelet.GenericIL32(x, base, s, m) }
+		}
+		return any(ks).(kernelSet[T])
 	}
 }
 
-// kernelTable resolves the kernels a schedule needs, one lookup per
+// kernelTable resolves the kernel sets a schedule needs, one lookup per
 // distinct leaf size.  The table is cheap enough to rebuild per Run call;
 // batch and parallel executors build it once and share it.
-type kernelTable[T Float] [plan.MaxLeafLog + 1]func(x []T, base, stride int)
+type kernelTable[T Float] struct {
+	sets [plan.MaxLeafLog + 1]kernelSet[T]
+}
 
-func (kt *kernelTable[T]) get(m int) func(x []T, base, stride int) {
+func (kt *kernelTable[T]) get(m int) *kernelSet[T] {
 	// Validated plans bound leaf sizes to [1, MaxLeafLog], so m always
 	// indexes the table.
-	if k := kt[m]; k != nil {
-		return k
+	ks := &kt.sets[m]
+	if ks.strided == nil {
+		*ks = kernelsFor[T](m)
 	}
-	kt[m] = kernelFor[T](m)
-	return kt[m]
+	return ks
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -255,8 +256,22 @@ func TestFloat32EngineSharesSchedule(t *testing.T) {
 func TestScheduleString(t *testing.T) {
 	sched := Compile(plan.MustParse("split[small[1],small[2]]"))
 	// The rightmost factor applies first: small[2] runs at stride 1 on
-	// contiguous blocks, then small[1] runs at stride 4.
-	want := "[I2 x W2^2 x I1] [I1 x W2^1 x I4]"
+	// contiguous blocks (contiguous kernel), then small[1] runs at stride
+	// 4 — under the default policy below the interleaved threshold, so
+	// strided.
+	want := "[I2 x W2^2 x I1 contig] [I1 x W2^1 x I4 strided]"
+	if got := sched.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// A large-S stage names the interleaved kernel.
+	sched = Compile(plan.MustParse("split[small[2],small[8]]"))
+	want = "[I4 x W2^8 x I1 contig] [I1 x W2^2 x I256 il]"
+	if got := sched.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// StridedOnly restores the legacy single-variant engine.
+	sched = CompileWith(plan.MustParse("split[small[2],small[8]]"), codelet.Policy{StridedOnly: true})
+	want = "[I4 x W2^8 x I1 strided] [I1 x W2^2 x I256 strided]"
 	if got := sched.String(); got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}

@@ -43,7 +43,12 @@ func Interpret[T Float](p *plan.Node, x []T) error {
 // the paper observes.
 func interpretRec[T Float](p *plan.Node, kt *kernelTable[T], x []T, base, stride int) {
 	if p.IsLeaf() {
-		kt.get(p.Log2Size())(x, base, stride)
+		// The walker always runs the strided kernel, never the shaped
+		// variants, so the variant dispatch has a shaped-code-free engine
+		// to be bitwise-equal against.  (The strided codelet itself is
+		// shared with compiled execution; its independent oracle is the
+		// codelet-level test against Generic and the matrix definition.)
+		kt.get(p.Log2Size()).strided(x, base, stride)
 		return
 	}
 	kids := p.Children()

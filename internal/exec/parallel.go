@@ -28,6 +28,13 @@ const (
 // reads what stage i wrote.  Small stages run inline through the same
 // runStageRange path as the sequential executor.
 //
+// Splitting is variant-correct: workers receive disjoint ranges of the
+// flattened (j, k) space, and runStageRange executes each range with the
+// stage's compiled kernel variant — full interleaved rows through the
+// unrolled IL kernel, partial rows through its range form, so an
+// interleaved stage with R == 1 (the large-S shape that benefits most)
+// still splits across all workers.
+//
 // workers <= 0 selects GOMAXPROCS.
 func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 	if s == nil {
@@ -42,10 +49,10 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 	var kt kernelTable[T]
 	for i := range s.stages {
 		st := &s.stages[i]
-		kern := kt.get(st.M)
+		ks := kt.get(st.M)
 		total := st.R * st.S
 		if workers == 1 || total < FanoutCalls || total<<uint(st.M) < FanoutElems {
-			runStageRange(st, kern, x, 0, 1, 0, total)
+			runStageRange(st, ks, x, 0, 0, total)
 			continue
 		}
 		chunk := (total + workers - 1) / workers
@@ -58,7 +65,7 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				runStageRange(st, kern, x, 0, 1, lo, hi)
+				runStageRange(st, ks, x, 0, lo, hi)
 			}(lo, hi)
 		}
 		wg.Wait()
@@ -87,7 +94,7 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 	if workers == 1 || len(xs) < 2 {
 		var kt kernelTable[T]
 		for _, x := range xs {
-			runStagesStrided(s, &kt, x, 0, 1)
+			runStages(s, &kt, x, 0, 1)
 		}
 		return nil
 	}
@@ -106,7 +113,7 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 				if i >= len(xs) {
 					return
 				}
-				runStagesStrided(s, &kt, xs[i], 0, 1)
+				runStages(s, &kt, xs[i], 0, 1)
 			}
 		}()
 	}

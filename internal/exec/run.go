@@ -1,6 +1,10 @@
 package exec
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/codelet"
+)
 
 // Run executes the schedule in place on x.  It is the single evaluation
 // code path of the library: the float64 and float32 engines, the strided
@@ -15,10 +19,7 @@ func Run[T Float](s *Schedule, x []T) error {
 		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
 	}
 	var kt kernelTable[T]
-	for i := range s.stages {
-		st := &s.stages[i]
-		runStageRange(st, kt.get(st.M), x, 0, 1, 0, st.R*st.S)
-	}
+	runStages(s, &kt, x, 0, 1)
 	return nil
 }
 
@@ -32,7 +33,10 @@ func MustRun[T Float](s *Schedule, x []T) {
 
 // RunStrided executes the schedule on the strided vector
 // x[base], x[base+stride], ..., x[base+(2^n-1)*stride] in place.  It is
-// the building block for multi-dimensional transforms.
+// the building block for multi-dimensional transforms.  At stride 1 the
+// stages run with their compiled variant kernels; at larger strides the
+// shaped kernels' adjacency assumption does not hold, so every stage falls
+// back to the strided kernel.
 func RunStrided[T Float](s *Schedule, x []T, base, stride int) error {
 	if s == nil {
 		return fmt.Errorf("exec: nil schedule")
@@ -46,26 +50,71 @@ func RunStrided[T Float](s *Schedule, x []T, base, stride int) error {
 			base, stride, last, len(x))
 	}
 	var kt kernelTable[T]
-	runStagesStrided(s, &kt, x, base, stride)
+	runStages(s, &kt, x, base, stride)
 	return nil
 }
 
-// runStagesStrided replays the whole schedule at (base, stride) with a
+// runStages replays the whole schedule at (base, stride) with a
 // caller-provided kernel table, so multi-vector drivers (Apply2D, batch)
-// resolve kernels once.
-func runStagesStrided[T Float](s *Schedule, kt *kernelTable[T], x []T, base, stride int) {
+// resolve kernels once.  stride == 1 takes the variant-dispatch path;
+// other strides run every stage through the strided kernel.
+func runStages[T Float](s *Schedule, kt *kernelTable[T], x []T, base, stride int) {
+	if stride == 1 {
+		for i := range s.stages {
+			st := &s.stages[i]
+			runStageRange(st, kt.get(st.M), x, base, 0, st.R*st.S)
+		}
+		return
+	}
 	for i := range s.stages {
 		st := &s.stages[i]
-		runStageRange(st, kt.get(st.M), x, base, stride, 0, st.R*st.S)
+		runStageRangeStrided(st, kt.get(st.M).strided, x, base, stride, 0, st.R*st.S)
 	}
 }
 
-// runStageRange executes the flattened call slice [lo, hi) of one stage:
-// call idx = j*S + k runs the kernel at base + (j*Blk + k)*stride with
-// kernel stride S*stride.  Sequential execution passes the full range;
-// the parallel evaluator hands disjoint ranges to its workers.  The loop
-// walks row by row so the common full-range case pays no division.
-func runStageRange[T Float](st *Stage, kern func([]T, int, int), x []T, base, stride, lo, hi int) {
+// runStageRange executes the flattened call slice [lo, hi) of one stage on
+// the unit-stride buffer x[base:], dispatching on the stage's compiled
+// kernel variant.  Sequential execution passes the full range; the
+// parallel evaluator hands disjoint ranges to its workers, and the
+// splitting stays variant-correct: indices address (j, k) kernel calls for
+// the strided variant, j rows for the contiguous variant (S == 1, so the
+// spaces coincide), and (j, k) vector columns for the interleaved variant,
+// where partial rows run through the range form of the kernel.
+func runStageRange[T Float](st *Stage, ks *kernelSet[T], x []T, base, lo, hi int) {
+	switch st.V {
+	case codelet.Contiguous:
+		// S == 1: flattened index = j, bases advance by Blk = 2^M.
+		for j := lo; j < hi; j++ {
+			ks.contig(x, base+j*st.Blk)
+		}
+	case codelet.Interleaved:
+		for idx := lo; idx < hi; {
+			j := idx >> uint(st.SLog)
+			k := idx & (st.S - 1)
+			end := idx + st.S - k
+			if end > hi {
+				end = hi
+			}
+			rowBase := base + j*st.Blk
+			if k == 0 && end-idx == st.S {
+				ks.il(x, rowBase, st.S)
+			} else {
+				ks.ilRange(x, rowBase, st.S, k, k+(end-idx))
+			}
+			idx = end
+		}
+	default:
+		runStageRangeStrided(st, ks.strided, x, base, 1, lo, hi)
+	}
+}
+
+// runStageRangeStrided executes the flattened call slice [lo, hi) of one
+// stage with the strided kernel: call idx = j*S + k runs the kernel at
+// base + (j*Blk + k)*stride with kernel stride S*stride.  It is the
+// universal fallback — correct in every calling context, including
+// non-unit outer strides.  The loop walks row by row so the common
+// full-range case pays no division.
+func runStageRangeStrided[T Float](st *Stage, kern func([]T, int, int), x []T, base, stride, lo, hi int) {
 	ks := st.S * stride
 	for idx := lo; idx < hi; {
 		j := idx >> uint(st.SLog)
@@ -98,7 +147,7 @@ func RunBatch[T Float](s *Schedule, xs [][]T) error {
 	}
 	var kt kernelTable[T]
 	for _, x := range xs {
-		runStagesStrided(s, &kt, x, 0, 1)
+		runStages(s, &kt, x, 0, 1)
 	}
 	return nil
 }

@@ -5,7 +5,10 @@
 // virtual-cycle formula (internal/core).
 package machine
 
-import "repro/internal/cache"
+import (
+	"repro/internal/cache"
+	"repro/internal/codelet"
+)
 
 // OpCounts breaks an instruction count down by class.  The classes mirror
 // what the high-level model of [5] distinguishes: butterfly arithmetic,
@@ -84,6 +87,87 @@ func (c CostModel) LeafOps(m int) OpCounts {
 		ops.SpillSt = extra * c.SpillPerExtra
 	}
 	return ops
+}
+
+// LeafOpsVariant returns the instruction-class counts of one kernel call
+// of log-size m executed as the given stage-shape variant at stage stride
+// s.  It is the per-call building block of StageOps, the cost model of the
+// compiled engine's variant dispatch:
+//
+//   - Strided: the unrolled codelet — LeafOps unchanged.
+//   - Contiguous: the same butterfly network, but the incremental
+//     per-element offset updates collapse to one constant-index subslice
+//     (two address ops), which is exactly what the generated stride-1
+//     codelet does.
+//   - Interleaved: one call covers the s vectors of a j-row in m streaming
+//     passes — m*2^m*s loads, stores and butterfly ops, one loop op per
+//     butterfly, and no spill traffic (only a handful of temporaries are
+//     ever live), with the call overhead amortized over all s vectors.
+func (c CostModel) LeafOpsVariant(m int, v codelet.Variant, s int) OpCounts {
+	size := int64(1) << uint(m)
+	switch v {
+	case codelet.Contiguous:
+		ops := OpCounts{
+			Arith: int64(m) * size,
+			Load:  size,
+			Store: size,
+			Addr:  2, // one constant-length subslice instead of per-element offsets
+			Call:  c.LeafSetup,
+		}
+		if extra := size - int64(c.Registers); extra > 0 {
+			ops.SpillLd = extra * c.SpillPerExtra
+			ops.SpillSt = extra * c.SpillPerExtra
+		}
+		return ops
+	case codelet.Interleaved:
+		s64 := int64(s)
+		return OpCounts{
+			Arith: int64(m) * size * s64,
+			Load:  int64(m) * size * s64,
+			Store: int64(m) * size * s64,
+			Addr:  4 * (size - 1), // two subslices per butterfly block, size-1 blocks total
+			Loop:  int64(m)*size*s64/2 + (size - 1),
+			Call:  c.LeafSetup,
+		}
+	default:
+		return c.LeafOps(m)
+	}
+}
+
+// StageOps returns the instruction-class counts of one compiled stage
+// I(R) (x) WHT(2^m) (x) I(S) executed by the flat engine with kernel
+// variant v: the kernel ops of every call plus the stage's own loop
+// bookkeeping.  The strided and contiguous variants issue one kernel call
+// per (j, k) resp. j index; the interleaved variant issues one composite
+// call per j-row.
+func (c CostModel) StageOps(m, r, s int, v codelet.Variant) OpCounts {
+	calls := int64(r)
+	if v == codelet.Strided {
+		calls *= int64(s)
+	}
+	ops := c.LeafOpsVariant(m, v, s).Scale(calls)
+	// The flat executor's per-stage bookkeeping: one setup, a row walk of
+	// r iterations, and one dispatch iteration per kernel call.
+	ops.Loop += c.ChildSetup + c.MidIter*int64(r) + c.InnerIter*calls
+	return ops
+}
+
+// StageLoopInstances returns the completed-loop count of one compiled
+// stage (the branch-mispredict term of the cycle model): the flat row
+// walk for the strided form, a single dispatch loop for the contiguous
+// form, and the per-level block/stream loops of the interleaved kernel.
+func StageLoopInstances(m, r, s int, v codelet.Variant) int64 {
+	size := int64(1) << uint(m)
+	switch v {
+	case codelet.Contiguous:
+		return 1
+	case codelet.Interleaved:
+		// Per call: m level loops plus one inner stream loop per butterfly
+		// block (size-1 blocks across the levels).
+		return 1 + int64(r)*(int64(m)+size-1)
+	default:
+		return 1 + int64(r)
+	}
 }
 
 // CycleModel holds the weights of the virtual-cycle formula.  Cycles are a

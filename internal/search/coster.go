@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/codelet"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/machine"
@@ -67,6 +68,65 @@ func NewCycleCoster(m *machine.Machine) Coster {
 
 func (c *cycleCoster) Cost(p *plan.Node) float64 { return core.Measure(c.tr, p).Cycles }
 func (c *cycleCoster) Fork() Coster              { return &cycleCoster{m: c.m, tr: trace.New(c.m)} }
+
+// stageModelCoster evaluates the closed-form instruction model of the
+// *compiled* engine: each candidate is flattened into its stage sequence
+// under a variant policy and costed with the machine's StageOps terms —
+// so model-guided search sees the same stage-shape landscape (contiguous
+// vs strided vs interleaved) the measured coster does.  Stateless, so
+// forks alias the receiver.
+type stageModelCoster struct {
+	cost machine.CostModel
+	pol  codelet.Policy
+}
+
+// NewStageModelCoster returns the variant-aware instruction-model backend.
+// A plan that fails to compile costs +Inf, losing to every runnable one.
+func NewStageModelCoster(cost machine.CostModel, pol codelet.Policy) Coster {
+	return &stageModelCoster{cost: cost, pol: pol}
+}
+
+func (m *stageModelCoster) Cost(p *plan.Node) float64 {
+	s, err := exec.NewScheduleWith(p, m.pol)
+	if err != nil {
+		return math.Inf(1)
+	}
+	var total int64
+	for _, st := range s.Stages() {
+		total += m.cost.StageOps(st.M, st.R, st.S, st.V).Total()
+	}
+	return float64(total)
+}
+
+func (m *stageModelCoster) Fork() Coster { return m }
+
+// stageCycleCoster measures deterministic virtual cycles of the compiled
+// engine: the candidate's schedule is replayed through the simulated
+// hierarchy with each stage's variant reference stream (trace.RunSchedule)
+// and converted by the cycle formula.  Each fork owns a fresh tracer.
+type stageCycleCoster struct {
+	m   *machine.Machine
+	pol codelet.Policy
+	tr  *trace.Tracer
+}
+
+// NewStageCycleCoster returns the variant-aware virtual-cycle backend for
+// concurrent search: the stage-engine counterpart of NewCycleCoster.
+func NewStageCycleCoster(m *machine.Machine, pol codelet.Policy) Coster {
+	return &stageCycleCoster{m: m, pol: pol, tr: trace.New(m)}
+}
+
+func (c *stageCycleCoster) Cost(p *plan.Node) float64 {
+	s, err := exec.NewScheduleWith(p, c.pol)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return core.Cycles(c.tr.RunSchedule(s), c.m, p.Hash())
+}
+
+func (c *stageCycleCoster) Fork() Coster {
+	return &stageCycleCoster{m: c.m, pol: c.pol, tr: trace.New(c.m)}
+}
 
 // measuredCoster compiles each candidate through the execution engine and
 // times real runs — the backend that closes the model/measurement gap the

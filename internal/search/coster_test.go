@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/plan"
@@ -143,5 +144,47 @@ func TestMeasuredCosterTimesRealExecution(t *testing.T) {
 	// An invalid plan costs +Inf instead of failing the search.
 	if got := c.Cost(new(plan.Node)); !math.IsInf(got, 1) {
 		t.Fatalf("invalid plan cost %g, want +Inf", got)
+	}
+}
+
+// The stage costers are deterministic and fork-stable: a forked evaluator
+// must produce bit-identical costs, and both backends must rank the
+// stage-shape landscape — strided-only schedules never cost less than the
+// default variant dispatch under the instruction model at large sizes,
+// since interleaving trades instructions for locality (the model sees
+// more ops) while contiguous stages only shed them.
+func TestStageCostersForkDeterministic(t *testing.T) {
+	mach := machine.VirtualOpteron224()
+	for _, c := range []Coster{
+		NewStageModelCoster(mach.Cost, codelet.DefaultPolicy()),
+		NewStageCycleCoster(mach, codelet.DefaultPolicy()),
+	} {
+		s := plan.NewSampler(41, plan.MaxLeafLog)
+		for trial := 0; trial < 5; trial++ {
+			p := s.Plan(12)
+			a := c.Cost(p)
+			b := c.Fork().Cost(p)
+			if a != b || a <= 0 || math.IsInf(a, 1) {
+				t.Fatalf("plan %s: cost %v, fork cost %v", p, a, b)
+			}
+		}
+	}
+}
+
+// The stage model must price the variants apart: at a shape with a huge-S
+// stage, the interleave-everything policy costs more instructions (m
+// streaming passes) and the contiguous-only policy costs fewer than
+// strided-only (shed address arithmetic), mirroring StageOps.
+func TestStageModelCosterSeesVariantLandscape(t *testing.T) {
+	mach := machine.VirtualOpteron224()
+	p := plan.MustParse("split[small[4],small[8]]")
+	strided := NewStageModelCoster(mach.Cost, codelet.Policy{StridedOnly: true}).Cost(p)
+	contig := NewStageModelCoster(mach.Cost, codelet.Policy{ILMinS: -1}).Cost(p)
+	il := NewStageModelCoster(mach.Cost, codelet.Policy{ILMinS: 2}).Cost(p)
+	if !(contig < strided) {
+		t.Errorf("contig-only %v not below strided-only %v", contig, strided)
+	}
+	if !(il > strided) {
+		t.Errorf("interleave-everything %v not above strided-only %v (extra streaming passes)", il, strided)
 	}
 }

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"repro/internal/codelet"
+	"repro/internal/exec"
+	"repro/internal/machine"
+)
+
+// RunSchedule simulates one evaluation of a compiled schedule on a cold
+// hierarchy and returns the counters — the virtual-counter view of the
+// stage engine's variant dispatch, where Run simulates the recursive
+// interpreter.  Instruction classes come from the machine's StageOps
+// model; the memory reference stream mirrors what each kernel variant
+// actually issues:
+//
+//   - strided stages: one read pass and one write pass over the strided
+//     vector per kernel call, exactly like the tree walk;
+//   - contiguous stages: the same two passes, unit stride;
+//   - interleaved stages: m read+write streaming passes over the
+//     contiguous 2^m * S block of each j-row — more traffic, but every
+//     pass is sequential, which is precisely the trade the variant makes.
+//
+// Model-guided search driven by these counters therefore sees the same
+// stage-shape landscape the measured coster does.
+func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
+	t.hier.Reset()
+	t.counters = Counters{}
+	for _, st := range s.Stages() {
+		t.stage(st)
+	}
+	t.counters.Mem = t.hier.Counters()
+	return t.counters
+}
+
+// stage accounts one compiled stage: instruction classes from the cost
+// model, loop instances for the mispredict term, dependency-stall leaf
+// calls for the straight-line variants, and the variant's reference
+// stream through the simulated hierarchy.
+func (t *Tracer) stage(st exec.Stage) {
+	cost := &t.mach.Cost
+	t.counters.Ops.Add(cost.StageOps(st.M, st.R, st.S, st.V))
+	t.counters.LoopInstances += machineStageLoops(st)
+	size := 1 << uint(st.M)
+	switch st.V {
+	case codelet.Contiguous:
+		// The straight-line codelet's dependency-stall profile matches the
+		// strided form, so it contributes to the LeafCalls stall term.
+		t.counters.LeafCalls[st.M] += int64(st.R)
+		for j := 0; j < st.R; j++ {
+			t.leafPass(j*st.Blk, 1, size)
+			t.leafPass(j*st.Blk, 1, size)
+		}
+	case codelet.Interleaved:
+		// The streaming kernel has no straight-line dependency chains;
+		// its cost is in the m passes over each j-row block.
+		block := size * st.S
+		for j := 0; j < st.R; j++ {
+			base := j * st.Blk
+			for lvl := 0; lvl < st.M; lvl++ {
+				t.leafPass(base, 1, block)
+				t.leafPass(base, 1, block)
+			}
+		}
+	default:
+		t.counters.LeafCalls[st.M] += int64(st.R) * int64(st.S)
+		for j := 0; j < st.R; j++ {
+			rowBase := j * st.Blk
+			for k := 0; k < st.S; k++ {
+				t.leafPass(rowBase+k, st.S, size)
+				t.leafPass(rowBase+k, st.S, size)
+			}
+		}
+	}
+}
+
+func machineStageLoops(st exec.Stage) int64 {
+	return machine.StageLoopInstances(st.M, st.R, st.S, st.V)
+}

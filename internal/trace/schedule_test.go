@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/codelet"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+// For a one-level split (every child a leaf) the compiled engine under
+// the strided-only policy issues exactly the kernel calls of the tree
+// walk, in the same order — so the simulated memory counters of
+// RunSchedule must equal those of the tree-walking Run bit for bit.
+// (Deeper trees genuinely reorder: the flat engine completes each stage
+// globally before the next, where the walker interleaves sub-trees per
+// context — a real cache-behavior difference of the compiled engine that
+// RunSchedule models and Run cannot.  Instruction counts differ by
+// design: the flat engine has no recursion overhead.)
+func TestRunScheduleStridedMemEqualsTreeWalk(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	for _, p := range []*plan.Node{
+		plan.Iterative(12),
+		plan.RadixIterative(16, 4),
+		plan.RadixIterative(14, 7),
+		plan.MustParse("split[small[3],small[5],small[8]]"),
+	} {
+		want := tr.Run(p).Mem
+		sched, err := exec.NewScheduleWith(p, codelet.Policy{StridedOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.RunSchedule(sched).Mem
+		if got != want {
+			t.Fatalf("plan %s: schedule mem %+v, tree walk %+v", p, got, want)
+		}
+	}
+}
+
+// The variant landscape the schedule tracer exposes must match the
+// paper's stage-shape story: at an out-of-cache size, interleaving the
+// large-S stage trades more streamed references for fewer L1 misses than
+// the strided walk pays.
+func TestRunScheduleInterleavedTradesOpsForMisses(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	p := plan.MustParse("split[small[8],split[small[8],small[4]]]") // n=20, S up to 4096
+	strided := tr.RunSchedule(exec.CompileWith(p, codelet.Policy{StridedOnly: true}))
+	il := tr.RunSchedule(exec.CompileWith(p, codelet.Policy{ILMinS: 2}))
+	if il.Ops.Load <= strided.Ops.Load {
+		t.Errorf("interleaved loads %d not above strided %d (m streaming passes)", il.Ops.Load, strided.Ops.Load)
+	}
+	if il.Mem.L1Misses >= strided.Mem.L1Misses {
+		t.Errorf("interleaved L1 misses %d not below strided %d", il.Mem.L1Misses, strided.Mem.L1Misses)
+	}
+	if il.Ops.SpillLd != 0 {
+		t.Errorf("interleaved stages charged spills: %d", il.Ops.SpillLd)
+	}
+}
+
+// StageOps must be the exact instruction total RunSchedule accounts, so
+// the closed-form stage coster and the trace-driven one agree on "I".
+func TestRunScheduleInstructionsMatchStageOps(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	s := plan.NewSampler(37, plan.MaxLeafLog)
+	for _, pol := range []codelet.Policy{codelet.DefaultPolicy(), {StridedOnly: true}, {ILMinS: 2}} {
+		for trial := 0; trial < 5; trial++ {
+			p := s.Plan(12)
+			sched := exec.CompileWith(p, pol)
+			got := tr.RunSchedule(sched).Instructions()
+			var want int64
+			for _, st := range sched.Stages() {
+				want += m.Cost.StageOps(st.M, st.R, st.S, st.V).Total()
+			}
+			if got != want {
+				t.Fatalf("policy %+v plan %s: traced %d instructions, StageOps says %d", pol, p, got, want)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/plan"
@@ -23,7 +24,7 @@ import (
 
 // Options bounds a tuning run.  The zero value is a sensible quick tune:
 // 24 random candidates, the best quarter measured for real, plus the
-// canonical baselines.
+// canonical baselines and a sweep over the kernel-variant policies.
 type Options struct {
 	Candidates int                // random rsu candidates drawn (default 24)
 	KeepFrac   float64            // fraction surviving the model filter into real timing (default 0.25)
@@ -31,6 +32,24 @@ type Options struct {
 	Workers    int                // goroutines for the model-filter phase (<= 1 sequential)
 	Timing     exec.TimingOptions // warmup/repeat/min-duration of each real measurement
 	LeafMax    int                // largest codelet log-size (default plan.MaxLeafLog)
+
+	// Policies is the set of kernel-variant selection policies measured
+	// for the winning plan; the fastest is registered and recorded in
+	// wisdom.  Empty selects DefaultPolicies.
+	Policies []codelet.Policy
+}
+
+// DefaultPolicies is the variant-policy grid a tuning run sweeps for the
+// winning plan: the library default (contiguous + interleaved), the
+// legacy strided engine, contiguous without interleaving, and aggressive
+// interleaving of every S > 1 stage.
+func DefaultPolicies() []codelet.Policy {
+	return []codelet.Policy{
+		codelet.DefaultPolicy(),
+		{StridedOnly: true},
+		{ILMinS: -1},
+		{ILMinS: 2},
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -43,15 +62,19 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if len(o.Policies) == 0 {
+		o.Policies = DefaultPolicies()
+	}
 	return o
 }
 
 // Result is the outcome of one tuning run.
 type Result struct {
-	Plan       *plan.Node // the measured-fastest plan
-	NsPerRun   float64    // its measured median latency
-	BaselineNs float64    // the balanced default's latency from the same run
-	Measured   int        // real timings spent (model pruning, dedup, rematch included)
+	Plan       *plan.Node     // the measured-fastest plan
+	Policy     codelet.Policy // the variant policy it was fastest under
+	NsPerRun   float64        // its measured median latency
+	BaselineNs float64        // the balanced default's latency from the same run
+	Measured   int            // real timings spent (model pruning, dedup, rematch, policy sweep included)
 }
 
 // rematchTiming doubles the measurement effort for the final head-to-head
@@ -78,7 +101,10 @@ func Tune(n int, opt Options) (Result, error) {
 	}
 	opt = opt.withDefaults()
 	mach := machine.VirtualOpteron224()
-	model := search.NewModelCoster(mach.Cost) // forkable: the model phase parallelizes
+	// The model filter is the variant-aware stage model, so the cheap
+	// phase ranks candidates on the same stage-shape landscape (contig /
+	// strided / interleaved) the measured phase will execute them in.
+	model := search.NewStageModelCoster(mach.Cost, codelet.DefaultPolicy())
 
 	// Phase 1: the paper's conclusion — spend cheap model evaluations to
 	// shortlist, and expensive measurements only on the shortlist.
@@ -123,13 +149,39 @@ func Tune(n int, opt Options) (Result, error) {
 			best.Cost = bestNs
 		}
 	}
-	res := Result{Plan: best.Plan, NsPerRun: best.Cost, BaselineNs: baselineNs, Measured: measured}
+	res := Result{Plan: best.Plan, Policy: codelet.DefaultPolicy(), NsPerRun: best.Cost, BaselineNs: baselineNs, Measured: measured}
 
-	if err := exec.UseTunedPlan(res.Plan); err != nil {
+	// Phase 4: variant-policy sweep — the axis the stage engine opened.
+	// The winning plan is timed under every candidate kernel-variant
+	// policy (same plan, different codelet selection per stage) back to
+	// back at rematch effort — including the incumbent default, so no
+	// policy ever wins against a stale measurement from the earlier
+	// phases — and the fastest policy ships.
+	if len(opt.Policies) > 1 {
+		polTiming := rematchTiming(opt.Timing)
+		first := true
+		for _, pol := range opt.Policies {
+			s, err := exec.NewScheduleWith(res.Plan, pol)
+			if err != nil {
+				return Result{}, fmt.Errorf("tune: %w", err)
+			}
+			ns := exec.TimeSchedule(s, polTiming)
+			measured++
+			// Ties keep the earlier policy (the default leads the grid),
+			// so serving does not churn on noise-level differences.
+			if first || ns < res.NsPerRun {
+				res.Policy, res.NsPerRun = pol, ns
+				first = false
+			}
+		}
+		res.Measured = measured
+	}
+
+	if err := exec.UseTunedPlanPolicy(res.Plan, res.Policy); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	store := processWisdom()
-	if _, err := store.Record(wisdom.Float64, res.Plan, res.NsPerRun); err != nil {
+	if _, err := store.RecordPolicy(wisdom.Float64, res.Plan, res.Policy, res.NsPerRun); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	return res, nil
@@ -196,8 +248,9 @@ func LoadWisdom(path string) error {
 		if e.Type != wisdom.Float64 {
 			continue
 		}
-		// Entries are validated by wisdom.Load, so the plan parses.
-		if err := exec.UseTunedPlan(plan.MustParse(e.Plan)); err != nil {
+		// Entries are validated by wisdom.Load, so the plan parses; the
+		// recorded variant policy rides along into the serving path.
+		if err := exec.UseTunedPlanPolicy(plan.MustParse(e.Plan), e.Policy()); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
 	}

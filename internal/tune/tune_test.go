@@ -45,12 +45,17 @@ func TestTuneRegistersServingPlanAndWisdom(t *testing.T) {
 	if p, ok := exec.TunedPlan(n); !ok || !p.Equal(res.Plan) {
 		t.Fatalf("TunedPlan = (%v, %v), want the tuned plan", p, ok)
 	}
-	if got, want := exec.ForSize(n).String(), exec.Compile(res.Plan).String(); got != want {
+	// ... compiled under the policy the sweep measured fastest ...
+	if got, want := exec.ForSize(n).String(), exec.CompileWith(res.Plan, res.Policy).String(); got != want {
 		t.Fatalf("ForSize serves %s, want %s", got, want)
 	}
-	// ... and the wisdom store remembers it.
-	if p, ns, ok := Wisdom().Lookup(n, wisdom.Float64); !ok || !p.Equal(res.Plan) || ns != res.NsPerRun {
-		t.Fatalf("wisdom lookup = (%v, %g, %v)", p, ns, ok)
+	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {
+		t.Fatalf("TunedPolicy = (%+v, %v), want (%+v, true)", pol, ok, res.Policy)
+	}
+	// ... and the wisdom store remembers plan and policy.
+	if p, pol, ns, ok := Wisdom().LookupPolicy(n, wisdom.Float64); !ok || !p.Equal(res.Plan) ||
+		ns != res.NsPerRun || pol != res.Policy {
+		t.Fatalf("wisdom lookup = (%v, %+v, %g, %v)", p, pol, ns, ok)
 	}
 }
 
@@ -106,7 +111,7 @@ func TestSaveLoadServeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := exec.DefaultCacheStats()
-	if got, want := exec.ForSize(n).String(), exec.Compile(res.Plan).String(); got != want {
+	if got, want := exec.ForSize(n).String(), exec.CompileWith(res.Plan, res.Policy).String(); got != want {
 		t.Fatalf("wisdom-seeded ForSize serves %s, want tuned %s", got, want)
 	}
 	after := exec.DefaultCacheStats()

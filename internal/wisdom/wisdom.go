@@ -14,9 +14,15 @@
 //	  "entries": [
 //	    {"n": 18, "type": "float64",
 //	     "plan": "split[small[6],split[small[4],small[8]]]",
-//	     "ns_per_run": 1234567.8}
+//	     "ns_per_run": 1234567.8,
+//	     "il_min_s": 8}
 //	  ]
 //	}
+//
+// The optional "il_min_s" / "strided_only" fields round-trip the
+// kernel-variant selection policy (codelet.Policy) the plan was measured
+// under; files without them load with the default policy, so pre-variant
+// version-1 files remain valid.
 //
 // Every plan string must parse in the WHT package grammar, validate, and
 // match its entry's log-size; Load rejects files that fail any of these
@@ -34,6 +40,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -61,12 +68,26 @@ func CurrentFingerprint() Fingerprint {
 	return Fingerprint{OS: runtime.GOOS, Arch: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
 }
 
-// Entry is one tuned-plan record.
+// Entry is one tuned-plan record.  The optional variant-policy fields
+// round-trip the kernel-variant selection the tuner measured fastest
+// alongside the plan; absent fields (the common case) mean the default
+// policy, so version-1 files written before variants existed load
+// unchanged.
 type Entry struct {
 	N        int     `json:"n"`          // transform log-size
 	Type     string  `json:"type"`       // element type: "float64" or "float32"
 	Plan     string  `json:"plan"`       // plan in the WHT package grammar
 	NsPerRun float64 `json:"ns_per_run"` // measured median latency
+
+	// Variant-selection policy (codelet.Policy) the measurement was taken
+	// under and the serving path should compile with.
+	ILMinS      int  `json:"il_min_s,omitempty"`
+	StridedOnly bool `json:"strided_only,omitempty"`
+}
+
+// Policy returns the variant-selection policy recorded with the entry.
+func (e Entry) Policy() codelet.Policy {
+	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly}
 }
 
 // Key identifies an entry: one tuned plan per (size, element type).
@@ -102,10 +123,17 @@ func (w *Wisdom) Len() int {
 	return len(w.entries)
 }
 
-// Record stores a measured plan, keeping the faster of the new and any
+// Record stores a measured plan under the default variant policy; see
+// RecordPolicy.
+func (w *Wisdom) Record(typ string, p *plan.Node, nsPerRun float64) (bool, error) {
+	return w.RecordPolicy(typ, p, codelet.DefaultPolicy(), nsPerRun)
+}
+
+// RecordPolicy stores a measured plan together with the variant-selection
+// policy it was measured under, keeping the faster of the new and any
 // existing entry for the same (size, type) key.  It reports whether the
 // new measurement became (or stayed) the stored one.
-func (w *Wisdom) Record(typ string, p *plan.Node, nsPerRun float64) (bool, error) {
+func (w *Wisdom) RecordPolicy(typ string, p *plan.Node, pol codelet.Policy, nsPerRun float64) (bool, error) {
 	if err := validType(typ); err != nil {
 		return false, err
 	}
@@ -118,7 +146,10 @@ func (w *Wisdom) Record(typ string, p *plan.Node, nsPerRun float64) (bool, error
 	if nsPerRun <= 0 {
 		return false, fmt.Errorf("wisdom: non-positive measurement %g", nsPerRun)
 	}
-	e := Entry{N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun}
+	e := Entry{
+		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
+		ILMinS: pol.ILMinS, StridedOnly: pol.StridedOnly,
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.keepFaster(e), nil
@@ -137,14 +168,28 @@ func (w *Wisdom) keepFaster(e Entry) bool {
 
 // Lookup returns the stored plan and measured ns/run for (n, typ).
 func (w *Wisdom) Lookup(n int, typ string) (*plan.Node, float64, bool) {
-	w.mu.Lock()
-	e, ok := w.entries[Key{N: n, Type: typ}]
-	w.mu.Unlock()
+	e, ok := w.lookupEntry(n, typ)
 	if !ok {
 		return nil, 0, false
 	}
 	// Entries are validated on the way in, so the stored string parses.
 	return plan.MustParse(e.Plan), e.NsPerRun, true
+}
+
+// LookupPolicy is Lookup returning the recorded variant policy as well.
+func (w *Wisdom) LookupPolicy(n int, typ string) (*plan.Node, codelet.Policy, float64, bool) {
+	e, ok := w.lookupEntry(n, typ)
+	if !ok {
+		return nil, codelet.Policy{}, 0, false
+	}
+	return plan.MustParse(e.Plan), e.Policy(), e.NsPerRun, true
+}
+
+func (w *Wisdom) lookupEntry(n int, typ string) (Entry, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[Key{N: n, Type: typ}]
+	return e, ok
 }
 
 // Entries returns the records sorted by (size, type) — a deterministic

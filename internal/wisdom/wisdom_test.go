@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -158,5 +159,35 @@ func TestLoadRejectsCorruptAndMismatchedFiles(t *testing.T) {
 	}
 	if p, ns, _ := w.Lookup(4, Float64); ns != 40 || p.String() != "split[small[1],small[3]]" {
 		t.Fatalf("duplicate fold kept (%v, %g)", p, ns)
+	}
+}
+
+// The variant-policy fields must survive a save/load cycle, and entries
+// without them (pre-variant files) must load as the default policy.
+func TestPolicyRoundTrip(t *testing.T) {
+	p := plan.MustParse("split[small[4],small[8]]")
+	w := New()
+	pol := codelet.Policy{ILMinS: 2, StridedOnly: false}
+	if _, err := w.RecordPolicy(Float64, p, pol, 1000); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotPol, ns, ok := loaded.LookupPolicy(12, Float64)
+	if !ok || !got.Equal(p) || gotPol != pol || ns != 1000 {
+		t.Fatalf("LookupPolicy = (%v, %+v, %g, %v), want (%v, %+v, 1000, true)", got, gotPol, ns, ok, p, pol)
+	}
+	// Plain Record stores the default policy.
+	if _, err := w.Record(Float32, p, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotPol, _, _ := w.LookupPolicy(12, Float32); gotPol != codelet.DefaultPolicy() {
+		t.Fatalf("Record stored policy %+v, want default", gotPol)
 	}
 }

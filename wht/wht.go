@@ -57,6 +57,7 @@
 package wht
 
 import (
+	"repro/internal/codelet"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
@@ -121,8 +122,41 @@ type Schedule = exec.Schedule
 // (float32 and float64).
 type Float = exec.Float
 
-// Compile flattens a plan into a reusable schedule.
+// Variant identifies the stage-shape-specialized kernel form a compiled
+// stage executes with: the generic strided codelet, the stride-1
+// contiguous codelet, or the interleaved codelet that absorbs a stage's
+// inner k-loop into unit-stride streaming passes.
+type Variant = codelet.Variant
+
+// The kernel variants.
+const (
+	VariantStrided     = codelet.Strided
+	VariantContiguous  = codelet.Contiguous
+	VariantInterleaved = codelet.Interleaved
+)
+
+// VariantPolicy selects a kernel variant per stage shape at compile time.
+// The zero value is the library default: contiguous kernels at S == 1,
+// interleaved kernels at S >= DefaultILMinS, strided between.
+type VariantPolicy = codelet.Policy
+
+// DefaultILMinS is the default smallest stage S at which the interleaved
+// kernel is selected.
+const DefaultILMinS = codelet.DefaultILMinS
+
+// DefaultVariantPolicy returns the default variant-selection policy.
+var DefaultVariantPolicy = codelet.DefaultPolicy
+
+// Compile flattens a plan into a reusable schedule under the default
+// variant policy.
 func Compile(p *Plan) (*Schedule, error) { return exec.NewSchedule(p) }
+
+// CompileWith is Compile under an explicit variant-selection policy —
+// e.g. VariantPolicy{StridedOnly: true} for the legacy single-variant
+// engine, or VariantPolicy{ILMinS: 2} to interleave every strided stage.
+func CompileWith(p *Plan, pol VariantPolicy) (*Schedule, error) {
+	return exec.NewScheduleWith(p, pol)
+}
 
 // Run executes a compiled schedule in place on x; it is the single
 // evaluation code path behind every Apply* entry point.
@@ -242,6 +276,15 @@ var (
 	// NewMeasuredCoster compiles and times candidates for real — the
 	// backend that closes the model/measurement gap the paper documents.
 	NewMeasuredCoster = search.NewMeasuredCoster
+	// NewStageModelCoster is the variant-aware instruction model of the
+	// compiled engine: candidates are flattened under a variant policy
+	// and costed per stage shape, so model-guided search sees the same
+	// contiguous/strided/interleaved landscape the measured coster does.
+	NewStageModelCoster = search.NewStageModelCoster
+	// NewStageCycleCoster is the variant-aware virtual-cycle backend:
+	// each candidate's schedule is replayed through the simulated cache
+	// hierarchy with its per-stage kernel variant's reference stream.
+	NewStageCycleCoster = search.NewStageCycleCoster
 	// Memoize wraps a Coster with a concurrent plan-hash memo shared
 	// across forks.
 	Memoize = search.Memoize
