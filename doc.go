@@ -6,13 +6,19 @@
 // schedule of butterfly stages — each stage specialized at compile time
 // to a shape-matched kernel variant (strided, contiguous, or interleaved;
 // see internal/codelet.Variant) — and replays it for single vectors,
-// strided views, batches, and parallel runs.  The measured-cost autotuner
+// strided views, batches, and parallel runs.  Leaves dispatch through a
+// three-tier kernel hierarchy: unrolled codelets to 2^8, looped
+// cache-resident block kernels to 2^14 (wht.BlockLeafMax) that finish
+// every butterfly level of their window in one global pass, and generic
+// loop kernels beyond — so plans at the paper's out-of-cache sizes need
+// 2 full-vector stages instead of 3-4.  The measured-cost autotuner
 // (wht.Tune, cmd/whttune) searches over real timings of compiled
-// schedules, serves the winner from the process-wide schedule cache, and
+// schedules — block-leaf candidates and the fused-interleaved policy
+// included — serves the winner from the process-wide schedule cache, and
 // persists it across restarts as a fingerprinted wisdom file
-// (wht.SaveWisdom/LoadWisdom), now including the kernel-variant policy
-// the winner was measured under — the paper's conclusion that search
-// must be driven by measurements, closed end to end.  The root package exists
-// to host the paper-figure and engine benchmark harness (bench_test.go).
+// (wht.SaveWisdom/LoadWisdom), including the kernel-variant policy the
+// winner was measured under — the paper's conclusion that search must be
+// driven by measurements, closed end to end.  The root package exists to
+// host the paper-figure and engine benchmark harness (bench_test.go).
 // See README.md for the quickstart and package map.
 package repro

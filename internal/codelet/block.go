@@ -1,0 +1,239 @@
+package codelet
+
+// The block tier sits between the unrolled codelets (log-sizes up to
+// GeneratedMaxLog) and the fully generic loop kernels: looped,
+// cache-resident kernels for log-sizes GeneratedMaxLog+1..BlockMaxLog.
+// A block kernel computes WHT(2^m) by applying the multi-factor split
+//
+//	WHT(2^m) = prod_i ( I(2^{p1+..+p(i-1)}) (x) WHT(2^{pi}) (x) I(2^{p(i+1)+..+pt}) )
+//
+// entirely inside its own 2^m-element window: the rightmost factor runs
+// as stride-1 contiguous codelets, every earlier factor as strided
+// codelets whose in-window strides are small enough that each call's
+// footprint is a handful of cache lines.  Where a plan with t separate
+// leaves would make t full passes over the global vector — each a
+// memory-bound stage at n >= 16 — the block kernel finishes all t factors
+// while the window is L1/L2-resident, so the caller pays one global pass
+// for the whole leaf: the FFTW-style large base case the paper's
+// out-of-cache analysis calls for (slightly more loop instructions,
+// proportionally fewer cache misses).
+//
+// Like the unrolled tier, the block tier carries a strided form (correct
+// in every calling context) and a contiguous stride-1 specialization (the
+// fast path); cmd/whtgen emits dispatch tables of constant-folded block
+// kernels alongside the unrolled tables, and the Generic* fallbacks below
+// serve any log-size beyond the generated range.
+
+// BlockMaxLog is the largest log2 size served by the block-kernel tier
+// (and therefore the largest leaf a plan may carry — plan.BlockLeafMax
+// mirrors it; the equality is asserted by tests).
+const BlockMaxLog = GeneratedBlockMaxLog
+
+// BlockParts returns the in-window factorization a block kernel of
+// log-size m uses, leftmost factor first (the rightmost part runs first,
+// as stride-1 contiguous codelets; part i then runs at in-window stride
+// 2^(sum of the parts after it)).  Every block execution path — generated
+// kernels, generic fallbacks, the compiled engine, the cost model and the
+// trace simulator — must use this split so they all realize the identical
+// butterfly network (the bitwise-equality guarantee) and price the same
+// code.
+//
+// Sizes in the generated range use the measured shapes whtgen bakes into
+// BlockPartsGen: mid-sized codelets (2^2..2^6) whose strided in-window
+// walks touch few enough lines per call to stay set-associative-friendly
+// — the same sweet spot BenchmarkLeafSizeAblation finds for plan leaves.
+// Beyond the generated range a greedy rule caps parts at 2^4.
+func BlockParts(m int) []int {
+	if m > GeneratedMaxLog && m <= GeneratedBlockMaxLog {
+		return BlockPartsGen[m]
+	}
+	var parts []int
+	for m > 6 {
+		parts = append(parts, 4)
+		m -= 4
+	}
+	return append(parts, m)
+}
+
+// BlockWalk enumerates the sub-codelet calls of one block-kernel
+// execution of log-size m on the strided vector at (base, stride):
+// visit(p, callBase, callStride) fires once per call, factors right to
+// left, rows then columns within a factor — exactly the order the block
+// kernels execute.  It is the single source of the block reference
+// stream for the cost model and the trace simulator, so they price the
+// decomposition the kernels actually run; the kernels themselves keep
+// direct loops (their agreement is enforced by the bitwise property
+// tests against Generic).
+func BlockWalk(m, base, stride int, visit func(p, base, stride int)) {
+	n := 1 << uint(m)
+	parts := BlockParts(m)
+	s := 1
+	for i := len(parts) - 1; i >= 0; i-- {
+		pi := parts[i]
+		blk := s << uint(pi)
+		for row := 0; row < n; row += blk {
+			for k := 0; k < s; k++ {
+				visit(pi, base+(row+k)*stride, s*stride)
+			}
+		}
+		s = blk
+	}
+}
+
+// ForBlock returns the generated strided block kernel for log2 size m, or
+// nil if none was generated.
+func ForBlock(m int) Kernel {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+		return nil
+	}
+	return BlockKernels[m]
+}
+
+// ForBlock32 returns the generated float32 strided block kernel, or nil.
+func ForBlock32(m int) Kernel32 {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+		return nil
+	}
+	return BlockKernels32[m]
+}
+
+// ForBlockContig returns the generated contiguous block kernel for log2
+// size m, or nil if none was generated.
+func ForBlockContig(m int) ContigKernel {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+		return nil
+	}
+	return BlockContigKernels[m]
+}
+
+// ForBlockContig32 returns the generated float32 contiguous block kernel,
+// or nil.
+func ForBlockContig32(m int) ContigKernel32 {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+		return nil
+	}
+	return BlockContigKernels32[m]
+}
+
+// GenericBlock computes an in-place WHT(2^m), m > GeneratedMaxLog, on the
+// strided vector x[base + j*stride] through the BlockParts decomposition,
+// dispatching to the unrolled sub-kernels when they exist.  It is the
+// fallback behind ForBlock and works for any m.
+func GenericBlock(x []float64, base, stride, m int) {
+	n := 1 << uint(m)
+	parts := BlockParts(m)
+	s := 1
+	for i := len(parts) - 1; i >= 0; i-- {
+		pi := parts[i]
+		np := 1 << uint(pi)
+		kern := For(pi)
+		blk := s * np
+		for row := 0; row < n; row += blk {
+			for k := 0; k < s; k++ {
+				b := base + (row+k)*stride
+				if kern != nil {
+					kern(x, b, s*stride)
+				} else {
+					Generic(x, b, s*stride, pi)
+				}
+			}
+		}
+		s = blk
+	}
+}
+
+// GenericBlock32 is the float32 strided block fallback.
+func GenericBlock32(x []float32, base, stride, m int) {
+	n := 1 << uint(m)
+	parts := BlockParts(m)
+	s := 1
+	for i := len(parts) - 1; i >= 0; i-- {
+		pi := parts[i]
+		np := 1 << uint(pi)
+		kern := For32(pi)
+		blk := s * np
+		for row := 0; row < n; row += blk {
+			for k := 0; k < s; k++ {
+				b := base + (row+k)*stride
+				if kern != nil {
+					kern(x, b, s*stride)
+				} else {
+					Generic32(x, b, s*stride, pi)
+				}
+			}
+		}
+		s = blk
+	}
+}
+
+// GenericBlockContig computes an in-place WHT(2^m), m > GeneratedMaxLog,
+// on the contiguous window x[base : base+2^m]: the rightmost factor as
+// stride-1 contiguous codelets, the rest as strided codelets at their
+// in-window strides — the whole window touched once per factor while it
+// is cache-resident, exactly once from the caller's point of view.
+func GenericBlockContig(x []float64, base, m int) {
+	n := 1 << uint(m)
+	parts := BlockParts(m)
+	last := parts[len(parts)-1]
+	npLast := 1 << uint(last)
+	if ck := ForContig(last); ck != nil {
+		for j := 0; j < n; j += npLast {
+			ck(x, base+j)
+		}
+	} else {
+		for j := 0; j < n; j += npLast {
+			GenericContig(x, base+j, last)
+		}
+	}
+	s := npLast
+	for i := len(parts) - 2; i >= 0; i-- {
+		pi := parts[i]
+		np := 1 << uint(pi)
+		kern := For(pi)
+		blk := s * np
+		for row := 0; row < n; row += blk {
+			for k := 0; k < s; k++ {
+				if kern != nil {
+					kern(x, base+row+k, s)
+				} else {
+					Generic(x, base+row+k, s, pi)
+				}
+			}
+		}
+		s = blk
+	}
+}
+
+// GenericBlockContig32 is the float32 contiguous block fallback.
+func GenericBlockContig32(x []float32, base, m int) {
+	n := 1 << uint(m)
+	parts := BlockParts(m)
+	last := parts[len(parts)-1]
+	npLast := 1 << uint(last)
+	if ck := ForContig32(last); ck != nil {
+		for j := 0; j < n; j += npLast {
+			ck(x, base+j)
+		}
+	} else {
+		for j := 0; j < n; j += npLast {
+			GenericContig32(x, base+j, last)
+		}
+	}
+	s := npLast
+	for i := len(parts) - 2; i >= 0; i-- {
+		pi := parts[i]
+		np := 1 << uint(pi)
+		kern := For32(pi)
+		blk := s * np
+		for row := 0; row < n; row += blk {
+			for k := 0; k < s; k++ {
+				if kern != nil {
+					kern(x, base+row+k, s)
+				} else {
+					Generic32(x, base+row+k, s, pi)
+				}
+			}
+		}
+		s = blk
+	}
+}

@@ -1,0 +1,133 @@
+package codelet
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The block kernels realize the identical butterfly network as the
+// textbook Generic loop: the bot-factor sub-transforms are exactly the
+// first bot butterfly levels (those levels never cross an aligned 2^bot
+// boundary) and the top factor is the remaining levels at stride 2^bot.
+// Every output must therefore be BITWISE equal to Generic, for every
+// block size, both forms, generated and fallback, both element types.
+
+func TestBlockParts(t *testing.T) {
+	for m := GeneratedMaxLog + 1; m <= BlockMaxLog; m++ {
+		parts := BlockParts(m)
+		if len(parts) < 2 {
+			t.Errorf("BlockParts(%d) = %v: a block must have at least two factors", m, parts)
+		}
+		sum := 0
+		for _, p := range parts {
+			if p < 1 || p > GeneratedMaxLog {
+				t.Errorf("BlockParts(%d) = %v: part %d has no unrolled kernel", m, parts, p)
+			}
+			sum += p
+		}
+		if sum != m {
+			t.Errorf("BlockParts(%d) = %v sums to %d", m, parts, sum)
+		}
+	}
+	// Beyond the generated range the greedy fallback must still cover m.
+	for _, m := range []int{BlockMaxLog + 1, 20} {
+		sum := 0
+		for _, p := range BlockParts(m) {
+			sum += p
+		}
+		if sum != m {
+			t.Errorf("BlockParts(%d) fallback sums to %d", m, sum)
+		}
+	}
+}
+
+func TestForBlockBounds(t *testing.T) {
+	for _, m := range []int{0, 1, GeneratedMaxLog, GeneratedBlockMaxLog + 1, 99} {
+		if ForBlock(m) != nil || ForBlock32(m) != nil || ForBlockContig(m) != nil || ForBlockContig32(m) != nil {
+			t.Errorf("ForBlock*(%d) should be nil outside the block tier", m)
+		}
+	}
+	for m := GeneratedMaxLog + 1; m <= GeneratedBlockMaxLog; m++ {
+		if ForBlock(m) == nil || ForBlock32(m) == nil || ForBlockContig(m) == nil || ForBlockContig32(m) == nil {
+			t.Errorf("ForBlock*(%d) missing a generated block kernel", m)
+		}
+	}
+}
+
+func TestBlockPolicySelect(t *testing.T) {
+	def := DefaultPolicy()
+	for m := GeneratedMaxLog + 1; m <= BlockMaxLog; m++ {
+		if got := def.Select(m, 1); got != Contiguous {
+			t.Errorf("default Select(%d, 1) = %v, want contig", m, got)
+		}
+		for _, s := range []int{2, DefaultILMinS, 1 << 12} {
+			if got := def.Select(m, s); got != Strided {
+				t.Errorf("default Select(%d, %d) = %v, want strided (block tier has no IL form)", m, s, got)
+			}
+		}
+		if got := (Policy{StridedOnly: true}).Select(m, 1); got != Strided {
+			t.Errorf("strided-only Select(%d, 1) = %v, want strided", m, got)
+		}
+		if got := (Policy{ILMinS: 2}).Select(m, 4); got != Strided {
+			t.Errorf("il-all Select(%d, 4) = %v, want strided (block tier has no IL form)", m, got)
+		}
+	}
+}
+
+// TestBlockKernelsBitwiseEqualGeneric sweeps every block size x form x
+// (base, stride) combination, generated kernel and generic fallback, both
+// element types, against the Generic strided reference.
+func TestBlockKernelsBitwiseEqualGeneric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	strides := []int{1, 2, 3}
+	bases := []int{0, 1, 5}
+	for m := GeneratedMaxLog + 1; m <= BlockMaxLog; m++ {
+		n := 1 << m
+		for _, stride := range strides {
+			for _, base := range bases {
+				buf := randomVector64(rng, base+n*stride+3)
+				want := append([]float64(nil), buf...)
+				Generic(want, base, stride, m)
+
+				got := append([]float64(nil), buf...)
+				ForBlock(m)(got, base, stride)
+				assertBitwise64(t, "block", m, base, stride, got, want)
+				got = append([]float64(nil), buf...)
+				GenericBlock(got, base, stride, m)
+				assertBitwise64(t, "block-fallback", m, base, stride, got, want)
+
+				buf32 := randomVector32(rng, base+n*stride+3)
+				want32 := append([]float32(nil), buf32...)
+				Generic32(want32, base, stride, m)
+				got32 := append([]float32(nil), buf32...)
+				ForBlock32(m)(got32, base, stride)
+				assertBitwise32(t, "block32", m, base, stride, got32, want32)
+				got32 = append([]float32(nil), buf32...)
+				GenericBlock32(got32, base, stride, m)
+				assertBitwise32(t, "block32-fallback", m, base, stride, got32, want32)
+			}
+		}
+		// Contiguous form at stride 1.
+		for _, base := range bases {
+			buf := randomVector64(rng, base+n+3)
+			want := append([]float64(nil), buf...)
+			Generic(want, base, 1, m)
+			got := append([]float64(nil), buf...)
+			ForBlockContig(m)(got, base)
+			assertBitwise64(t, "block-contig", m, base, 1, got, want)
+			got = append([]float64(nil), buf...)
+			GenericBlockContig(got, base, m)
+			assertBitwise64(t, "block-contig-fallback", m, base, 1, got, want)
+
+			buf32 := randomVector32(rng, base+n+3)
+			want32 := append([]float32(nil), buf32...)
+			Generic32(want32, base, 1, m)
+			got32 := append([]float32(nil), buf32...)
+			ForBlockContig32(m)(got32, base)
+			assertBitwise32(t, "block-contig32", m, base, 1, got32, want32)
+			got32 = append([]float32(nil), buf32...)
+			GenericBlockContig32(got32, base, m)
+			assertBitwise32(t, "block-contig32-fallback", m, base, 1, got32, want32)
+		}
+	}
+}

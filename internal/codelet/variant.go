@@ -78,15 +78,33 @@ type Policy struct {
 	// benchmark baseline and the escape hatch for contexts the shaped
 	// kernels cannot serve.
 	StridedOnly bool
+	// ILFuse runs interleaved stages through the radix-4 fused streaming
+	// kernel (GenericILFused): two butterfly levels per pass instead of
+	// one, halving the loads and stores of every interleaved stage while
+	// computing the bit-identical results (fusing only regroups the same
+	// per-element operation DAG).  Off by default so the default engine
+	// matches the single-level kernels the variant benchmarks were
+	// calibrated against; the tuner's policy sweep measures it per size.
+	ILFuse bool
 }
 
 // DefaultPolicy returns the default selection policy (the zero value).
 func DefaultPolicy() Policy { return Policy{} }
 
 // Select picks the variant for a stage applying WHT(2^m) kernels at
-// stride s (the stage's I(S) factor).
+// stride s (the stage's I(S) factor).  Block-tier sizes
+// (m > GeneratedMaxLog) carry only the contiguous and strided forms: the
+// interleaved shape would stream an S-times-larger footprint and forfeit
+// exactly the cache residency the block kernel exists for, so a block
+// stage runs contiguous at S == 1 and falls back to strided otherwise.
 func (p Policy) Select(m, s int) Variant {
 	if p.StridedOnly {
+		return Strided
+	}
+	if m > GeneratedMaxLog {
+		if s == 1 {
+			return Contiguous
+		}
 		return Strided
 	}
 	if s == 1 {
@@ -175,6 +193,88 @@ func GenericIL32(x []float32, base, s, m int) {
 				a, b := lo[k], hi[k]
 				lo[k] = a + b
 				hi[k] = a - b
+			}
+		}
+	}
+}
+
+// GenericILFused is GenericIL with consecutive butterfly levels fused
+// into radix-4 streaming passes: each pass reads four contiguous runs,
+// applies two levels in registers and writes them back — one load and one
+// store per element per two levels, against two of each for the
+// single-level kernel.  An odd level count pays one single-level pass
+// first.  Fusing regroups, but does not reorder, the per-element
+// operation DAG, so the results are bitwise-equal to GenericIL.
+func GenericILFused(x []float64, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	h := s
+	if m&1 == 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for k := range lo {
+				a, b := lo[k], hi[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+		h <<= 1
+	}
+	for ; h < n*s; h <<= 2 {
+		for blk := 0; blk < n*s; blk += h << 2 {
+			q0 := v[blk : blk+h]
+			q1 := v[blk+h : blk+2*h]
+			q2 := v[blk+2*h : blk+3*h]
+			q3 := v[blk+3*h : blk+4*h]
+			q1 = q1[:len(q0)]
+			q2 = q2[:len(q0)]
+			q3 = q3[:len(q0)]
+			for k := range q0 {
+				a, b, c, d := q0[k], q1[k], q2[k], q3[k]
+				e, f := a+b, a-b
+				g, hh := c+d, c-d
+				q0[k], q1[k] = e+g, f+hh
+				q2[k], q3[k] = e-g, f-hh
+			}
+		}
+	}
+}
+
+// GenericILFused32 is the float32 fused interleaved kernel.
+func GenericILFused32(x []float32, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	h := s
+	if m&1 == 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			lo := v[blk : blk+h]
+			hi := v[blk+h : blk+2*h]
+			hi = hi[:len(lo)]
+			for k := range lo {
+				a, b := lo[k], hi[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+		h <<= 1
+	}
+	for ; h < n*s; h <<= 2 {
+		for blk := 0; blk < n*s; blk += h << 2 {
+			q0 := v[blk : blk+h]
+			q1 := v[blk+h : blk+2*h]
+			q2 := v[blk+2*h : blk+3*h]
+			q3 := v[blk+3*h : blk+4*h]
+			q1 = q1[:len(q0)]
+			q2 = q2[:len(q0)]
+			q3 = q3[:len(q0)]
+			for k := range q0 {
+				a, b, c, d := q0[k], q1[k], q2[k], q3[k]
+				e, f := a+b, a-b
+				g, hh := c+d, c-d
+				q0[k], q1[k] = e+g, f+hh
+				q2[k], q3[k] = e-g, f-hh
 			}
 		}
 	}

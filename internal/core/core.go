@@ -19,6 +19,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/codelet"
 	"repro/internal/machine"
 	"repro/internal/plan"
 	"repro/internal/trace"
@@ -29,7 +30,7 @@ import (
 type ModelCounts struct {
 	Ops           machine.OpCounts
 	LoopInstances int64
-	LeafCalls     [plan.MaxLeafLog + 1]int64
+	LeafCalls     [plan.BlockLeafMax + 1]int64
 }
 
 // Instructions returns the modelled total instruction count ("I").
@@ -72,7 +73,7 @@ func Model(p *plan.Node, cost machine.CostModel) ModelCounts {
 			sub := rec(c)
 			out.Ops.Add(sub.Ops.Scale(calls))
 			out.LoopInstances += sub.LoopInstances * calls
-			for lg := 1; lg <= plan.MaxLeafLog; lg++ {
+			for lg := 1; lg <= plan.BlockLeafMax; lg++ {
 				out.LeafCalls[lg] += sub.LeafCalls[lg] * calls
 			}
 			suffix += ni
@@ -170,21 +171,34 @@ func DirectMappedMisses(p *plan.Node, lgLines int) int64 {
 	}
 	mask := int32(lines - 1)
 	var misses int64
+	pass := func(base, stride, size int32) {
+		addr := base
+		for j := int32(0); j < size; j++ {
+			set := addr & mask
+			if tags[set] != addr {
+				tags[set] = addr
+				misses++
+			}
+			addr += stride
+		}
+	}
 	var walk func(q *plan.Node, base, stride int32)
 	walk = func(q *plan.Node, base, stride int32) {
 		if q.IsLeaf() {
-			size := int32(1) << uint(q.Log2Size())
-			for pass := 0; pass < 2; pass++ {
-				addr := base
-				for j := int32(0); j < size; j++ {
-					set := addr & mask
-					if tags[set] != addr {
-						tags[set] = addr
-						misses++
-					}
-					addr += stride
-				}
+			m := q.Log2Size()
+			if m > plan.MaxLeafLog {
+				// Block leaves run their in-window factorization; the
+				// analytic miss model follows the same reference stream
+				// (codelet.BlockWalk, shared with the trace simulator).
+				codelet.BlockWalk(m, int(base), int(stride), func(p, callBase, callStride int) {
+					pass(int32(callBase), int32(callStride), int32(1)<<uint(p))
+					pass(int32(callBase), int32(callStride), int32(1)<<uint(p))
+				})
+				return
 			}
+			size := int32(1) << uint(m)
+			pass(base, stride, size)
+			pass(base, stride, size)
 			return
 		}
 		kids := q.Children()

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// The two block-tier size bounds live in packages that cannot import each
+// other; the engine depends on them agreeing.
+func TestBlockTierBoundsAgree(t *testing.T) {
+	if plan.BlockLeafMax != codelet.BlockMaxLog {
+		t.Fatalf("plan.BlockLeafMax = %d, codelet.BlockMaxLog = %d: the block tiers disagree",
+			plan.BlockLeafMax, codelet.BlockMaxLog)
+	}
+}
+
+// blockLeafPlans returns, for block size bl, the calling contexts the
+// engine must serve a block leaf in: alone, rightmost (stride-1 / contig
+// form), leftmost (strided form at large S), and sandwiched.
+func blockLeafPlans(bl int) []*plan.Node {
+	return []*plan.Node{
+		plan.Leaf(bl),
+		plan.Split(plan.Leaf(2), plan.Leaf(bl)),
+		plan.Split(plan.Leaf(bl), plan.Leaf(2)),
+		plan.Split(plan.Leaf(1), plan.Leaf(bl), plan.Leaf(1)),
+	}
+}
+
+// TestBlockLeafPlansBitwiseEqualInterpret is the acceptance property of
+// the block tier: for every block leaf size and calling context, under
+// every variant policy, compiled execution — sequential, parallel, batch
+// — stays bitwise-equal to the tree-walking interpreter, in both element
+// types.
+func TestBlockLeafPlansBitwiseEqualInterpret(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	for bl := plan.MaxLeafLog + 1; bl <= plan.BlockLeafMax; bl++ {
+		for _, p := range blockLeafPlans(bl) {
+			n := p.Log2Size()
+			x := randomVector(1<<n, rng)
+			want := append([]float64(nil), x...)
+			if err := Interpret(p, want); err != nil {
+				t.Fatal(err)
+			}
+			x32 := make([]float32, 1<<n)
+			for i := range x32 {
+				x32[i] = float32(rng.Float64()*2 - 1)
+			}
+			want32 := append([]float32(nil), x32...)
+			if err := Interpret(p, want32); err != nil {
+				t.Fatal(err)
+			}
+			for name, pol := range variantPolicies {
+				sched, err := NewScheduleWith(p, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := append([]float64(nil), x...)
+				MustRun(sched, got)
+				assertSame(t, name+"/run", n, p, got, want)
+
+				for _, workers := range []int{2, 5} {
+					got = append([]float64(nil), x...)
+					if err := RunParallel(sched, got, workers); err != nil {
+						t.Fatal(err)
+					}
+					assertSame(t, fmt.Sprintf("%s/parallel=%d", name, workers), n, p, got, want)
+				}
+
+				batch := [][]float64{append([]float64(nil), x...), append([]float64(nil), x...)}
+				if err := RunBatch(sched, batch); err != nil {
+					t.Fatal(err)
+				}
+				assertSame(t, name+"/batch", n, p, batch[0], want)
+				assertSame(t, name+"/batch", n, p, batch[1], want)
+
+				got32 := append([]float32(nil), x32...)
+				MustRun(sched, got32)
+				for i := range got32 {
+					if got32[i] != want32[i] {
+						t.Fatalf("%s n=%d plan %s: float32 index %d = %v, want %v", name, n, p, i, got32[i], want32[i])
+					}
+				}
+				got32 = append([]float32(nil), x32...)
+				if err := RunParallel(sched, got32, 3); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got32 {
+					if got32[i] != want32[i] {
+						t.Fatalf("%s n=%d plan %s: float32 parallel index %d = %v, want %v", name, n, p, i, got32[i], want32[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Block stages inside a non-unit outer stride must fall back to the
+// strided block kernel and agree with the gathered reference.
+func TestBlockLeafRunStrided(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 53))
+	p := plan.Split(plan.Leaf(2), plan.Leaf(9))
+	n := p.Log2Size()
+	sched := Compile(p)
+	for _, cs := range []struct{ base, stride int }{{0, 1}, {3, 2}, {1, 3}} {
+		buf := randomVector(cs.base+(1<<n-1)*cs.stride+2, rng)
+		gathered := make([]float64, 1<<n)
+		for i := range gathered {
+			gathered[i] = buf[cs.base+i*cs.stride]
+		}
+		if err := Interpret(p, gathered); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunStrided(sched, buf, cs.base, cs.stride); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gathered {
+			if got := buf[cs.base+i*cs.stride]; got != gathered[i] {
+				t.Fatalf("base=%d stride=%d: index %d = %v, want %v", cs.base, cs.stride, i, got, gathered[i])
+			}
+		}
+	}
+}
+
+// TestCompileBlockStageCount pins the pass-count arithmetic the block
+// tier exists for: at n = 16..20, raising the leaf ceiling into the block
+// range turns the 3-4 full-vector stages of codelet-leaved plans into 2.
+func TestCompileBlockStageCount(t *testing.T) {
+	cases := []struct {
+		n          int
+		plan       *plan.Node
+		stages     int
+		blockM     int // expected kernel log-size of the block stage (0 = none)
+		blockV     codelet.Variant
+		baseStages int // stages of the unrolled-tier balanced plan at the same n
+	}{
+		{16, plan.Split(plan.Leaf(2), plan.Leaf(14)), 2, 14, codelet.Contiguous, 2},
+		{17, plan.Split(plan.Leaf(3), plan.Leaf(14)), 2, 14, codelet.Contiguous, 3},
+		{18, plan.Balanced(18, plan.BlockLeafMax), 2, 9, codelet.Contiguous, 4},
+		{19, plan.Split(plan.Leaf(5), plan.Leaf(14)), 2, 14, codelet.Contiguous, 4},
+		{20, plan.Split(plan.Leaf(6), plan.Leaf(14)), 2, 14, codelet.Contiguous, 4},
+	}
+	for _, c := range cases {
+		s := Compile(c.plan)
+		if s.NumStages() != c.stages {
+			t.Errorf("n=%d plan %s: %d stages, want %d (%s)", c.n, c.plan, s.NumStages(), c.stages, s)
+		}
+		base := Compile(plan.Balanced(c.n, plan.MaxLeafLog))
+		if base.NumStages() != c.baseStages {
+			t.Errorf("n=%d unrolled balanced: %d stages, want %d (%s)", c.n, base.NumStages(), c.baseStages, base)
+		}
+		if c.blockM > 0 {
+			// The rightmost block leaf must compile to the contiguous
+			// window form at S == 1 (other block stages, if any, take the
+			// strided fallback).
+			found := false
+			for _, st := range s.Stages() {
+				if st.M == c.blockM && st.S == 1 && st.V == c.blockV {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("n=%d plan %s: no S=1 %v stage with block kernel 2^%d (%s)", c.n, c.plan, c.blockV, c.blockM, s)
+			}
+		}
+	}
+}
+
+// A block leaf in a non-rightmost position compiles to the strided block
+// form — the fallback that keeps every calling context correct.
+func TestCompileBlockLeftStageIsStrided(t *testing.T) {
+	s := Compile(plan.Split(plan.Leaf(10), plan.Leaf(4)))
+	st := s.Stages()[1] // children flatten last-to-first: stage 1 is the block leaf
+	if st.M != 10 || st.S != 16 || st.V != codelet.Strided {
+		t.Fatalf("left block stage = M=%d S=%d %v, want M=10 S=16 strided (%s)", st.M, st.S, st.V, s)
+	}
+}

@@ -25,7 +25,12 @@
 // codelet, large-S stages run the interleaved codelet that absorbs the
 // inner k-loop into unit-stride streaming passes, and the rest run the
 // generic strided codelet — the stage-shape axis the paper identifies as
-// the dominant performance dimension.
+// the dominant performance dimension.  Stages whose kernel log-size
+// exceeds the unrolled tier (plan leaves in (plan.MaxLeafLog,
+// plan.BlockLeafMax]) dispatch to the looped cache-resident block kernels
+// of codelet's block tier, which finish every butterfly level of their
+// window in one visit — at n >= 16 a plan with block leaves needs fewer
+// full-vector passes, the paper's out-of-cache bottleneck.
 //
 // Schedules are immutable after Compile and safe for concurrent use; one
 // schedule serves both element types.
@@ -63,6 +68,10 @@ type Stage struct {
 	SLog int // log2(S), for splitting the flattened (j, k) space
 	Blk  int // S << M: base step between consecutive j rows
 	V    codelet.Variant
+	// Fused marks an interleaved stage compiled under Policy.ILFuse: full
+	// rows run the radix-4 fused streaming kernel (two butterfly levels
+	// per pass, bitwise-equal to the single-level kernel).
+	Fused bool
 }
 
 // Calls returns the number of kernel invocations in the stage (R*S).
@@ -95,7 +104,7 @@ func (s *Schedule) NumStages() int { return len(s.stages) }
 func (s *Schedule) Policy() codelet.Policy { return s.policy }
 
 // String renders the schedule as its stage sequence with the selected
-// kernel variant per stage, e.g.
+// kernel variant per stage (fused interleaved stages as "il+f"), e.g.
 // "[I1 x W2^2 x I4 strided] [I4 x W2^2 x I1 contig]".
 func (s *Schedule) String() string {
 	out := ""
@@ -103,7 +112,11 @@ func (s *Schedule) String() string {
 		if i > 0 {
 			out += " "
 		}
-		out += fmt.Sprintf("[I%d x W2^%d x I%d %s]", st.R, st.M, st.S, st.V)
+		v := st.V.String()
+		if st.Fused {
+			v += "+f"
+		}
+		out += fmt.Sprintf("[I%d x W2^%d x I%d %s]", st.R, st.M, st.S, v)
 	}
 	return out
 }
@@ -164,13 +177,15 @@ func NewScheduleWith(p *plan.Node, pol codelet.Policy) (*Schedule, error) {
 func flatten(p *plan.Node, r, s int, pol codelet.Policy, out *[]Stage) {
 	if p.IsLeaf() {
 		m := p.Log2Size()
+		v := pol.Select(m, s)
 		*out = append(*out, Stage{
-			M:    m,
-			R:    r,
-			S:    s,
-			SLog: log2(s),
-			Blk:  s << uint(m),
-			V:    pol.Select(m, s),
+			M:     m,
+			R:     r,
+			S:     s,
+			SLog:  log2(s),
+			Blk:   s << uint(m),
+			V:     v,
+			Fused: pol.ILFuse && v == codelet.Interleaved && m >= 2,
 		})
 		return
 	}
@@ -200,21 +215,52 @@ type kernelSet[T Float] struct {
 	strided func(x []T, base, stride int)
 	contig  func(x []T, base int)
 	il      func(x []T, base, s int)
+	ilFused func(x []T, base, s int)
 	ilRange func(x []T, base, s, kLo, kHi int)
 }
 
 // kernelsFor resolves the kernel set for log-size m: the unrolled codelets
-// when generated, the generic loop kernels otherwise.  The two concrete
-// instantiations share the Float type set, so the assertions through any
-// are exact.
+// when generated, the looped block kernels for the block tier
+// (m > codelet.GeneratedMaxLog), the generic loop kernels otherwise.  The
+// two concrete instantiations share the Float type set, so the assertions
+// through any are exact.
+//
+// Block sizes carry no interleaved form (Policy.Select never picks it for
+// them), but the il/ilFused/ilRange slots are still populated with the
+// generic streaming kernels so hand-built schedules stay correct.
 func kernelsFor[T Float](m int) kernelSet[T] {
 	var zero T
 	switch any(zero).(type) {
 	case float64:
+		if m > codelet.GeneratedMaxLog {
+			ks := kernelSet[float64]{
+				strided: codelet.ForBlock(m),
+				contig:  codelet.ForBlockContig(m),
+				il: func(x []float64, base, s int) {
+					codelet.GenericIL(x, base, s, m)
+				},
+				ilFused: func(x []float64, base, s int) {
+					codelet.GenericILFused(x, base, s, m)
+				},
+				ilRange: func(x []float64, base, s, kLo, kHi int) {
+					codelet.GenericILRange(x, base, s, kLo, kHi, m)
+				},
+			}
+			if ks.strided == nil {
+				ks.strided = func(x []float64, base, stride int) { codelet.GenericBlock(x, base, stride, m) }
+			}
+			if ks.contig == nil {
+				ks.contig = func(x []float64, base int) { codelet.GenericBlockContig(x, base, m) }
+			}
+			return any(ks).(kernelSet[T])
+		}
 		ks := kernelSet[float64]{
 			strided: codelet.For(m),
 			contig:  codelet.ForContig(m),
 			il:      codelet.ForIL(m),
+			ilFused: func(x []float64, base, s int) {
+				codelet.GenericILFused(x, base, s, m)
+			},
 			ilRange: func(x []float64, base, s, kLo, kHi int) {
 				codelet.GenericILRange(x, base, s, kLo, kHi, m)
 			},
@@ -230,10 +276,35 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 		}
 		return any(ks).(kernelSet[T])
 	default:
+		if m > codelet.GeneratedMaxLog {
+			ks := kernelSet[float32]{
+				strided: codelet.ForBlock32(m),
+				contig:  codelet.ForBlockContig32(m),
+				il: func(x []float32, base, s int) {
+					codelet.GenericIL32(x, base, s, m)
+				},
+				ilFused: func(x []float32, base, s int) {
+					codelet.GenericILFused32(x, base, s, m)
+				},
+				ilRange: func(x []float32, base, s, kLo, kHi int) {
+					codelet.GenericILRange32(x, base, s, kLo, kHi, m)
+				},
+			}
+			if ks.strided == nil {
+				ks.strided = func(x []float32, base, stride int) { codelet.GenericBlock32(x, base, stride, m) }
+			}
+			if ks.contig == nil {
+				ks.contig = func(x []float32, base int) { codelet.GenericBlockContig32(x, base, m) }
+			}
+			return any(ks).(kernelSet[T])
+		}
 		ks := kernelSet[float32]{
 			strided: codelet.For32(m),
 			contig:  codelet.ForContig32(m),
 			il:      codelet.ForIL32(m),
+			ilFused: func(x []float32, base, s int) {
+				codelet.GenericILFused32(x, base, s, m)
+			},
 			ilRange: func(x []float32, base, s, kLo, kHi int) {
 				codelet.GenericILRange32(x, base, s, kLo, kHi, m)
 			},
@@ -255,11 +326,11 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 // distinct leaf size.  The table is cheap enough to rebuild per Run call;
 // batch and parallel executors build it once and share it.
 type kernelTable[T Float] struct {
-	sets [plan.MaxLeafLog + 1]kernelSet[T]
+	sets [plan.BlockLeafMax + 1]kernelSet[T]
 }
 
 func (kt *kernelTable[T]) get(m int) *kernelSet[T] {
-	// Validated plans bound leaf sizes to [1, MaxLeafLog], so m always
+	// Validated plans bound leaf sizes to [1, BlockLeafMax], so m always
 	// indexes the table.
 	ks := &kt.sets[m]
 	if ks.strided == nil {

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
 )
 
 // Parallel fan-out thresholds.  A stage fans out when it offers enough
@@ -33,7 +36,13 @@ const (
 // stage's compiled kernel variant — full interleaved rows through the
 // unrolled IL kernel, partial rows through its range form, so an
 // interleaved stage with R == 1 (the large-S shape that benefits most)
-// still splits across all workers.
+// still splits across all workers.  When an interleaved stage has at
+// least one row per worker, chunk boundaries are aligned to whole rows
+// so every worker runs full IL kernels instead of paying the slower
+// ilRange partial-row form at each chunk seam; block-tier stages
+// (M > plan.MaxLeafLog) split at block-call granularity and fan out from
+// two calls up, since a single block call is already thousands of
+// butterflies.
 //
 // workers <= 0 selects GOMAXPROCS.
 func RunParallel[T Float](s *Schedule, x []T, workers int) error {
@@ -51,11 +60,24 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 		st := &s.stages[i]
 		ks := kt.get(st.M)
 		total := st.R * st.S
-		if workers == 1 || total < FanoutCalls || total<<uint(st.M) < FanoutElems {
+		minCalls := FanoutCalls
+		if st.M > plan.MaxLeafLog {
+			// A block call covers a whole 2^M window; two of them already
+			// repay a barrier at the sizes block leaves appear in.
+			minCalls = 2
+		}
+		if workers == 1 || total < minCalls || total<<uint(st.M) < FanoutElems {
 			runStageRange(st, ks, x, 0, 0, total)
 			continue
 		}
 		chunk := (total + workers - 1) / workers
+		if st.V == codelet.Interleaved && st.R >= workers {
+			// Row-align the chunks: ceil(R/workers) whole rows per worker
+			// keeps every call on the unrolled IL kernel.  Stages with
+			// fewer rows than workers keep the element-column split, where
+			// partial rows (ilRange) are the price of using all workers.
+			chunk = (st.R + workers - 1) / workers * st.S
+		}
 		var wg sync.WaitGroup
 		for lo := 0; lo < total; lo += chunk {
 			hi := lo + chunk

@@ -88,6 +88,12 @@ func runStageRange[T Float](st *Stage, ks *kernelSet[T], x []T, base, lo, hi int
 			ks.contig(x, base+j*st.Blk)
 		}
 	case codelet.Interleaved:
+		full := ks.il
+		if st.Fused {
+			// The fused kernel computes bit-identical results, so full and
+			// partial rows may mix freely (parallel seams stay exact).
+			full = ks.ilFused
+		}
 		for idx := lo; idx < hi; {
 			j := idx >> uint(st.SLog)
 			k := idx & (st.S - 1)
@@ -97,7 +103,7 @@ func runStageRange[T Float](st *Stage, ks *kernelSet[T], x []T, base, lo, hi int
 			}
 			rowBase := base + j*st.Blk
 			if k == 0 && end-idx == st.S {
-				ks.il(x, rowBase, st.S)
+				full(x, rowBase, st.S)
 			} else {
 				ks.ilRange(x, rowBase, st.S, k, k+(end-idx))
 			}

@@ -17,6 +17,8 @@ var variantPolicies = map[string]codelet.Policy{
 	"strided-only": {StridedOnly: true},
 	"contig-only":  {ILMinS: -1},
 	"il-all":       {ILMinS: 2},
+	"fused":        {ILFuse: true},
+	"fused-il-all": {ILMinS: 2, ILFuse: true},
 }
 
 // TestVariantDispatchBitwiseEqualsInterpret is the acceptance property of

@@ -69,11 +69,18 @@ type CostModel struct {
 	SpillPerExtra int64 // spill (store+reload) pairs charged per temporary beyond Registers
 }
 
-// LeafOps returns the instruction-class counts of one call of the unrolled
-// codelet of log-size m: 2^m loads and stores, m*2^m butterfly operations,
-// incremental address updates, plus spill traffic once the 2^m simultaneous
-// temporaries exceed the register file.
+// LeafOps returns the instruction-class counts of one call of the codelet
+// of log-size m.  For the unrolled tier: 2^m loads and stores, m*2^m
+// butterfly operations, incremental address updates, plus spill traffic
+// once the 2^m simultaneous temporaries exceed the register file.  Block
+// log-sizes (m > codelet.GeneratedMaxLog) price as their strided
+// in-window factorization (see blockLeafOps) — a block leaf never holds
+// 2^m temporaries, so it is charged the sub-codelets it actually runs,
+// not an impossible straight-line unroll.
 func (c CostModel) LeafOps(m int) OpCounts {
+	if m > codelet.GeneratedMaxLog {
+		return c.blockLeafOps(m, false)
+	}
 	size := int64(1) << uint(m)
 	ops := OpCounts{
 		Arith: int64(m) * size,
@@ -86,6 +93,39 @@ func (c CostModel) LeafOps(m int) OpCounts {
 		ops.SpillLd = extra * c.SpillPerExtra
 		ops.SpillSt = extra * c.SpillPerExtra
 	}
+	return ops
+}
+
+// blockLeafOps prices one call of the block kernel of log-size m: the sum
+// of its in-window factor codelets (codelet.BlockParts) plus the factor
+// loops' bookkeeping.  contig selects the contiguous form, whose
+// rightmost factor runs the stride-1 specialization; every other factor
+// is a strided codelet either way.  This is exactly the instr/miss trade
+// the paper identifies: slightly more loop instructions than one
+// (hypothetical) unrolled kernel, far fewer cache misses than separate
+// full-vector stages.
+func (c CostModel) blockLeafOps(m int, contig bool) OpCounts {
+	parts := codelet.BlockParts(m)
+	total := int64(1) << uint(m)
+	var ops OpCounts
+	sLog := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		pi := parts[i]
+		calls := total >> uint(pi)
+		var call OpCounts
+		if contig && i == len(parts)-1 {
+			call = c.LeafOpsVariant(pi, codelet.Contiguous, 1)
+		} else {
+			call = c.LeafOps(pi)
+		}
+		ops.Add(call.Scale(calls))
+		// The factor's loop nest: a row walk plus one dispatch iteration
+		// per codelet call.
+		rows := total >> uint(pi+sLog)
+		ops.Loop += c.ChildSetup + c.MidIter*rows + c.InnerIter*calls
+		sLog += pi
+	}
+	ops.Call += c.LeafSetup
 	return ops
 }
 
@@ -105,6 +145,12 @@ func (c CostModel) LeafOps(m int) OpCounts {
 //     ever live), with the call overhead amortized over all s vectors.
 func (c CostModel) LeafOpsVariant(m int, v codelet.Variant, s int) OpCounts {
 	size := int64(1) << uint(m)
+	if m > codelet.GeneratedMaxLog {
+		// Block tier: the contiguous window form or the strided fallback;
+		// the block tier has no interleaved form (Policy.Select never
+		// produces one), so anything else prices as strided.
+		return c.blockLeafOps(m, v == codelet.Contiguous)
+	}
 	switch v {
 	case codelet.Contiguous:
 		ops := OpCounts{
@@ -134,18 +180,51 @@ func (c CostModel) LeafOpsVariant(m int, v codelet.Variant, s int) OpCounts {
 	}
 }
 
+// fusedILOps returns the op counts of one interleaved call executed by
+// the radix-4 fused streaming kernel (codelet.GenericILFused): the same
+// m*2^m*s butterflies, but ceil(m/2) passes instead of m — one load and
+// one store per element per pass, a four-way subslice per block, and one
+// loop iteration per four elements of a fused pass.
+func (c CostModel) fusedILOps(m, s int) OpCounts {
+	size := int64(1) << uint(m)
+	s64 := int64(s)
+	passes := int64(m+1) / 2
+	return OpCounts{
+		Arith: int64(m) * size * s64,
+		Load:  passes * size * s64,
+		Store: passes * size * s64,
+		Addr:  8 * (size - 1), // four subslices per fused block, ~2(size-1) blocks
+		Loop:  passes*size*s64/4 + (size - 1),
+		Call:  c.LeafSetup,
+	}
+}
+
 // StageOps returns the instruction-class counts of one compiled stage
 // I(R) (x) WHT(2^m) (x) I(S) executed by the flat engine with kernel
 // variant v: the kernel ops of every call plus the stage's own loop
 // bookkeeping.  The strided and contiguous variants issue one kernel call
 // per (j, k) resp. j index; the interleaved variant issues one composite
-// call per j-row.
+// call per j-row.  Fused interleaved stages (Policy.ILFuse) are priced by
+// StageOpsFused.
 func (c CostModel) StageOps(m, r, s int, v codelet.Variant) OpCounts {
+	return c.StageOpsFused(m, r, s, v, false)
+}
+
+// StageOpsFused is StageOps for a stage whose interleaved kernel runs the
+// radix-4 fused streaming form (exec.Stage.Fused): half the element loads
+// and stores of the single-level kernel for the same butterfly work.
+// fused is ignored for non-interleaved variants.
+func (c CostModel) StageOpsFused(m, r, s int, v codelet.Variant, fused bool) OpCounts {
 	calls := int64(r)
 	if v == codelet.Strided {
 		calls *= int64(s)
 	}
-	ops := c.LeafOpsVariant(m, v, s).Scale(calls)
+	var ops OpCounts
+	if fused && v == codelet.Interleaved {
+		ops = c.fusedILOps(m, s).Scale(calls)
+	} else {
+		ops = c.LeafOpsVariant(m, v, s).Scale(calls)
+	}
 	// The flat executor's per-stage bookkeeping: one setup, a row walk of
 	// r iterations, and one dispatch iteration per kernel call.
 	ops.Loop += c.ChildSetup + c.MidIter*int64(r) + c.InnerIter*calls
@@ -156,12 +235,34 @@ func (c CostModel) StageOps(m, r, s int, v codelet.Variant) OpCounts {
 // stage (the branch-mispredict term of the cycle model): the flat row
 // walk for the strided form, a single dispatch loop for the contiguous
 // form, and the per-level block/stream loops of the interleaved kernel.
+// Fused interleaved stages are handled by StageLoopInstancesFused.
 func StageLoopInstances(m, r, s int, v codelet.Variant) int64 {
+	return StageLoopInstancesFused(m, r, s, v, false)
+}
+
+// StageLoopInstancesFused is StageLoopInstances with the fused
+// interleaved form (ceil(m/2) passes) and the block tier's per-factor
+// loop nests accounted.
+func StageLoopInstancesFused(m, r, s int, v codelet.Variant, fused bool) int64 {
 	size := int64(1) << uint(m)
+	if m > codelet.GeneratedMaxLog {
+		// Block kernels run one row walk plus one dispatch loop per
+		// in-window factor, for every call of the stage.
+		calls := int64(r)
+		if v != codelet.Contiguous {
+			calls *= int64(s)
+		}
+		return 1 + calls*int64(2*len(codelet.BlockParts(m)))
+	}
 	switch v {
 	case codelet.Contiguous:
 		return 1
 	case codelet.Interleaved:
+		if fused {
+			// Per call: ceil(m/2) pass loops plus one inner stream loop
+			// per fused block (~(size-1) blocks across the passes).
+			return 1 + int64(r)*(int64(m+1)/2+size-1)
+		}
 		// Per call: m level loops plus one inner stream loop per butterfly
 		// block (size-1 blocks across the levels).
 		return 1 + int64(r)*(int64(m)+size-1)

@@ -45,13 +45,15 @@ func LeftRecursive(n int) *Node {
 // Balanced returns a recursively halved plan whose subtrees become leaves
 // once they fit in a codelet of log-size at most leafMax.  It is the
 // cache-oblivious style of plan and a strong baseline for large sizes.
+// leafMax above MaxLeafLog (clamped to BlockLeafMax) admits block-kernel
+// leaves, halving the number of full-vector stages at large n.
 func Balanced(n, leafMax int) *Node {
 	mustSize(n)
 	if leafMax < 1 {
 		leafMax = 1
 	}
-	if leafMax > MaxLeafLog {
-		leafMax = MaxLeafLog
+	if leafMax > BlockLeafMax {
+		leafMax = BlockLeafMax
 	}
 	if n <= leafMax {
 		return Leaf(n)
@@ -62,14 +64,15 @@ func Balanced(n, leafMax int) *Node {
 
 // RadixIterative returns a single-level split using codelets of log-size k
 // (the final part picks up the remainder): the radix-2^k iterative
-// algorithm.  k is clamped to [1, MaxLeafLog].
+// algorithm.  k is clamped to [1, BlockLeafMax]; k above MaxLeafLog
+// selects block-kernel base cases.
 func RadixIterative(n, k int) *Node {
 	mustSize(n)
 	if k < 1 {
 		k = 1
 	}
-	if k > MaxLeafLog {
-		k = MaxLeafLog
+	if k > BlockLeafMax {
+		k = BlockLeafMax
 	}
 	if n <= k {
 		return Leaf(n)

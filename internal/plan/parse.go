@@ -10,7 +10,7 @@ import (
 //	plan  := "small" "[" int "]" | "split" "[" plan ("," plan)* "]"
 //
 // Whitespace between tokens is ignored.  A split must have at least two
-// children, and leaf sizes must lie in [1, MaxLeafLog].
+// children, and leaf sizes must lie in [1, BlockLeafMax].
 func Parse(s string) (*Node, error) {
 	p := &parser{input: s}
 	node, err := p.parseNode()

@@ -22,6 +22,15 @@ import (
 // (the WHT package unrolls base cases up to 2^8).
 const MaxLeafLog = 8
 
+// BlockLeafMax is the largest log2 size a leaf may take at all: leaves in
+// (MaxLeafLog, BlockLeafMax] execute as looped cache-resident block
+// kernels (internal/codelet's block tier) instead of unrolled codelets.
+// A block leaf finishes every butterfly level of its 2^m window in one
+// visit, so plans for n >= 16 need fewer full-vector passes; searches and
+// samplers still default to MaxLeafLog and explore the block range only
+// when asked (Options.LeafMax / Sampler leafMax above MaxLeafLog).
+const BlockLeafMax = 14
+
 // Node is one node of a WHT plan.  Nodes are immutable after construction;
 // build them with Leaf and Split so the structural invariants hold.
 type Node struct {
@@ -29,8 +38,9 @@ type Node struct {
 	children []*Node // nil for a leaf
 }
 
-// Leaf returns a plan consisting of a single unrolled codelet of size 2^m.
-// It panics unless 1 <= m <= MaxLeafLog; use NewLeaf to get an error instead.
+// Leaf returns a plan consisting of a single codelet of size 2^m — an
+// unrolled codelet for m <= MaxLeafLog, a looped block kernel above.  It
+// panics unless 1 <= m <= BlockLeafMax; use NewLeaf to get an error instead.
 func Leaf(m int) *Node {
 	p, err := NewLeaf(m)
 	if err != nil {
@@ -40,10 +50,10 @@ func Leaf(m int) *Node {
 }
 
 // NewLeaf returns a leaf plan of size 2^m, or an error if m is outside
-// [1, MaxLeafLog].
+// [1, BlockLeafMax].
 func NewLeaf(m int) (*Node, error) {
-	if m < 1 || m > MaxLeafLog {
-		return nil, fmt.Errorf("plan: leaf size %d outside [1, %d]", m, MaxLeafLog)
+	if m < 1 || m > BlockLeafMax {
+		return nil, fmt.Errorf("plan: leaf size %d outside [1, %d]", m, BlockLeafMax)
 	}
 	return &Node{n: m}, nil
 }
@@ -163,8 +173,8 @@ func (p *Node) Validate() error {
 		return fmt.Errorf("plan: nil node")
 	}
 	if p.IsLeaf() {
-		if p.n < 1 || p.n > MaxLeafLog {
-			return fmt.Errorf("plan: leaf size %d outside [1, %d]", p.n, MaxLeafLog)
+		if p.n < 1 || p.n > BlockLeafMax {
+			return fmt.Errorf("plan: leaf size %d outside [1, %d]", p.n, BlockLeafMax)
 		}
 		return nil
 	}

@@ -15,13 +15,14 @@ type Sampler struct {
 }
 
 // NewSampler returns a deterministic sampler seeded with seed.  leafMax
-// bounds the codelet sizes used (clamped to [1, MaxLeafLog]).
+// bounds the codelet sizes used (clamped to [1, BlockLeafMax]; values
+// above MaxLeafLog admit block-kernel leaves).
 func NewSampler(seed uint64, leafMax int) *Sampler {
 	if leafMax < 1 {
 		leafMax = 1
 	}
-	if leafMax > MaxLeafLog {
-		leafMax = MaxLeafLog
+	if leafMax > BlockLeafMax {
+		leafMax = BlockLeafMax
 	}
 	return &Sampler{
 		rng:     rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),

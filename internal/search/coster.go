@@ -93,7 +93,7 @@ func (m *stageModelCoster) Cost(p *plan.Node) float64 {
 	}
 	var total int64
 	for _, st := range s.Stages() {
-		total += m.cost.StageOps(st.M, st.R, st.S, st.V).Total()
+		total += m.cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused).Total()
 	}
 	return float64(total)
 }

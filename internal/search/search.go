@@ -53,7 +53,10 @@ func CombinedModel(cost machine.CostModel, alpha, beta float64, lgLines int) Cos
 
 // Options bounds the searches.
 type Options struct {
-	LeafMax  int // largest codelet log-size considered (default MaxLeafLog)
+	// LeafMax is the largest codelet log-size considered (default
+	// MaxLeafLog; values up to plan.BlockLeafMax admit the block-kernel
+	// leaves that trade loop instructions for whole full-vector passes).
+	LeafMax  int
 	MaxArity int // largest split arity the DP considers (default 2)
 	// Workers sets how many goroutines Random/Pruned evaluate candidates
 	// on (<= 1 means sequential).  Candidate generation stays sequential
@@ -68,8 +71,11 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.LeafMax <= 0 || o.LeafMax > plan.MaxLeafLog {
+	if o.LeafMax <= 0 {
 		o.LeafMax = plan.MaxLeafLog
+	}
+	if o.LeafMax > plan.BlockLeafMax {
+		o.LeafMax = plan.BlockLeafMax
 	}
 	if o.MaxArity < 2 {
 		o.MaxArity = 2

@@ -4,6 +4,7 @@ import (
 	"repro/internal/codelet"
 	"repro/internal/exec"
 	"repro/internal/machine"
+	"repro/internal/plan"
 )
 
 // RunSchedule simulates one evaluation of a compiled schedule on a cold
@@ -38,9 +39,29 @@ func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
 // stream through the simulated hierarchy.
 func (t *Tracer) stage(st exec.Stage) {
 	cost := &t.mach.Cost
-	t.counters.Ops.Add(cost.StageOps(st.M, st.R, st.S, st.V))
+	t.counters.Ops.Add(cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused))
 	t.counters.LoopInstances += machineStageLoops(st)
 	size := 1 << uint(st.M)
+	if st.M > plan.MaxLeafLog {
+		// Block stages: each call streams its multi-factor in-window
+		// decomposition — the contiguous form once per j-row (S == 1 by
+		// construction), the strided fallback once per (j, k) call at the
+		// stage stride.  Either way the caller-visible cost is one visit
+		// of the window per call; the re-passes inside it hit whatever
+		// level of the simulated hierarchy the window fits in.
+		t.counters.LeafCalls[st.M] += int64(st.R) * int64(st.S)
+		for j := 0; j < st.R; j++ {
+			rowBase := j * st.Blk
+			if st.V == codelet.Contiguous {
+				t.blockLeafStream(rowBase, 1, st.M)
+				continue
+			}
+			for k := 0; k < st.S; k++ {
+				t.blockLeafStream(rowBase+k, st.S, st.M)
+			}
+		}
+		return
+	}
 	switch st.V {
 	case codelet.Contiguous:
 		// The straight-line codelet's dependency-stall profile matches the
@@ -52,11 +73,16 @@ func (t *Tracer) stage(st exec.Stage) {
 		}
 	case codelet.Interleaved:
 		// The streaming kernel has no straight-line dependency chains;
-		// its cost is in the m passes over each j-row block.
+		// its cost is in the passes over each j-row block: one per level,
+		// or one per fused level pair under Policy.ILFuse.
+		passes := st.M
+		if st.Fused {
+			passes = (st.M + 1) / 2
+		}
 		block := size * st.S
 		for j := 0; j < st.R; j++ {
 			base := j * st.Blk
-			for lvl := 0; lvl < st.M; lvl++ {
+			for lvl := 0; lvl < passes; lvl++ {
 				t.leafPass(base, 1, block)
 				t.leafPass(base, 1, block)
 			}
@@ -74,5 +100,5 @@ func (t *Tracer) stage(st exec.Stage) {
 }
 
 func machineStageLoops(st exec.Stage) int64 {
-	return machine.StageLoopInstances(st.M, st.R, st.S, st.V)
+	return machine.StageLoopInstancesFused(st.M, st.R, st.S, st.V, st.Fused)
 }

@@ -73,11 +73,70 @@ func TestRunScheduleInstructionsMatchStageOps(t *testing.T) {
 			got := tr.RunSchedule(sched).Instructions()
 			var want int64
 			for _, st := range sched.Stages() {
-				want += m.Cost.StageOps(st.M, st.R, st.S, st.V).Total()
+				want += m.Cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused).Total()
 			}
 			if got != want {
 				t.Fatalf("policy %+v plan %s: traced %d instructions, StageOps says %d", pol, p, got, want)
 			}
 		}
+	}
+}
+
+// Block stages in the schedule tracer issue the same reference stream as
+// the tree walker's block leaves: strided-only one-level splits stay
+// bit-for-bit equal on the memory counters.
+func TestRunScheduleBlockStridedMemEqualsTreeWalk(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	for _, p := range []*plan.Node{
+		plan.MustParse("split[small[4],small[12]]"),
+		plan.MustParse("split[small[10],small[4]]"),
+		plan.MustParse("split[small[2],small[14],small[2]]"),
+	} {
+		want := tr.Run(p).Mem
+		sched, err := exec.NewScheduleWith(p, codelet.Policy{StridedOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.RunSchedule(sched).Mem
+		if got != want {
+			t.Fatalf("plan %s: schedule mem %+v, tree walk %+v", p, got, want)
+		}
+	}
+}
+
+// The block tier's side of the paper's instr/miss trade, measured
+// against the plan that computes the identical factor sequence as
+// separate full-vector stages: the block leaf suffers fewer L1 misses
+// (its re-passes run on a resident window) at the price of more address
+// arithmetic (every in-window factor walks strided offsets where the
+// flat equivalent streams unit-stride).
+func TestRunScheduleBlockTradesAddrForMisses(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	block := tr.RunSchedule(exec.Compile(plan.MustParse("split[small[6],small[12]]")))
+	equiv := tr.RunSchedule(exec.Compile(plan.MustParse("split[small[6],split[small[4],small[4],small[4]]]")))
+	if block.Mem.L1Misses >= equiv.Mem.L1Misses {
+		t.Errorf("block plan L1 misses %d not below flat equivalent %d", block.Mem.L1Misses, equiv.Mem.L1Misses)
+	}
+	if block.Ops.Addr <= equiv.Ops.Addr {
+		t.Errorf("block plan addr ops %d not above flat equivalent %d (the instr side of the trade)",
+			block.Ops.Addr, equiv.Ops.Addr)
+	}
+}
+
+// Fused interleaved stages halve the streamed references of their
+// single-level counterparts for identical butterfly work.
+func TestRunScheduleFusedILHalvesLoads(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	p := plan.MustParse("split[small[6],small[12]]")
+	single := tr.RunSchedule(exec.CompileWith(p, codelet.DefaultPolicy()))
+	fused := tr.RunSchedule(exec.CompileWith(p, codelet.Policy{ILFuse: true}))
+	if fused.Ops.Arith != single.Ops.Arith {
+		t.Errorf("fused arith %d != single %d (same butterflies)", fused.Ops.Arith, single.Ops.Arith)
+	}
+	if fused.Ops.Load >= single.Ops.Load {
+		t.Errorf("fused loads %d not below single-level %d", fused.Ops.Load, single.Ops.Load)
 	}
 }

@@ -31,7 +31,10 @@ type Options struct {
 	Seed       uint64             // sampling seed (default 1)
 	Workers    int                // goroutines for the model-filter phase (<= 1 sequential)
 	Timing     exec.TimingOptions // warmup/repeat/min-duration of each real measurement
-	LeafMax    int                // largest codelet log-size (default plan.MaxLeafLog)
+	// LeafMax is the largest leaf log-size the random phase samples
+	// (default plan.BlockLeafMax, so the search explores the block-kernel
+	// tier; clamp to plan.MaxLeafLog for the legacy unrolled-only space).
+	LeafMax int
 
 	// Policies is the set of kernel-variant selection policies measured
 	// for the winning plan; the fastest is registered and recorded in
@@ -41,14 +44,17 @@ type Options struct {
 
 // DefaultPolicies is the variant-policy grid a tuning run sweeps for the
 // winning plan: the library default (contiguous + interleaved), the
-// legacy strided engine, contiguous without interleaving, and aggressive
-// interleaving of every S > 1 stage.
+// legacy strided engine, contiguous without interleaving, aggressive
+// interleaving of every S > 1 stage, and the fused radix-4 interleaved
+// forms (two butterfly levels per streaming pass) plain and aggressive.
 func DefaultPolicies() []codelet.Policy {
 	return []codelet.Policy{
 		codelet.DefaultPolicy(),
 		{StridedOnly: true},
 		{ILMinS: -1},
 		{ILMinS: 2},
+		{ILFuse: true},
+		{ILMinS: 2, ILFuse: true},
 	}
 }
 
@@ -61,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.LeafMax <= 0 || o.LeafMax > plan.BlockLeafMax {
+		o.LeafMax = plan.BlockLeafMax
 	}
 	if len(o.Policies) == 0 {
 		o.Policies = DefaultPolicies()
@@ -93,8 +102,10 @@ func rematchTiming(t exec.TimingOptions) exec.TimingOptions {
 // Tune finds a measured-fast plan for WHT(2^n), registers it as the plan
 // ForSize/Transform serve at that size, and records it in the process
 // wisdom store.  The measured candidate set always includes the balanced
-// default and the model-optimal DP plan, so the tuned result is never a
-// regression against the untuned serving path (up to timing noise).
+// default, the model-optimal DP plan, and one block-leaf plan per block
+// size 2^9..2^LeafMax (the cache-resident large base cases), so the tuned
+// result is never a regression against the untuned serving path (up to
+// timing noise) and the enlarged leaf range is explored on every run.
 func Tune(n int, opt Options) (Result, error) {
 	if n < 1 {
 		return Result{}, fmt.Errorf("tune: size 2^%d out of range", n)
@@ -113,20 +124,42 @@ func Tune(n int, opt Options) (Result, error) {
 	shortlist := search.Shortlist(scored, opt.KeepFrac)
 
 	// Baselines first: index order breaks ties, so on a tie the balanced
-	// default wins and serving behavior does not churn.
-	candidates := []*plan.Node{plan.Balanced(n, leafMax(opt.LeafMax))}
+	// default wins and serving behavior does not churn.  Every candidate
+	// honors the caller's leaf ceiling: the unrolled-tier pieces clamp to
+	// min(LeafMax, MaxLeafLog) and the block sweep stops at LeafMax.
+	unrolledMax := opt.LeafMax
+	if unrolledMax > plan.MaxLeafLog {
+		unrolledMax = plan.MaxLeafLog
+	}
+	candidates := []*plan.Node{plan.Balanced(n, unrolledMax)}
 	candidates = append(candidates, search.DP(n, model, sOpt).Plan)
+	// The block-leaf sweep: one candidate per block size with the block
+	// leaf rightmost (the stride-1 position its contiguous window form
+	// serves), covering the leaf range the unrolled-tier sampler cannot
+	// reach.  The measured phase decides whether fewer full-vector passes
+	// beat the unrolled plans on this machine.
+	for bl := plan.MaxLeafLog + 1; bl <= opt.LeafMax && bl < n; bl++ {
+		candidates = append(candidates, plan.Split(plan.Balanced(n-bl, unrolledMax), plan.Leaf(bl)))
+	}
 	candidates = append(candidates, shortlist...)
 	candidates = dedupe(candidates)
 
 	// Phase 2: measure.  The memo table guards against duplicates that
 	// survive dedupe via forks; the measured coster serializes timings.
+	// The fastest block-leaf candidate is tracked separately: block plans
+	// often need the fused interleaved policy (phase 4) for their top
+	// stage, so judging them on the default policy alone would discard
+	// them before the sweep could show it.
 	coster := search.Memoize(search.NewMeasuredCoster(opt.Timing))
 	best := search.Result{Plan: nil, Cost: 0}
+	bestBlock := search.Result{Plan: nil, Cost: 0}
 	for i, p := range candidates {
 		c := coster.Cost(p)
 		if i == 0 || c < best.Cost {
 			best = search.Result{Plan: p, Cost: c}
+		}
+		if hasBlockLeaf(p) && (bestBlock.Plan == nil || c < bestBlock.Cost) {
+			bestBlock = search.Result{Plan: p, Cost: c}
 		}
 	}
 	measured := len(candidates)
@@ -152,26 +185,35 @@ func Tune(n int, opt Options) (Result, error) {
 	res := Result{Plan: best.Plan, Policy: codelet.DefaultPolicy(), NsPerRun: best.Cost, BaselineNs: baselineNs, Measured: measured}
 
 	// Phase 4: variant-policy sweep — the axis the stage engine opened.
-	// The winning plan is timed under every candidate kernel-variant
-	// policy (same plan, different codelet selection per stage) back to
-	// back at rematch effort — including the incumbent default, so no
-	// policy ever wins against a stale measurement from the earlier
-	// phases — and the fastest policy ships.
+	// The winning plan — and the fastest block-leaf candidate, whose top
+	// stage only shows its worth under the fused interleaved policy — is
+	// timed under every candidate kernel-variant policy (same plan,
+	// different codelet selection per stage) back to back at rematch
+	// effort — including the incumbent default, so no policy ever wins
+	// against a stale measurement from the earlier phases — and the
+	// fastest (plan, policy) pair ships.
 	if len(opt.Policies) > 1 {
+		sweep := []*plan.Node{res.Plan}
+		if bestBlock.Plan != nil && !bestBlock.Plan.Equal(res.Plan) {
+			sweep = append(sweep, bestBlock.Plan)
+		}
 		polTiming := rematchTiming(opt.Timing)
 		first := true
-		for _, pol := range opt.Policies {
-			s, err := exec.NewScheduleWith(res.Plan, pol)
-			if err != nil {
-				return Result{}, fmt.Errorf("tune: %w", err)
-			}
-			ns := exec.TimeSchedule(s, polTiming)
-			measured++
-			// Ties keep the earlier policy (the default leads the grid),
-			// so serving does not churn on noise-level differences.
-			if first || ns < res.NsPerRun {
-				res.Policy, res.NsPerRun = pol, ns
-				first = false
+		for _, pl := range sweep {
+			for _, pol := range opt.Policies {
+				s, err := exec.NewScheduleWith(pl, pol)
+				if err != nil {
+					return Result{}, fmt.Errorf("tune: %w", err)
+				}
+				ns := exec.TimeSchedule(s, polTiming)
+				measured++
+				// Ties keep the earlier entry (the phase-3 winner under the
+				// default policy leads), so serving does not churn on
+				// noise-level differences.
+				if first || ns < res.NsPerRun {
+					res.Plan, res.Policy, res.NsPerRun = pl, pol, ns
+					first = false
+				}
 			}
 		}
 		res.Measured = measured
@@ -187,11 +229,17 @@ func Tune(n int, opt Options) (Result, error) {
 	return res, nil
 }
 
-func leafMax(v int) int {
-	if v <= 0 || v > plan.MaxLeafLog {
-		return plan.MaxLeafLog
+// hasBlockLeaf reports whether the plan contains a block-tier leaf.
+func hasBlockLeaf(p *plan.Node) bool {
+	if p.IsLeaf() {
+		return p.Log2Size() > plan.MaxLeafLog
 	}
-	return v
+	for _, c := range p.Children() {
+		if hasBlockLeaf(c) {
+			return true
+		}
+	}
+	return false
 }
 
 // dedupe removes structurally identical plans, keeping first occurrences.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/plan"
@@ -117,5 +118,125 @@ func TestSaveLoadServeRoundTrip(t *testing.T) {
 	after := exec.DefaultCacheStats()
 	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
 		t.Fatalf("wisdom-seeded lookup was not a warm hit: %+v -> %+v", before, after)
+	}
+}
+
+// The acceptance path of the block tier: a tuned result whose plan
+// carries a block leaf — registered exactly the way Tune registers its
+// winner — must persist to wisdom, survive a process restart, and be
+// served by ForSize/Transform, with its policy (including the fused
+// interleaved flag) intact.
+func TestTunedBlockPlanRoundTrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	const n = 13
+	blockPlan := plan.Split(plan.Leaf(4), plan.Leaf(9))
+	pol := codelet.Policy{ILFuse: true}
+	if err := exec.UseTunedPlanPolicy(blockPlan, pol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wisdom().RecordPolicy(wisdom.Float64, blockPlan, pol, 12345); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+
+	Reset() // fresh process
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := exec.TunedPlan(n)
+	if !ok || !p.Equal(blockPlan) {
+		t.Fatalf("TunedPlan = (%v, %v), want the block plan", p, ok)
+	}
+	if gotPol, ok := exec.TunedPolicy(n); !ok || gotPol != pol {
+		t.Fatalf("TunedPolicy = (%+v, %v), want (%+v, true)", gotPol, ok, pol)
+	}
+	// The served schedule contains the block stage and computes the same
+	// transform as the default engine.
+	sched := exec.ForSize(n)
+	hasBlock := false
+	for _, st := range sched.Stages() {
+		if st.M > plan.MaxLeafLog {
+			hasBlock = true
+		}
+	}
+	if !hasBlock {
+		t.Fatalf("served schedule %s has no block stage", sched)
+	}
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	want := append([]float64(nil), x...)
+	exec.MustRun(exec.Compile(plan.Balanced(n, plan.MaxLeafLog)), want)
+	exec.MustRun(sched, x)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("served block schedule diverges at %d: %v != %v", i, x[i], want[i])
+		}
+	}
+}
+
+// Tune's candidate set must include the block-leaf family so the
+// measured phase can select one: every block size below n appears, with
+// the block leaf in the rightmost (contiguous-window) position.
+func TestTuneMeasuresBlockCandidates(t *testing.T) {
+	Reset()
+	defer Reset()
+	const n = 11
+	res, err := Tune(n, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 balanced + 1 DP + 2 block candidates (2^9, 2^10) + a non-empty
+	// shortlist, minus dedupe overlap: at least 5 measurements.
+	if res.Measured < 5 {
+		t.Fatalf("measured %d plans; block candidates missing from the set", res.Measured)
+	}
+	// Whatever won, the serving path is registered and correct.
+	sched := exec.ForSize(n)
+	x := make([]float64, 1<<n)
+	x[1] = 1
+	want := append([]float64(nil), x...)
+	exec.MustRun(exec.Compile(plan.Balanced(n, plan.MaxLeafLog)), want)
+	exec.MustRun(sched, x)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("tuned schedule diverges at %d", i)
+		}
+	}
+}
+
+// An out-of-range LeafMax must clamp (the pre-block tuner silently
+// clamped too), not panic inside the block-candidate sweep.
+func TestTuneClampsOversizedLeafMax(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.LeafMax = 99
+	if _, err := Tune(10, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A LeafMax below the unrolled maximum must bound every candidate —
+// baseline included — so the tuned serving plan honors the caller's
+// leaf ceiling.
+func TestTuneHonorsLowLeafMax(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.LeafMax = 5
+	res, err := Tune(10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sz := range res.Plan.LeafSizes() {
+		if sz > 5 {
+			t.Fatalf("tuned plan %s has leaf 2^%d above LeafMax=5", res.Plan, sz)
+		}
 	}
 }

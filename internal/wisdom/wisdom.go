@@ -19,10 +19,11 @@
 //	  ]
 //	}
 //
-// The optional "il_min_s" / "strided_only" fields round-trip the
-// kernel-variant selection policy (codelet.Policy) the plan was measured
-// under; files without them load with the default policy, so pre-variant
-// version-1 files remain valid.
+// The optional "il_min_s" / "strided_only" / "il_fuse" fields round-trip
+// the kernel-variant selection policy (codelet.Policy) the plan was
+// measured under; files without them load with the default policy, so
+// pre-variant version-1 files remain valid.  Plans may carry block-tier
+// leaves (small[9..14]); they parse and validate like any other leaf.
 //
 // Every plan string must parse in the WHT package grammar, validate, and
 // match its entry's log-size; Load rejects files that fail any of these
@@ -83,11 +84,12 @@ type Entry struct {
 	// under and the serving path should compile with.
 	ILMinS      int  `json:"il_min_s,omitempty"`
 	StridedOnly bool `json:"strided_only,omitempty"`
+	ILFuse      bool `json:"il_fuse,omitempty"`
 }
 
 // Policy returns the variant-selection policy recorded with the entry.
 func (e Entry) Policy() codelet.Policy {
-	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly}
+	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly, ILFuse: e.ILFuse}
 }
 
 // Key identifies an entry: one tuned plan per (size, element type).
@@ -148,7 +150,7 @@ func (w *Wisdom) RecordPolicy(typ string, p *plan.Node, pol codelet.Policy, nsPe
 	}
 	e := Entry{
 		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
-		ILMinS: pol.ILMinS, StridedOnly: pol.StridedOnly,
+		ILMinS: pol.ILMinS, StridedOnly: pol.StridedOnly, ILFuse: pol.ILFuse,
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -191,3 +191,28 @@ func TestPolicyRoundTrip(t *testing.T) {
 		t.Fatalf("Record stored policy %+v, want default", gotPol)
 	}
 }
+
+// Block-leaf plans and the fused interleaved flag are first-class wisdom
+// citizens: small[9..14] leaves parse and validate on load, and il_fuse
+// round-trips alongside the other policy fields (absent in older files,
+// which still load as the default policy).
+func TestBlockPlanAndFusePolicyRoundTrip(t *testing.T) {
+	p := plan.MustParse("split[small[4],small[14]]")
+	w := New()
+	pol := codelet.Policy{ILFuse: true}
+	if _, err := w.RecordPolicy(Float64, p, pol, 2000); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotPol, ns, ok := loaded.LookupPolicy(18, Float64)
+	if !ok || !got.Equal(p) || gotPol != pol || ns != 2000 {
+		t.Fatalf("LookupPolicy = (%v, %+v, %g, %v), want (%v, %+v, 2000, true)", got, gotPol, ns, ok, p, pol)
+	}
+}
