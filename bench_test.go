@@ -449,6 +449,90 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	})
 }
 
+// SoA batch tier versus the per-vector batch path: the same schedule
+// over the same batch, run vector by vector (every stage pass repaid
+// per vector) and in structure-of-arrays form (each stage pass
+// amortized across the whole lane, plus the two transposes).  The
+// n=16 / lane>=8 ratio is the acceptance gate of the SoA engine
+// (>= 1.3x); the parallel forms compare the two fan-out shapes.
+func BenchmarkBatchSoA(b *testing.B) {
+	for _, cfg := range []struct{ n, lane int }{
+		{14, 8}, {16, 8}, {16, 32}, {18, 16},
+	} {
+		p := plan.Balanced(cfg.n, plan.MaxLeafLog)
+		sched := exec.Compile(p)
+		batch := make([][]float64, cfg.lane)
+		for i := range batch {
+			batch[i] = make([]float64, 1<<cfg.n)
+			for j := range batch[i] {
+				batch[i][j] = float64((i+j)&15) - 7.5
+			}
+		}
+		bytes := int64(8 << cfg.n * cfg.lane)
+		name := fmt.Sprintf("n=%d/lane=%d", cfg.n, cfg.lane)
+		var aosNs, soaNs float64
+		b.Run(name+"/aos", func(b *testing.B) {
+			b.SetBytes(bytes)
+			aos := exec.Compile(p)
+			aos.SetSoAMinBatch(-1) // pin the per-vector path
+			if err := exec.RunBatch(aos, batch); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exec.RunBatch(aos, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			aosNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		b.Run(name+"/soa", func(b *testing.B) {
+			b.SetBytes(bytes)
+			// One warm run populates the pooled scratch so single-shot CI
+			// iterations do not time the first allocation + page faults.
+			if err := exec.RunBatchSoA(sched, batch); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exec.RunBatchSoA(sched, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			soaNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		b.Run(name+"/soa-parallel", func(b *testing.B) {
+			b.SetBytes(bytes)
+			if err := exec.RunBatchSoAParallel(sched, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exec.RunBatchSoAParallel(sched, batch, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/aos-parallel", func(b *testing.B) {
+			b.SetBytes(bytes)
+			aos := exec.Compile(p)
+			aos.SetSoAMinBatch(-1)
+			if err := exec.RunBatchParallel(aos, batch, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := exec.RunBatchParallel(aos, batch, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if aosNs > 0 && soaNs > 0 {
+			b.Logf("%s: aos %.0f ns vs soa %.0f ns — %.2fx", name, aosNs, soaNs, aosNs/soaNs)
+		}
+	}
+}
+
 // Stage-shape kernel variants at the paper's sizes: the same plan
 // compiled strided-only (the legacy engine), contiguous-only, and with
 // full variant dispatch (contiguous + interleaved).  The balanced plan's

@@ -11,14 +11,23 @@
 // cache-resident block kernels to 2^14 (wht.BlockLeafMax) that finish
 // every butterfly level of their window in one global pass, and generic
 // loop kernels beyond — so plans at the paper's out-of-cache sizes need
-// 2 full-vector stages instead of 3-4.  The measured-cost autotuner
-// (wht.Tune, cmd/whttune) searches over real timings of compiled
-// schedules — block-leaf candidates and the fused-interleaved policy
-// included — serves the winner from the process-wide schedule cache, and
-// persists it across restarts as a fingerprinted wisdom file
-// (wht.SaveWisdom/LoadWisdom), including the kernel-variant policy the
-// winner was measured under — the paper's conclusion that search must be
-// driven by measurements, closed end to end.  The root package exists to
-// host the paper-figure and engine benchmark harness (bench_test.go).
-// See README.md for the quickstart and package map.
+// 2 full-vector stages instead of 3-4.  Batch traffic has a fourth
+// execution shape: the SoA tier (wht.RunBatchSoA, auto-selected by
+// RunBatch/ApplyBatch past a measured crossover) transposes the batch
+// into structure-of-arrays layout and runs every stage once across the
+// whole lane of vectors as radix-4 fused streams — bitwise-equal to
+// per-vector evaluation and >= 1.3x its throughput at n=16, batch >= 8
+// (BenchmarkBatchSoA).  The measured-cost autotuner (wht.Tune,
+// cmd/whttune) searches over real timings of compiled schedules —
+// block-leaf candidates, the fused-interleaved policy, and the
+// SoA-vs-per-vector batch choice included — serves the winner from the
+// process-wide schedule cache, and persists it across restarts as a
+// fingerprinted wisdom file (wht.SaveWisdom/LoadWisdom), including the
+// kernel-variant policy and batch crossover the winner was measured
+// under — the paper's conclusion that search must be driven by
+// measurements, closed end to end.  Its timing loop reinitializes its
+// scratch between chunks, so arbitrarily long measurements of the
+// unnormalized (data-doubling) transform stay finite.  The root package
+// exists to host the paper-figure and engine benchmark harness
+// (bench_test.go).  See README.md for the quickstart and package map.
 package repro

@@ -7,7 +7,9 @@
 // Each unrolled log-size carries three stage-shape variants (see
 // Variant): the generic strided form, the stride-1 contiguous
 // specialization, and the interleaved form that absorbs a stage's inner
-// k-loop.  Block log-sizes carry the strided and contiguous forms.  The
+// k-loop — plus the structure-of-arrays batch form (see soa.go) that
+// advances a lane of B vectors per call with the batch axis unit-stride.
+// Block log-sizes carry the strided and contiguous forms.  The
 // kernels in codelets_gen.go / codelets32_gen.go are produced by
 // cmd/whtgen (go generate ./internal/codelet) in the style of SPIRAL's
 // code generator.

@@ -1,0 +1,91 @@
+package codelet
+
+// The SoA (structure-of-arrays) kernel tier serves the batch execution
+// engine: one kernel call advances a lane of B independent vectors
+// through a whole WHT(2^m) base case, with the batch axis as the
+// unit-stride innermost dimension.  In SoA layout element j of batch
+// vector b lives at x[base + b + j*stride] (lane <= stride), so every
+// butterfly level is a sweep of unit-stride runs of length lane: the
+// lane amortizes each strided position's cache-line and TLB touch
+// across all B vectors — the same trade the interleaved kernels make
+// for a stage's k-loop, generalized to a lane width decoupled from the
+// stage stride.
+//
+// The interleaved kernel is the special case lane == stride: an
+// ILKernel call on (base, s) equals an SoA call on (base, s, s).  The
+// engine keeps both because a batch stage I(R) (x) WHT(2^m) (x) I(S)
+// over a lane of B vectors runs at stride S*B with lane B: when S*B is
+// large but B is small, the SoA kernel's 2^m-line working set per call
+// stays cache-resident while the IL kernel would stream the whole
+// 2^m * S * B row per level.
+
+// SoAKernel computes lane interleaved in-place WHT(2^m)s in SoA layout:
+// vector b (b < lane) occupies x[base + b + j*stride], j < 2^m.  The
+// call requires lane <= stride (vectors may not overlap).
+type SoAKernel func(x []float64, base, stride, lane int)
+
+// SoAKernel32 is the single-precision SoA kernel.
+type SoAKernel32 func(x []float32, base, stride, lane int)
+
+// ForSoA returns the generated SoA kernel for log2 size m, or nil if
+// none was generated.
+func ForSoA(m int) SoAKernel {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return SoAKernels[m]
+}
+
+// ForSoA32 returns the generated float32 SoA kernel, or nil.
+func ForSoA32(m int) SoAKernel32 {
+	if m < 1 || m > GeneratedMaxLog {
+		return nil
+	}
+	return SoAKernels32[m]
+}
+
+// GenericSoA computes lane interleaved in-place WHT(2^m)s in SoA layout
+// (vector b at x[base + b + j*stride]) for any m: one unit-stride lane
+// sweep per butterfly pair per level.  It is the reference
+// implementation the generated SoA kernels are tested against and the
+// fallback for log-sizes beyond the generated range.
+func GenericSoA(x []float64, base, stride, lane, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				p := base + j*stride
+				q := p + h*stride
+				lo := x[p : p+lane]
+				hi := x[q : q+lane]
+				hi = hi[:len(lo)]
+				for k := range lo {
+					a, b := lo[k], hi[k]
+					lo[k] = a + b
+					hi[k] = a - b
+				}
+			}
+		}
+	}
+}
+
+// GenericSoA32 is the float32 SoA loop kernel.
+func GenericSoA32(x []float32, base, stride, lane, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				p := base + j*stride
+				q := p + h*stride
+				lo := x[p : p+lane]
+				hi := x[q : q+lane]
+				hi = hi[:len(lo)]
+				for k := range lo {
+					a, b := lo[k], hi[k]
+					lo[k] = a + b
+					hi[k] = a - b
+				}
+			}
+		}
+	}
+}

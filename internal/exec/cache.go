@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/codelet"
@@ -79,18 +80,27 @@ func (c *ScheduleCache) Get(n int, build func() *Schedule) *Schedule {
 // used entry, replacing any cached schedule of that size.  It is the
 // seed-from-wisdom path: a tuner (or a loaded wisdom file) plants its
 // schedule so the first Get at that size is already a hit.
-func (c *ScheduleCache) Warm(n int, s *Schedule) {
+//
+// A schedule whose Log2Size disagrees with n is rejected: accepting it
+// would permanently poison every Get/ForSize/Transform at that size
+// (each serving call would fail its length check against the
+// wrong-sized schedule until the entry is evicted or purged).
+func (c *ScheduleCache) Warm(n int, s *Schedule) error {
 	if s == nil {
-		return
+		return fmt.Errorf("exec: cannot warm cache with nil schedule")
+	}
+	if s.Log2Size() != n {
+		return fmt.Errorf("exec: cannot warm size %d with schedule of size %d", n, s.Log2Size())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[n]; ok {
 		e.sched = s
 		c.moveToFront(e)
-		return
+		return nil
 	}
 	c.insert(n, s)
+	return nil
 }
 
 // insert adds a new entry at the front and enforces the LRU bound.
@@ -176,6 +186,7 @@ var defaultCache = NewScheduleCache(32)
 type tunedEntry struct {
 	plan   *plan.Node
 	policy codelet.Policy
+	soaMin int // batch-width crossover for the SoA tier (see SetSoAMinBatch)
 }
 
 var (
@@ -195,14 +206,29 @@ func UseTunedPlan(p *plan.Node) error {
 // the tuned plan with zero build work.  The plan is validated and
 // compiled before anything is published.
 func UseTunedPlanPolicy(p *plan.Node, pol codelet.Policy) error {
+	return UseTunedPlanFull(p, pol, 0)
+}
+
+// UseTunedPlanFull is UseTunedPlanPolicy carrying the tuner's batch
+// crossover decision as well: soaMinBatch is planted on the compiled
+// schedule (and re-applied whenever ForSize recompiles the tuned plan),
+// so batch traffic at that size picks the SoA tier exactly where the
+// sweep measured it faster.  soaMinBatch 0 keeps the default heuristic,
+// negative disables SoA selection.
+func UseTunedPlanFull(p *plan.Node, pol codelet.Policy, soaMinBatch int) error {
 	s, err := NewScheduleWith(p, pol)
 	if err != nil {
 		return err
 	}
+	s.SetSoAMinBatch(soaMinBatch)
+	// Warm validates the (size, schedule) pair before anything is
+	// published; a mismatch must not leave a tuned plan registered either.
+	if err := defaultCache.Warm(s.Log2Size(), s); err != nil {
+		return err
+	}
 	tunedMu.Lock()
-	tunedPlans[s.Log2Size()] = tunedEntry{plan: p, policy: pol}
+	tunedPlans[s.Log2Size()] = tunedEntry{plan: p, policy: pol, soaMin: soaMinBatch}
 	tunedMu.Unlock()
-	defaultCache.Warm(s.Log2Size(), s)
 	return nil
 }
 
@@ -249,7 +275,9 @@ func ForSize(n int) *Schedule {
 		e, ok := tunedPlans[n]
 		tunedMu.RUnlock()
 		if ok {
-			return CompileWith(e.plan, e.policy)
+			s := CompileWith(e.plan, e.policy)
+			s.SetSoAMinBatch(e.soaMin)
+			return s
 		}
 		return Compile(plan.Balanced(n, plan.MaxLeafLog))
 	})

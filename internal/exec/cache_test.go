@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -164,6 +165,56 @@ func TestScheduleCacheWarm(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestScheduleCacheWarmRejectsMismatch is the regression test for the
+// cache-poisoning bug: a Warm whose schedule size disagrees with the
+// key used to permanently break ForSize/Transform at that size (every
+// Get served a schedule that fails its length check).  Mismatched and
+// nil warms must be rejected and leave the cache serving correctly.
+func TestScheduleCacheWarmRejectsMismatch(t *testing.T) {
+	c := NewScheduleCache(4)
+	nine := Compile(plan.MustParse("split[small[4],small[5]]")) // 2^9
+	if err := c.Warm(10, nine); err == nil {
+		t.Fatal("size-10 warm with a 2^9 schedule accepted")
+	}
+	if err := c.Warm(9, nil); err == nil {
+		t.Fatal("nil warm accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("rejected warms left %d entries behind", c.Len())
+	}
+	// The poisoned-size lookup still builds (and serves) the right size.
+	got := c.Get(10, func() *Schedule { return Compile(plan.Balanced(10, plan.MaxLeafLog)) })
+	if got.Log2Size() != 10 {
+		t.Fatalf("Get(10) served a 2^%d schedule", got.Log2Size())
+	}
+	if err := RunBatch(got, [][]float64{make([]float64, 1<<10)}); err != nil {
+		t.Fatalf("serving path broken after rejected warm: %v", err)
+	}
+	// A matching warm still works.
+	if err := c.Warm(9, nine); err != nil {
+		t.Fatalf("valid warm rejected: %v", err)
+	}
+}
+
+// TestUseTunedPlanFullRoundTripsSoAMin pins the tuned batch crossover:
+// the threshold survives both the warmed schedule and a post-eviction
+// recompile of the tuned plan.
+func TestUseTunedPlanFullRoundTripsSoAMin(t *testing.T) {
+	ResetTunedPlans()
+	defer ResetTunedPlans()
+	p := plan.MustParse("split[small[6],small[8]]")
+	if err := UseTunedPlanFull(p, codelet.DefaultPolicy(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := ForSize(14).SoAMinBatch(); got != 4 {
+		t.Fatalf("warmed schedule carries SoAMinBatch %d, want 4", got)
+	}
+	defaultCache.Purge()
+	if got := ForSize(14).SoAMinBatch(); got != 4 {
+		t.Fatalf("recompiled tuned schedule carries SoAMinBatch %d, want 4", got)
 	}
 }
 

@@ -38,6 +38,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/codelet"
 	"repro/internal/plan"
@@ -84,6 +85,19 @@ type Schedule struct {
 	size   int // 2^n
 	stages []Stage
 	policy codelet.Policy
+
+	// soaMin is the batch-width threshold at which the batch executors
+	// switch to the SoA tier for this schedule: 0 selects the default
+	// crossover heuristic, a negative value disables SoA selection, k >= 1
+	// selects SoA for batches of at least k vectors.  Set before the
+	// schedule is shared (SetSoAMinBatch); the tuner's batch sweep decides
+	// it per size.
+	soaMin int
+
+	// The SoA stage sequence (block stages expanded to their in-window
+	// parts) is derived once on first batch use; see SoAStages.
+	soaOnce   sync.Once
+	soaStages []Stage
 }
 
 // Log2Size returns n such that the schedule computes WHT(2^n).
@@ -210,13 +224,15 @@ func log2(v int) int {
 
 // kernelSet bundles the typed kernels of one log-size, one per variant,
 // plus the range form of the interleaved kernel the parallel executor
-// needs when a worker's share covers only part of a j-row.
+// needs when a worker's share covers only part of a j-row, and the SoA
+// lane kernel the batch tier runs.
 type kernelSet[T Float] struct {
 	strided func(x []T, base, stride int)
 	contig  func(x []T, base int)
 	il      func(x []T, base, s int)
 	ilFused func(x []T, base, s int)
 	ilRange func(x []T, base, s, kLo, kHi int)
+	soa     func(x []T, base, stride, lane int)
 }
 
 // kernelsFor resolves the kernel set for log-size m: the unrolled codelets
@@ -245,6 +261,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 				ilRange: func(x []float64, base, s, kLo, kHi int) {
 					codelet.GenericILRange(x, base, s, kLo, kHi, m)
 				},
+				soa: func(x []float64, base, stride, lane int) {
+					codelet.GenericSoA(x, base, stride, lane, m)
+				},
 			}
 			if ks.strided == nil {
 				ks.strided = func(x []float64, base, stride int) { codelet.GenericBlock(x, base, stride, m) }
@@ -258,6 +277,7 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			strided: codelet.For(m),
 			contig:  codelet.ForContig(m),
 			il:      codelet.ForIL(m),
+			soa:     codelet.ForSoA(m),
 			ilFused: func(x []float64, base, s int) {
 				codelet.GenericILFused(x, base, s, m)
 			},
@@ -274,6 +294,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 		if ks.il == nil {
 			ks.il = func(x []float64, base, s int) { codelet.GenericIL(x, base, s, m) }
 		}
+		if ks.soa == nil {
+			ks.soa = func(x []float64, base, stride, lane int) { codelet.GenericSoA(x, base, stride, lane, m) }
+		}
 		return any(ks).(kernelSet[T])
 	default:
 		if m > codelet.GeneratedMaxLog {
@@ -289,6 +312,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 				ilRange: func(x []float32, base, s, kLo, kHi int) {
 					codelet.GenericILRange32(x, base, s, kLo, kHi, m)
 				},
+				soa: func(x []float32, base, stride, lane int) {
+					codelet.GenericSoA32(x, base, stride, lane, m)
+				},
 			}
 			if ks.strided == nil {
 				ks.strided = func(x []float32, base, stride int) { codelet.GenericBlock32(x, base, stride, m) }
@@ -302,6 +328,7 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			strided: codelet.For32(m),
 			contig:  codelet.ForContig32(m),
 			il:      codelet.ForIL32(m),
+			soa:     codelet.ForSoA32(m),
 			ilFused: func(x []float32, base, s int) {
 				codelet.GenericILFused32(x, base, s, m)
 			},
@@ -317,6 +344,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 		}
 		if ks.il == nil {
 			ks.il = func(x []float32, base, s int) { codelet.GenericIL32(x, base, s, m) }
+		}
+		if ks.soa == nil {
+			ks.soa = func(x []float32, base, stride, lane int) { codelet.GenericSoA32(x, base, stride, lane, m) }
 		}
 		return any(ks).(kernelSet[T])
 	}

@@ -113,6 +113,12 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if s.soaSelect(len(xs)) {
+		// The SoA tier's per-worker lanes serve the same fan-out shape
+		// (whole transforms per worker, no barriers) with each stage pass
+		// amortized across the worker's lane.
+		return RunBatchSoAParallel(s, xs, workers)
+	}
 	if workers == 1 || len(xs) < 2 {
 		var kt kernelTable[T]
 		for _, x := range xs {

@@ -142,6 +142,11 @@ func runStageRangeStrided[T Float](st *Stage, kern func([]T, int, int), x []T, b
 // serving shape where one default-size transform handles a stream of
 // requests.  Every vector must have the schedule's length; the batch is
 // validated up front so either all vectors are transformed or none are.
+//
+// When the batch width and the schedule's shape favor it (see
+// Schedule.SoAMinBatch and the tuner's batch sweep), the batch runs
+// through the SoA tier — one pass per stage across the whole lane of
+// vectors instead of per vector — computing bitwise the same results.
 func RunBatch[T Float](s *Schedule, xs [][]T) error {
 	if s == nil {
 		return fmt.Errorf("exec: nil schedule")
@@ -152,6 +157,10 @@ func RunBatch[T Float](s *Schedule, xs [][]T) error {
 		}
 	}
 	var kt kernelTable[T]
+	if s.soaSelect(len(xs)) {
+		runBatchSoA(s, &kt, xs)
+		return nil
+	}
 	for _, x := range xs {
 		runStages(s, &kt, x, 0, 1)
 	}

@@ -1,0 +1,394 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/codelet"
+)
+
+// The SoA batch tier executes one schedule over a whole batch of vectors
+// in structure-of-arrays layout: the batch is transposed into a pooled
+// scratch buffer where element j of vector b sits at y[j*B + b], every
+// stage runs ONCE across the whole lane of B vectors, and the result is
+// transposed back.  The stage algebra is the paper's: appending the
+// batch axis as the innermost unit-stride dimension turns each stage
+// I(R) (x) WHT(2^m) (x) I(S) of the single-vector schedule into
+// I(R) (x) WHT(2^m) (x) I(S*B) over the SoA buffer, so the compiled
+// stage sequence carries over unchanged with S scaled by B — and every
+// memory touch of a stage now serves all B vectors at once instead of
+// being repaid per vector.
+//
+// Block stages (leaves above the unrolled tier) are expanded into their
+// in-window parts first: the SoA image of a 2^m block window is B times
+// larger and would forfeit the cache residency the block kernel exists
+// for, while the parts run as ordinary small-kernel stages whose lane
+// form stays cache-resident.  The expansion composes the parts exactly
+// as the block kernel executes them, so SoA execution remains
+// bitwise-equal to the per-vector engine.
+
+// DefaultSoAMinBatch is the batch width at which RunBatch and
+// RunBatchParallel switch to the SoA tier when the schedule's shape
+// favors it and no tuned threshold has been registered
+// (SetSoAMinBatch).  Below it the two transposes cost more than the
+// amortized stage passes recover.
+const DefaultSoAMinBatch = 8
+
+// DefaultSoAMinLog/DefaultSoAMaxLog bound the transform sizes the
+// untuned crossover heuristic selects SoA for.  The window was measured
+// on the BenchmarkBatchSoA shapes and is deliberately narrow: n=16 is
+// where the per-vector working set decisively outgrows mid-level cache
+// so the fused lane-wide streams win ~1.5x, while n <= 15 measures
+// parity (per-vector passes still enjoy residency, so the transposes
+// buy nothing) and n >= 17-18 loses (the SoA image outgrows on-chip
+// cache while the per-vector passes still partly fit).  The tuner's
+// batch sweep measures the real crossover per size and host and
+// overrides this default via SetSoAMinBatch.
+const (
+	DefaultSoAMinLog = 16
+	DefaultSoAMaxLog = 16
+)
+
+// SoAMinBatch returns the batch-width threshold at which the batch
+// executors pick the SoA tier for this schedule: 0 means the default
+// crossover heuristic, negative means never, k >= 1 means batches of at
+// least k vectors.
+func (s *Schedule) SoAMinBatch() int { return s.soaMin }
+
+// SetSoAMinBatch sets the SoA crossover threshold (see SoAMinBatch).
+// Schedules are otherwise immutable and shared without synchronization,
+// so the threshold must be set before the schedule is published to other
+// goroutines — the tuner sets it between compiling and warming the
+// cache.
+func (s *Schedule) SetSoAMinBatch(min int) { s.soaMin = min }
+
+// SoAStages returns the stage sequence the SoA tier executes: the
+// compiled stages with every block stage expanded into its in-window
+// parts (codelet.BlockParts), composed in the stage's (R, S) context
+// exactly as the block kernel runs them — the identical butterfly
+// network, so SoA results are bitwise-equal to the per-vector engine.
+// The slice is derived once and owned by the schedule; it must not be
+// modified.
+func (s *Schedule) SoAStages() []Stage {
+	s.soaOnce.Do(func() {
+		out := make([]Stage, 0, len(s.stages))
+		for _, st := range s.stages {
+			if st.M <= codelet.GeneratedMaxLog {
+				out = append(out, st)
+				continue
+			}
+			parts := codelet.BlockParts(st.M)
+			rLoc := 1 << uint(st.M)
+			sLoc := 1
+			for i := len(parts) - 1; i >= 0; i-- {
+				m := parts[i]
+				rLoc >>= uint(m)
+				sSub := sLoc * st.S
+				out = append(out, Stage{
+					M: m, R: st.R * rLoc, S: sSub,
+					SLog: log2(sSub), Blk: sSub << uint(m),
+					V: s.policy.Select(m, sSub),
+				})
+				sLoc <<= uint(m)
+			}
+		}
+		s.soaStages = out
+	})
+	return s.soaStages
+}
+
+// SoAUsesLaneKernels reports whether the SoA tier executes this
+// schedule through the per-position lane kernels instead of the
+// radix-4 fused interleaved streams: policies without interleaved
+// forms (StridedOnly, or a negative ILMinS) map to the lane kernels —
+// the SoA analogue of the legacy strided engine.  The cost model and
+// the trace simulator branch on the same predicate so batch pricing
+// follows the engine the policy actually runs.
+func (s *Schedule) SoAUsesLaneKernels() bool {
+	return s.policy.StridedOnly || s.policy.ILMinS < 0
+}
+
+// soaSelect reports whether a batch of the given width should run
+// through the SoA tier: the tuned threshold when one is registered, the
+// default width bound plus a shape check otherwise.
+func (s *Schedule) soaSelect(batch int) bool {
+	min := s.soaMin
+	if min < 0 {
+		return false
+	}
+	if min == 0 {
+		if !s.soaShapeFavors() {
+			return false
+		}
+		min = DefaultSoAMinBatch
+	}
+	return batch >= min
+}
+
+// soaShapeFavors is the untuned half of the crossover heuristic.  SoA
+// pays two transpose passes, which the fused lane-wide stage streams
+// only win back when (a) the schedule has a large-stride stage — one
+// the per-vector engine must run as a strided walk or an m-pass
+// interleaved stream, which the SoA tier halves to radix-4 fused
+// passes amortized over the lane; (b) the schedule has no block
+// stages — the block tier's in-window cache residency already beats
+// streaming, and its SoA image is B times too large to stay resident;
+// (c) the schedule is shallow (at most two stages: every extra stage
+// adds fused passes over the B-times-larger SoA buffer while the
+// transposes stay fixed, and measured three-plus-stage schedules lose);
+// and (d) the transform size sits in the measured crossover window.
+func (s *Schedule) soaShapeFavors() bool {
+	if s.n < DefaultSoAMinLog || s.n > DefaultSoAMaxLog {
+		return false
+	}
+	if len(s.stages) > 2 {
+		return false
+	}
+	large := false
+	for _, st := range s.stages {
+		if st.M > codelet.GeneratedMaxLog {
+			return false
+		}
+		if st.S >= codelet.DefaultILMinS {
+			large = true
+		}
+	}
+	return large
+}
+
+// soaRun executes the schedule's SoA stage sequence in place on the SoA
+// buffer y holding lane vectors.  The effective inner factor of a stage
+// is S*lane and every j-row of the SoA buffer is a contiguous block of
+// 2^M * S * lane elements, so each stage runs as R calls of the radix-4
+// fused interleaved stream: the row's whole (k, b) space is absorbed
+// into unit-stride passes, two butterfly levels per pass, bitwise-equal
+// to the single-level kernels — half the streaming passes the
+// per-vector interleaved stage pays, amortized across the whole lane.
+// (The SoA lane kernel — one strided visit per position — loses to the
+// stream on this layout: at large power-of-two effective strides its
+// 2^M positions collapse onto a handful of cache sets, the same
+// conflict pathology that makes the AoS strided kernel lose to IL.)
+//
+// Policies that disable the interleaved forms (StridedOnly, or a
+// negative ILMinS) map to the SoA lane kernels instead — the SoA
+// analogue of the legacy strided engine.
+func soaRun[T Float](s *Schedule, kt *kernelTable[T], y []T, lane int) {
+	useLane := s.SoAUsesLaneKernels()
+	for i := range s.SoAStages() {
+		st := &s.soaStages[i]
+		sEff := st.S * lane
+		rowLen := st.Blk * lane
+		ks := kt.get(st.M)
+		if useLane {
+			for j := 0; j < st.R; j++ {
+				rowBase := j * rowLen
+				for k := 0; k < st.S; k++ {
+					ks.soa(y, rowBase+k*lane, sEff, lane)
+				}
+			}
+			continue
+		}
+		for j := 0; j < st.R; j++ {
+			ks.ilFused(y, j*rowLen, sEff)
+		}
+	}
+}
+
+// SoATransposeTile is the transpose tile: tiles of this many vector
+// elements keep each tile's SoA image (tile * lane elements)
+// cache-resident while the per-vector reads stay sequential.
+// machine.TransposeTile mirrors it so the cost model and the trace
+// simulator price the loop structure the executor actually runs (the
+// equality is asserted by tests).
+const SoATransposeTile = 128
+
+// transposeIn gathers the batch into SoA layout: y[j*lane+b] = xs[b][j].
+func transposeIn[T Float](y []T, xs [][]T, size int) {
+	lane := len(xs)
+	if lane == 1 {
+		copy(y, xs[0])
+		return
+	}
+	for j0 := 0; j0 < size; j0 += SoATransposeTile {
+		j1 := j0 + SoATransposeTile
+		if j1 > size {
+			j1 = size
+		}
+		for b, x := range xs {
+			for j := j0; j < j1; j++ {
+				y[j*lane+b] = x[j]
+			}
+		}
+	}
+}
+
+// transposeOut scatters the SoA buffer back: xs[b][j] = y[j*lane+b].
+func transposeOut[T Float](xs [][]T, y []T, size int) {
+	lane := len(xs)
+	if lane == 1 {
+		copy(xs[0], y)
+		return
+	}
+	for j0 := 0; j0 < size; j0 += SoATransposeTile {
+		j1 := j0 + SoATransposeTile
+		if j1 > size {
+			j1 = size
+		}
+		for b, x := range xs {
+			for j := j0; j < j1; j++ {
+				x[j] = y[j*lane+b]
+			}
+		}
+	}
+}
+
+// The SoA scratch pools, one per element type.  Buffers are recycled
+// across batch calls so steady-state batch traffic allocates nothing.
+var (
+	soaPool64 sync.Pool // *[]float64
+	soaPool32 sync.Pool // *[]float32
+)
+
+// soaScratch returns a pooled scratch slice of at least n elements,
+// sliced to exactly n.
+func soaScratch[T Float](n int) *[]T {
+	var zero T
+	if _, ok := any(zero).(float64); ok {
+		if p, _ := soaPool64.Get().(*[]float64); p != nil && cap(*p) >= n {
+			*p = (*p)[:n]
+			return any(p).(*[]T)
+		}
+		buf := make([]float64, n)
+		return any(&buf).(*[]T)
+	}
+	if p, _ := soaPool32.Get().(*[]float32); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return any(p).(*[]T)
+	}
+	buf := make([]float32, n)
+	return any(&buf).(*[]T)
+}
+
+// soaRelease returns a scratch slice to its pool.
+func soaRelease[T Float](p *[]T) {
+	switch q := any(p).(type) {
+	case *[]float64:
+		soaPool64.Put(q)
+	case *[]float32:
+		soaPool32.Put(q)
+	}
+}
+
+// SoAMaxLane bounds the lane width a single SoA pass runs at: wider
+// batches are processed as consecutive sub-lanes through one bounded
+// scratch buffer.  The amortization saturates well below this width
+// (every memory touch already serves 8 cache lines of vectors at
+// lane 64, float64), while an unbounded lane would allocate scratch
+// proportional to the whole batch — doubling peak memory for wide
+// batches and parking a peak-sized buffer in the pool.
+const SoAMaxLane = 64
+
+// runBatchSoA is the validated SoA batch body: the batch is processed
+// in sub-lanes of at most SoAMaxLane vectors, each transposed into the
+// pooled scratch, run through every stage once, and transposed back.
+// Lane grouping never changes a vector's butterfly network, so the
+// split keeps results bitwise identical.
+func runBatchSoA[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
+	for lo := 0; lo < len(xs); lo += SoAMaxLane {
+		hi := lo + SoAMaxLane
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		runBatchSoALane(s, kt, xs[lo:hi])
+	}
+}
+
+// runBatchSoALane runs one bounded sub-lane through the SoA tier.
+func runBatchSoALane[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
+	lane := len(xs)
+	p := soaScratch[T](s.size * lane)
+	y := *p
+	transposeIn(y, xs, s.size)
+	soaRun(s, kt, y, lane)
+	transposeOut(xs, y, s.size)
+	soaRelease(p)
+}
+
+// RunBatchSoA executes one schedule over the whole batch in SoA form:
+// the batch is transposed into a pooled structure-of-arrays scratch
+// buffer, each stage runs once across the lane of len(xs) vectors, and
+// the results are transposed back in place.  It computes bitwise the
+// same results as per-vector Run.  Every vector must have the
+// schedule's length; the batch is validated up front so either all
+// vectors are transformed or none are.
+func RunBatchSoA[T Float](s *Schedule, xs [][]T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	var kt kernelTable[T]
+	runBatchSoA(s, &kt, xs)
+	return nil
+}
+
+// RunBatchSoAParallel is RunBatchSoA with the batch split into
+// contiguous per-worker lanes: each worker transposes and transforms its
+// own sub-batch through its own scratch buffer, so there are no stage
+// barriers and no shared writes.  Results are bitwise identical to the
+// sequential form (lane grouping never changes a vector's butterfly
+// network).
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Each worker's lane must stay wide enough to amortize its two
+	// transposes: fragmenting the batch into near-single-vector lanes
+	// (e.g. GOMAXPROCS >= batch width) would degenerate the tier into
+	// per-vector execution plus two copies per vector — strictly worse
+	// than the per-vector parallel path.
+	if maxW := (len(xs) + DefaultSoAMinBatch - 1) / DefaultSoAMinBatch; workers > maxW {
+		workers = maxW
+	}
+	if workers == 1 {
+		var kt kernelTable[T]
+		runBatchSoA(s, &kt, xs)
+		return nil
+	}
+	chunk := (len(xs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		wg.Add(1)
+		go func(sub [][]T) {
+			defer wg.Done()
+			var kt kernelTable[T]
+			runBatchSoA(s, &kt, sub)
+		}(xs[lo:hi])
+	}
+	wg.Wait()
+	return nil
+}

@@ -140,3 +140,77 @@ func TestRunScheduleFusedILHalvesLoads(t *testing.T) {
 		t.Errorf("fused loads %d not below single-level %d", fused.Ops.Load, single.Ops.Load)
 	}
 }
+
+// The SoA batch tier's model==trace exactness: the instruction classes
+// and loop counts RunScheduleSoA accounts must equal the sum of the
+// machine model's SoAStageOps over the expanded stage sequence plus two
+// TransposeOps — for plain and block-leaved plans and several lane
+// widths, so model-guided reasoning about batch serving sees exactly
+// what the simulator executes.
+func TestRunScheduleSoAInstructionsMatchModel(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	for _, ps := range []string{
+		"split[small[6],small[8]]",
+		"split[small[2],split[small[4],small[8]]]",
+		"split[small[4],small[12]]", // block leaf: expanded to its parts
+	} {
+		p := plan.MustParse(ps)
+		// Both SoA execution modes: the fused streams of the default
+		// policy and the lane kernels of the legacy strided-only engine.
+		for _, pol := range []codelet.Policy{codelet.DefaultPolicy(), {StridedOnly: true}} {
+			sched := exec.CompileWith(p, pol)
+			for _, lane := range []int{1, 3, 8} {
+				got := tr.RunScheduleSoA(sched, lane)
+				wantOps := m.Cost.TransposeOps(sched.Log2Size(), lane).Scale(2)
+				wantLoops := 2 * machine.TransposeLoopInstances(sched.Log2Size(), lane)
+				for _, st := range sched.SoAStages() {
+					if sched.SoAUsesLaneKernels() {
+						wantOps.Add(m.Cost.SoALaneStageOps(st.M, st.R, st.S, lane))
+						wantLoops += machine.SoALaneStageLoopInstances(st.M, st.R, st.S, lane)
+					} else {
+						wantOps.Add(m.Cost.SoAStageOps(st.M, st.R, st.S, lane))
+						wantLoops += machine.SoAStageLoopInstances(st.M, st.R, st.S, lane)
+					}
+				}
+				if got.Instructions() != wantOps.Total() {
+					t.Fatalf("plan %s pol %+v lane %d: traced %d instructions, model says %d",
+						ps, pol, lane, got.Instructions(), wantOps.Total())
+				}
+				if got.Ops != wantOps {
+					t.Fatalf("plan %s pol %+v lane %d: traced ops %+v, model says %+v", ps, pol, lane, got.Ops, wantOps)
+				}
+				if got.LoopInstances != wantLoops {
+					t.Fatalf("plan %s pol %+v lane %d: traced %d loop instances, model says %d",
+						ps, pol, lane, got.LoopInstances, wantLoops)
+				}
+			}
+		}
+	}
+}
+
+// The physical claim of the tier, visible in the simulator: at an
+// out-of-cache size, one SoA batch evaluation touches memory less than
+// the same batch run vector by vector (fewer L1 misses than lane times
+// the single-vector trace), because every fused stage pass is amortized
+// across the lane — even after paying for both transposes.
+func TestRunScheduleSoAAmortizesMisses(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	sched := exec.Compile(plan.MustParse("split[small[8],small[8]]")) // 2^16: four times the virtual L1
+	const lane = 8
+	perVec := tr.RunSchedule(sched).Mem.L1Misses
+	soa := tr.RunScheduleSoA(sched, lane).Mem.L1Misses
+	if soa >= lane*perVec {
+		t.Fatalf("SoA batch misses %d do not amortize %d vectors x %d misses", soa, lane, perVec)
+	}
+}
+
+// The executor's transpose tile and the machine model's must agree, or
+// the priced loop structure would drift from the executed one.
+func TestTransposeTileMirrorsExecutor(t *testing.T) {
+	if machine.TransposeTile != exec.SoATransposeTile {
+		t.Fatalf("machine.TransposeTile %d != exec.SoATransposeTile %d",
+			machine.TransposeTile, exec.SoATransposeTile)
+	}
+}

@@ -40,6 +40,22 @@ type Options struct {
 	// for the winning plan; the fastest is registered and recorded in
 	// wisdom.  Empty selects DefaultPolicies.
 	Policies []codelet.Policy
+
+	// BatchWidths is the ascending set of batch widths the SoA-vs-AoS
+	// sweep measures for the winning (plan, policy) pair; the smallest
+	// width at which the SoA tier beats the per-vector path becomes the
+	// registered batch crossover (Result.SoAMinBatch; -1 when the
+	// per-vector path won everywhere).  Empty selects
+	// DefaultBatchWidths; NoBatchSweep skips the sweep and leaves the
+	// default shape heuristic in charge.
+	BatchWidths  []int
+	NoBatchSweep bool
+}
+
+// DefaultBatchWidths is the batch-width grid the SoA sweep measures:
+// the default crossover width and one clearly-batched shape.
+func DefaultBatchWidths() []int {
+	return []int{exec.DefaultSoAMinBatch, 4 * exec.DefaultSoAMinBatch}
 }
 
 // DefaultPolicies is the variant-policy grid a tuning run sweeps for the
@@ -83,7 +99,13 @@ type Result struct {
 	Policy     codelet.Policy // the variant policy it was fastest under
 	NsPerRun   float64        // its measured median latency
 	BaselineNs float64        // the balanced default's latency from the same run
-	Measured   int            // real timings spent (model pruning, dedup, rematch, policy sweep included)
+	Measured   int            // real timings spent (model pruning, dedup, rematch, policy/batch sweeps included)
+
+	// SoAMinBatch is the measured batch crossover registered for the
+	// winner: the smallest swept width at which the SoA batch tier beat
+	// the per-vector path, -1 if the per-vector path won at every width,
+	// 0 if the sweep was skipped (default heuristic stays in charge).
+	SoAMinBatch int
 }
 
 // rematchTiming doubles the measurement effort for the final head-to-head
@@ -189,41 +211,83 @@ func Tune(n int, opt Options) (Result, error) {
 	// stage only shows its worth under the fused interleaved policy — is
 	// timed under every candidate kernel-variant policy (same plan,
 	// different codelet selection per stage) back to back at rematch
-	// effort — including the incumbent default, so no policy ever wins
-	// against a stale measurement from the earlier phases — and the
-	// fastest (plan, policy) pair ships.
-	if len(opt.Policies) > 1 {
+	// effort.  The incumbent (plan, policy) pair is re-timed FIRST at the
+	// same effort, and a swept pair only displaces it on a strictly
+	// faster measurement: comparing against the incumbent's stale
+	// phase-2/3 number — or, worse, unconditionally seeding the sweep
+	// with its first candidate — let a caller whose custom Policies list
+	// omits the incumbent's policy register a strictly slower pair.
+	// Ties keep the incumbent, so serving does not churn on noise-level
+	// differences.
+	if len(opt.Policies) > 0 {
 		sweep := []*plan.Node{res.Plan}
 		if bestBlock.Plan != nil && !bestBlock.Plan.Equal(res.Plan) {
 			sweep = append(sweep, bestBlock.Plan)
 		}
 		polTiming := rematchTiming(opt.Timing)
-		first := true
+		incPlan, incPol := res.Plan, res.Policy
+		incSched, err := exec.NewScheduleWith(incPlan, incPol)
+		if err != nil {
+			return Result{}, fmt.Errorf("tune: %w", err)
+		}
+		res.NsPerRun = exec.TimeSchedule(incSched, polTiming)
+		measured++
 		for _, pl := range sweep {
 			for _, pol := range opt.Policies {
+				if pol == incPol && pl.Equal(incPlan) {
+					continue // already freshly timed as the incumbent
+				}
 				s, err := exec.NewScheduleWith(pl, pol)
 				if err != nil {
 					return Result{}, fmt.Errorf("tune: %w", err)
 				}
 				ns := exec.TimeSchedule(s, polTiming)
 				measured++
-				// Ties keep the earlier entry (the phase-3 winner under the
-				// default policy leads), so serving does not churn on
-				// noise-level differences.
-				if first || ns < res.NsPerRun {
+				if ns < res.NsPerRun {
 					res.Plan, res.Policy, res.NsPerRun = pl, pol, ns
-					first = false
 				}
 			}
 		}
 		res.Measured = measured
 	}
 
-	if err := exec.UseTunedPlanPolicy(res.Plan, res.Policy); err != nil {
+	// Phase 5: batch-tier sweep — the serving shape the SoA engine was
+	// built for.  The winner is timed over whole batches through both
+	// batch paths at each swept width, ascending; the first width where
+	// the SoA tier's measured batch latency beats the per-vector path
+	// becomes the registered crossover, and a clean sweep for the
+	// per-vector path disables SoA selection for this size (the default
+	// shape heuristic cannot know what the measurement knows).
+	if !opt.NoBatchSweep {
+		widths := opt.BatchWidths
+		if len(widths) == 0 {
+			widths = DefaultBatchWidths()
+		}
+		sched, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		if err != nil {
+			return Result{}, fmt.Errorf("tune: %w", err)
+		}
+		res.SoAMinBatch = -1
+		for _, w := range widths {
+			if w < 1 {
+				continue
+			}
+			aosNs := exec.TimeBatch(sched, w, false, opt.Timing)
+			soaNs := exec.TimeBatch(sched, w, true, opt.Timing)
+			measured += 2
+			if soaNs < aosNs {
+				res.SoAMinBatch = w
+				break
+			}
+		}
+		res.Measured = measured
+	}
+
+	if err := exec.UseTunedPlanFull(res.Plan, res.Policy, res.SoAMinBatch); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	store := processWisdom()
-	if _, err := store.RecordPolicy(wisdom.Float64, res.Plan, res.Policy, res.NsPerRun); err != nil {
+	if _, err := store.RecordTuned(wisdom.Float64, res.Plan, res.Policy, res.SoAMinBatch, res.NsPerRun); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	return res, nil
@@ -297,8 +361,9 @@ func LoadWisdom(path string) error {
 			continue
 		}
 		// Entries are validated by wisdom.Load, so the plan parses; the
-		// recorded variant policy rides along into the serving path.
-		if err := exec.UseTunedPlanPolicy(plan.MustParse(e.Plan), e.Policy()); err != nil {
+		// recorded variant policy and batch crossover ride along into the
+		// serving path.
+		if err := exec.UseTunedPlanFull(plan.MustParse(e.Plan), e.Policy(), e.SoAMinBatch); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
 	}

@@ -25,6 +25,39 @@ func quickOpt() Options {
 	}
 }
 
+// TestTuneSweepKeepsIncumbentAgainstBadPolicies is the regression test
+// for the phase-4 seeding bug: the sweep's `first` flag made the first
+// swept (plan, policy) measurement unconditionally replace the phase-3
+// winner, so a caller passing a custom Options.Policies list that omits
+// the default policy could get a strictly slower pair registered behind
+// the serving path.  With a deliberately bad single-policy list (the
+// legacy strided-only engine, reliably slower than the stage-shaped
+// default at out-of-cache sizes), the re-timed incumbent must keep the
+// slot — in the result and in the serving registration.
+func TestTuneSweepKeepsIncumbentAgainstBadPolicies(t *testing.T) {
+	Reset()
+	defer Reset()
+	// n=16 is the smallest size where the stage-shaped default beats the
+	// strided walk by a wide, stable margin (BenchmarkVariantStages:
+	// ~1.9x), so the measured comparison cannot flip on timing noise.
+	opt := quickOpt()
+	opt.Timing = exec.TimingOptions{Warmup: 1, Repeat: 3, MinDuration: 500 * time.Microsecond}
+	opt.Policies = []codelet.Policy{{StridedOnly: true}}
+	res, err := Tune(16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy.StridedOnly {
+		t.Fatalf("sweep registered the deliberately bad strided-only policy (%.0f ns/run)", res.NsPerRun)
+	}
+	if res.NsPerRun <= 0 {
+		t.Fatalf("implausible incumbent timing %g", res.NsPerRun)
+	}
+	if pol, ok := exec.TunedPolicy(16); !ok || pol.StridedOnly {
+		t.Fatalf("serving path registered policy %+v (ok=%v), want the incumbent default", pol, ok)
+	}
+}
+
 func TestTuneRegistersServingPlanAndWisdom(t *testing.T) {
 	Reset()
 	defer Reset()
@@ -238,5 +271,73 @@ func TestTuneHonorsLowLeafMax(t *testing.T) {
 		if sz > 5 {
 			t.Fatalf("tuned plan %s has leaf 2^%d above LeafMax=5", res.Plan, sz)
 		}
+	}
+}
+
+// TestTuneBatchSweepRegistersCrossover drives phase 5: the sweep's
+// decision (some swept width, or -1 for a clean per-vector win) lands
+// on the serving schedule and in the wisdom entry, and NoBatchSweep
+// leaves the default heuristic (0) in charge.
+func TestTuneBatchSweepRegistersCrossover(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.BatchWidths = []int{2, 4}
+	res, err := Tune(12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoAMinBatch != -1 && res.SoAMinBatch != 2 && res.SoAMinBatch != 4 {
+		t.Fatalf("SoAMinBatch = %d, want a swept width or -1", res.SoAMinBatch)
+	}
+	if got := exec.ForSize(12).SoAMinBatch(); got != res.SoAMinBatch {
+		t.Fatalf("serving schedule carries crossover %d, tuner measured %d", got, res.SoAMinBatch)
+	}
+	if _, pol, _, ok := Wisdom().LookupPolicy(12, wisdom.Float64); !ok || pol != res.Policy {
+		t.Fatalf("wisdom lookup after batch sweep: pol %+v ok %v", pol, ok)
+	}
+	for _, e := range Wisdom().Entries() {
+		if e.N == 12 && e.Type == wisdom.Float64 && e.SoAMinBatch != res.SoAMinBatch {
+			t.Fatalf("wisdom entry records crossover %d, tuner measured %d", e.SoAMinBatch, res.SoAMinBatch)
+		}
+	}
+
+	Reset()
+	opt.NoBatchSweep = true
+	res, err = Tune(12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoAMinBatch != 0 {
+		t.Fatalf("NoBatchSweep produced crossover %d, want 0", res.SoAMinBatch)
+	}
+}
+
+// TestTunedBatchCrossoverSurvivesWisdomRoundTrip closes the loop: a
+// tuned batch crossover written to a wisdom file is re-registered on
+// the serving path by LoadWisdom in a "fresh process" (after Reset).
+func TestTunedBatchCrossoverSurvivesWisdomRoundTrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.BatchWidths = []int{3}
+	res, err := Tune(11, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if got := exec.ForSize(11).SoAMinBatch(); got != 0 {
+		t.Fatalf("reset left crossover %d registered", got)
+	}
+	exec.ResetTunedPlans() // drop the balanced schedule the check above cached
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.ForSize(11).SoAMinBatch(); got != res.SoAMinBatch {
+		t.Fatalf("after LoadWisdom crossover = %d, tuner measured %d", got, res.SoAMinBatch)
 	}
 }

@@ -45,3 +45,32 @@ func ApplyBatchParallel(p *plan.Node, xs [][]float64, workers int) error {
 	}
 	return exec.RunBatchParallel(sched, xs, workers)
 }
+
+// ApplyBatchSoA transforms the batch through the SoA tier explicitly:
+// the vectors are transposed into structure-of-arrays layout, every
+// stage of the compiled schedule runs once across the whole lane, and
+// the results (bitwise identical to per-vector evaluation) are
+// transposed back.  ApplyBatch selects this tier automatically when the
+// batch width and schedule shape favor it; this entry point forces it.
+func ApplyBatchSoA(p *plan.Node, xs [][]float64) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	return exec.RunBatchSoA(sched, xs)
+}
+
+// ApplyBatchSoA32 is the float32 SoA batch entry point.
+func ApplyBatchSoA32(p *plan.Node, xs [][]float32) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	return exec.RunBatchSoA(sched, xs)
+}

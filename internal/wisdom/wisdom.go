@@ -85,6 +85,12 @@ type Entry struct {
 	ILMinS      int  `json:"il_min_s,omitempty"`
 	StridedOnly bool `json:"strided_only,omitempty"`
 	ILFuse      bool `json:"il_fuse,omitempty"`
+
+	// SoAMinBatch is the measured batch-width crossover of the SoA batch
+	// tier for this plan: 0 (absent) keeps the default heuristic, -1
+	// records that the per-vector path won at every swept width, k >= 1
+	// selects SoA for batches of at least k vectors.
+	SoAMinBatch int `json:"soa_min_batch,omitempty"`
 }
 
 // Policy returns the variant-selection policy recorded with the entry.
@@ -132,10 +138,17 @@ func (w *Wisdom) Record(typ string, p *plan.Node, nsPerRun float64) (bool, error
 }
 
 // RecordPolicy stores a measured plan together with the variant-selection
-// policy it was measured under, keeping the faster of the new and any
-// existing entry for the same (size, type) key.  It reports whether the
-// new measurement became (or stayed) the stored one.
+// policy it was measured under; see RecordTuned.
 func (w *Wisdom) RecordPolicy(typ string, p *plan.Node, pol codelet.Policy, nsPerRun float64) (bool, error) {
+	return w.RecordTuned(typ, p, pol, 0, nsPerRun)
+}
+
+// RecordTuned stores a measured plan together with the variant-selection
+// policy it was measured under and the measured SoA batch crossover
+// (soaMinBatch; see Entry.SoAMinBatch), keeping the faster of the new
+// and any existing entry for the same (size, type) key.  It reports
+// whether the new measurement became (or stayed) the stored one.
+func (w *Wisdom) RecordTuned(typ string, p *plan.Node, pol codelet.Policy, soaMinBatch int, nsPerRun float64) (bool, error) {
 	if err := validType(typ); err != nil {
 		return false, err
 	}
@@ -151,6 +164,7 @@ func (w *Wisdom) RecordPolicy(typ string, p *plan.Node, pol codelet.Policy, nsPe
 	e := Entry{
 		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
 		ILMinS: pol.ILMinS, StridedOnly: pol.StridedOnly, ILFuse: pol.ILFuse,
+		SoAMinBatch: soaMinBatch,
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

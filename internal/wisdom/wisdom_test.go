@@ -216,3 +216,50 @@ func TestBlockPlanAndFusePolicyRoundTrip(t *testing.T) {
 		t.Fatalf("LookupPolicy = (%v, %+v, %g, %v), want (%v, %+v, 2000, true)", got, gotPol, ns, ok, p, pol)
 	}
 }
+
+// TestRecordTunedRoundTripsSoAMinBatch pins the batch-crossover field:
+// the measured SoA threshold survives a save/load cycle, and files
+// written before the field existed (it serializes omitempty) load with
+// the default-heuristic value 0.
+func TestRecordTunedRoundTripsSoAMinBatch(t *testing.T) {
+	w := New()
+	p := plan.MustParse("split[small[6],small[8]]")
+	if _, err := w.RecordTuned(Float64, p, codelet.Policy{ILFuse: true}, 8, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RecordTuned(Float32, p, codelet.DefaultPolicy(), -1, 900); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := r.Entries()
+	if len(es) != 2 {
+		t.Fatalf("round-tripped %d entries, want 2", len(es))
+	}
+	for _, e := range es {
+		switch e.Type {
+		case Float64:
+			if e.SoAMinBatch != 8 || !e.Policy().ILFuse {
+				t.Fatalf("float64 entry lost tuning data: %+v", e)
+			}
+		case Float32:
+			if e.SoAMinBatch != -1 {
+				t.Fatalf("float32 entry lost SoAMinBatch=-1: %+v", e)
+			}
+		}
+	}
+	// RecordPolicy (the pre-batch API) records the default crossover.
+	w2 := New()
+	if _, err := w2.RecordPolicy(Float64, p, codelet.DefaultPolicy(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if e := w2.Entries()[0]; e.SoAMinBatch != 0 {
+		t.Fatalf("RecordPolicy entry carries SoAMinBatch %d, want 0", e.SoAMinBatch)
+	}
+}

@@ -33,7 +33,11 @@
 //	sched, err := wht.Compile(p)
 //	for _, x := range vectors { _ = wht.Run(sched, x) }
 //
-// or hand the whole batch over: wht.ApplyBatch(p, vectors).
+// or hand the whole batch over: wht.ApplyBatch(p, vectors).  Wide
+// batches with favorable schedule shapes are served by the SoA tier
+// (one stage pass across the whole lane of vectors, bitwise-equal to
+// per-vector evaluation); RunBatchSoA/ApplyBatchSoA force it, and
+// Schedule.SetSoAMinBatch (or a tuned wisdom entry) sets the crossover.
 //
 // Model-driven search on the virtual machine:
 //
@@ -175,14 +179,44 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 	return exec.RunParallel(s, x, workers)
 }
 
-// RunBatch executes one schedule over many vectors in place.
+// RunBatch executes one schedule over many vectors in place.  When the
+// batch width and the schedule's shape favor it (see SoAMinBatch and
+// the tuner's batch sweep), the batch runs through the SoA tier — one
+// stage pass across the whole lane of vectors instead of per vector —
+// computing bitwise the same results.
 func RunBatch[T Float](s *Schedule, xs [][]T) error { return exec.RunBatch(s, xs) }
+
+// RunBatchSoA forces the batch through the structure-of-arrays tier:
+// transpose into a pooled SoA scratch buffer, run every stage once
+// across the lane of len(xs) vectors, transpose back.
+func RunBatchSoA[T Float](s *Schedule, xs [][]T) error { return exec.RunBatchSoA(s, xs) }
+
+// RunBatchSoAParallel is RunBatchSoA with the batch split into
+// contiguous per-worker lanes (workers <= 0 selects GOMAXPROCS).
+func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
+	return exec.RunBatchSoAParallel(s, xs, workers)
+}
+
+// DefaultSoAMinBatch is the batch width at which the batch executors
+// switch to the SoA tier by default when the schedule's shape favors it;
+// Schedule.SetSoAMinBatch (or a tuned wisdom entry) overrides the
+// crossover per schedule.
+const DefaultSoAMinBatch = exec.DefaultSoAMinBatch
 
 // ApplyBatch and ApplyBatch32 transform every vector of a batch in place
 // with one compiled schedule — the serving shape for repeated traffic.
+// Wide batches with favorable schedule shapes are served by the SoA tier
+// automatically.
 var (
 	ApplyBatch   = wht.ApplyBatch
 	ApplyBatch32 = wht.ApplyBatch32
+)
+
+// ApplyBatchSoA and ApplyBatchSoA32 force the batch through the SoA
+// tier regardless of the crossover heuristic.
+var (
+	ApplyBatchSoA   = wht.ApplyBatchSoA
+	ApplyBatchSoA32 = wht.ApplyBatchSoA32
 )
 
 // ApplyBatchParallel is ApplyBatch fanned out across vectors (whole
@@ -336,8 +370,15 @@ type (
 var (
 	// TimeSchedule measures the median real per-run latency of a
 	// compiled schedule in nanoseconds — the shared timing loop behind
-	// the measured-cost search backend and the tuner.
+	// the measured-cost search backend and the tuner.  Its scratch
+	// vector is reinitialized between timed chunks so arbitrarily long
+	// measurements never overflow the unnormalized transform's ~2^n
+	// per-run growth into Inf/NaN arithmetic.
 	TimeSchedule = exec.TimeSchedule
+	// TimeBatch measures the median latency of transforming a whole
+	// batch of lane vectors, forcing either the SoA tier or the
+	// per-vector path — the primitive behind the tuner's batch sweep.
+	TimeBatch = exec.TimeBatch
 	// Tune finds a measured-fast plan for WHT(2^n), serves it from the
 	// schedule cache behind Transform, and records it in the process
 	// wisdom store.
