@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -356,6 +357,64 @@ func BenchmarkApplyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipeline is the window-pipelined executor's acceptance
+// benchmark: the barrier tier against the dependency-counted pipelined
+// tier on the two-stage block plans the tuner favors out of cache (one
+// cache-resident block stage feeding a full-vector fused-interleaved
+// stage), at the paper's hard sizes.  The acceptance bar is >= 1.25x at
+// n = 18..20 with >= 4 workers; the log line reports the measured ratio
+// (CI extracts it into BENCH_parallel.json).
+func BenchmarkParallelPipeline(b *testing.B) {
+	maxw := runtime.GOMAXPROCS(0)
+	workerGrid := []int{4}
+	if maxw > 4 {
+		workerGrid = append(workerGrid, maxw)
+	}
+	for _, n := range []int{16, 18, 20} {
+		p := plan.Split(plan.Balanced(n-13, plan.MaxLeafLog), plan.Leaf(13))
+		sched := exec.CompileWith(p, codelet.Policy{ILFuse: true})
+		x := make([]float64, 1<<n)
+		for i := range x {
+			x[i] = float64(i&15) - 7.5
+		}
+		for _, workers := range workerGrid {
+			var barrierNs, pipeNs float64
+			for _, tier := range []struct {
+				name string
+				mode exec.ParallelMode
+			}{
+				{"barrier", exec.BarrierParallel},
+				{"pipelined", exec.PipelinedParallel},
+			} {
+				b.Run(fmt.Sprintf("n=%d/workers=%d/%s", n, workers, tier.name), func(b *testing.B) {
+					b.SetBytes(int64(8 << n))
+					// One warm run resolves the kernel table and faults the
+					// pages in before the clock starts.
+					if err := exec.RunParallelMode(sched, x, workers, tier.mode); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := exec.RunParallelMode(sched, x, workers, tier.mode); err != nil {
+							b.Fatal(err)
+						}
+					}
+					ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					if tier.mode == exec.BarrierParallel {
+						barrierNs = ns
+					} else {
+						pipeNs = ns
+					}
+				})
+			}
+			if barrierNs > 0 && pipeNs > 0 {
+				b.Logf("n=%d workers=%d: barrier %.0f ns vs pipelined %.0f ns — %.2fx",
+					n, workers, barrierNs, pipeNs, barrierNs/pipeNs)
+			}
+		}
+	}
+}
+
 // --- Compiled engine: walker vs compiled, batch throughput, plan cache ---
 
 // Walker-vs-compiled on the canonical plans.  "interpret" walks the tree
@@ -457,7 +516,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 // (>= 1.3x); the parallel forms compare the two fan-out shapes.
 func BenchmarkBatchSoA(b *testing.B) {
 	for _, cfg := range []struct{ n, lane int }{
-		{14, 8}, {16, 8}, {16, 32}, {18, 16},
+		{14, 8}, {16, 8}, {16, 32}, {17, 16}, {18, 16}, {18, 32},
 	} {
 		p := plan.Balanced(cfg.n, plan.MaxLeafLog)
 		sched := exec.Compile(p)

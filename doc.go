@@ -14,18 +14,30 @@
 // 2 full-vector stages instead of 3-4.  Batch traffic has a fourth
 // execution shape: the SoA tier (wht.RunBatchSoA, auto-selected by
 // RunBatch/ApplyBatch past a measured crossover) transposes the batch
-// into structure-of-arrays layout and runs every stage once across the
-// whole lane of vectors as radix-4 fused streams — bitwise-equal to
-// per-vector evaluation and >= 1.3x its throughput at n=16, batch >= 8
-// (BenchmarkBatchSoA).  The measured-cost autotuner (wht.Tune,
+// into structure-of-arrays layout (power-of-two lanes padded by one
+// element so tile columns never alias in low cache sets) and runs every
+// stage once across the whole lane of vectors as radix-4 fused streams
+// — bitwise-equal to per-vector evaluation and >= 1.3x its throughput
+// at n=16, batch >= 8 (BenchmarkBatchSoA).  Multi-worker runs
+// (wht.RunParallel) pick between two tiers: the barrier pool splits
+// each stage across workers and joins between consecutive stages, while
+// the pipelined tier (wht.PipelinedParallel) replaces the per-stage
+// barriers with dependency-counted window scheduling — the flattened
+// schedule's nondecreasing power-of-two stage blocks nest into aligned
+// windows, so a persistent worker pool retires each window's chunks and
+// releases exactly the dependent windows of the next stage, letting
+// workers cross stage boundaries while slow chunks still drain
+// (>= 1.25x over the barrier tier at n in 18..20,
+// BenchmarkParallelPipeline).  The measured-cost autotuner (wht.Tune,
 // cmd/whttune) searches over real timings of compiled schedules —
-// block-leaf candidates, the fused-interleaved policy, and the
-// SoA-vs-per-vector batch choice included — serves the winner from the
-// process-wide schedule cache, and persists it across restarts as a
+// block-leaf candidates, the fused-interleaved policy, per-size block
+// factorizations, the SoA-vs-per-vector batch choice, and the
+// barrier-vs-pipelined parallel mode included — serves the winner from
+// the process-wide schedule cache, and persists it across restarts as a
 // fingerprinted wisdom file (wht.SaveWisdom/LoadWisdom), including the
-// kernel-variant policy and batch crossover the winner was measured
-// under — the paper's conclusion that search must be driven by
-// measurements, closed end to end.  Its timing loop reinitializes its
+// kernel-variant policy, batch crossover, block factorizations, and
+// parallel mode the winner was measured under — the paper's conclusion
+// that search must be driven by measurements, closed end to end.  Its timing loop reinitializes its
 // scratch between chunks, so arbitrarily long measurements of the
 // unnormalized (data-doubling) transform stay finite.  The root package
 // exists to host the paper-figure and engine benchmark harness

@@ -42,8 +42,14 @@ const BlockMaxLog = GeneratedBlockMaxLog
 // BlockPartsGen: mid-sized codelets (2^2..2^6) whose strided in-window
 // walks touch few enough lines per call to stay set-associative-friendly
 // — the same sweet spot BenchmarkLeafSizeAblation finds for plan leaves.
-// Beyond the generated range a greedy rule caps parts at 2^4.
+// Beyond the generated range a greedy rule caps parts at 2^4.  A tuner
+// may override the factorization per size (SetBlockParts); overridden
+// sizes bypass the generated straight-line kernels so every consumer
+// realizes the overridden split.
 func BlockParts(m int) []int {
+	if ov := BlockPartsOverride(m); ov != nil {
+		return ov
+	}
 	if m > GeneratedMaxLog && m <= GeneratedBlockMaxLog {
 		return BlockPartsGen[m]
 	}
@@ -81,9 +87,11 @@ func BlockWalk(m, base, stride int, visit func(p, base, stride int)) {
 }
 
 // ForBlock returns the generated strided block kernel for log2 size m, or
-// nil if none was generated.
+// nil if none was generated or the size's factorization is overridden
+// (generated kernels bake the default BlockParts into straight-line code,
+// so an overridden size must run the generic kernels instead).
 func ForBlock(m int) Kernel {
-	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog || BlockPartsOverride(m) != nil {
 		return nil
 	}
 	return BlockKernels[m]
@@ -91,16 +99,16 @@ func ForBlock(m int) Kernel {
 
 // ForBlock32 returns the generated float32 strided block kernel, or nil.
 func ForBlock32(m int) Kernel32 {
-	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog || BlockPartsOverride(m) != nil {
 		return nil
 	}
 	return BlockKernels32[m]
 }
 
 // ForBlockContig returns the generated contiguous block kernel for log2
-// size m, or nil if none was generated.
+// size m, or nil if none was generated or the size is overridden.
 func ForBlockContig(m int) ContigKernel {
-	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog || BlockPartsOverride(m) != nil {
 		return nil
 	}
 	return BlockContigKernels[m]
@@ -109,7 +117,7 @@ func ForBlockContig(m int) ContigKernel {
 // ForBlockContig32 returns the generated float32 contiguous block kernel,
 // or nil.
 func ForBlockContig32(m int) ContigKernel32 {
-	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog {
+	if m <= GeneratedMaxLog || m > GeneratedBlockMaxLog || BlockPartsOverride(m) != nil {
 		return nil
 	}
 	return BlockContigKernels32[m]

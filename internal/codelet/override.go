@@ -1,0 +1,109 @@
+package codelet
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The block-parts override registry: a tuner can replace the baked-in
+// BlockPartsGen factorization of a block log-size with a measured one
+// (the per-machine shapes the generator's one-machine table cannot
+// know).  BlockParts consults the registry, and because every block
+// execution path — the generic block kernels, the compiled engine's SoA
+// expansion, the cost model and the trace simulator — reads BlockParts
+// dynamically, an override changes the realized butterfly network and
+// its pricing everywhere at once, keeping the engine's bitwise-equality
+// and model==trace guarantees intact.  The generated block kernels bake
+// the default parts into straight-line code, so ForBlock/ForBlockContig
+// return nil for overridden sizes and the engine falls back to the
+// generic kernels, which follow the override.
+//
+// The registry is read on every block dispatch via an atomic pointer
+// (copy-on-write on update), so readers never lock.  Overrides change
+// which of the bitwise-identical-per-parts networks runs; set them
+// before compiling the schedules that should use them (the tuner does),
+// and do not flip them mid-run if bitwise reproducibility across calls
+// matters.
+var blockPartsOverride atomic.Pointer[map[int][]int]
+
+// ValidateBlockParts checks that parts is a legal in-window
+// factorization for block log-size m: m in the block tier
+// (GeneratedMaxLog < m <= BlockMaxLog), every part an unrolled-tier
+// log-size (1..GeneratedMaxLog), and the parts summing to m.  It is the
+// validation SetBlockParts applies, exported so serialized overrides
+// (wisdom files) can be checked without touching the registry.
+func ValidateBlockParts(m int, parts []int) error {
+	if m <= GeneratedMaxLog || m > BlockMaxLog {
+		return fmt.Errorf("codelet: block parts for size 2^%d outside the block tier (2^%d..2^%d]",
+			m, GeneratedMaxLog, BlockMaxLog)
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("codelet: empty block parts for size 2^%d", m)
+	}
+	sum := 0
+	for _, p := range parts {
+		if p < 1 || p > GeneratedMaxLog {
+			return fmt.Errorf("codelet: block part 2^%d outside the unrolled tier [1, %d]", p, GeneratedMaxLog)
+		}
+		sum += p
+	}
+	if sum != m {
+		return fmt.Errorf("codelet: block parts %v sum to %d, want %d", parts, sum, m)
+	}
+	return nil
+}
+
+// SetBlockParts overrides the in-window factorization BlockParts
+// returns for block log-size m, after ValidateBlockParts.  The parts
+// slice is copied.
+func SetBlockParts(m int, parts []int) error {
+	if err := ValidateBlockParts(m, parts); err != nil {
+		return err
+	}
+	next := make(map[int][]int)
+	if cur := blockPartsOverride.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[m] = append([]int(nil), parts...)
+	blockPartsOverride.Store(&next)
+	return nil
+}
+
+// BlockPartsOverride returns the override registered for block log-size
+// m, or nil when the size runs the default factorization.
+func BlockPartsOverride(m int) []int {
+	if cur := blockPartsOverride.Load(); cur != nil {
+		return (*cur)[m]
+	}
+	return nil
+}
+
+// ClearBlockParts drops the override for block log-size m alone,
+// restoring the generated factorization — and the generated
+// straight-line kernels — for that size while leaving other sizes'
+// overrides in place (the tuner's per-size sweep needs to measure the
+// default without disturbing sizes tuned earlier).
+func ClearBlockParts(m int) {
+	cur := blockPartsOverride.Load()
+	if cur == nil {
+		return
+	}
+	if _, ok := (*cur)[m]; !ok {
+		return
+	}
+	next := make(map[int][]int, len(*cur))
+	for k, v := range *cur {
+		if k != m {
+			next[k] = v
+		}
+	}
+	blockPartsOverride.Store(&next)
+}
+
+// ResetBlockParts drops every block-parts override, restoring the
+// generated table (tests and tune.Reset).
+func ResetBlockParts() {
+	blockPartsOverride.Store(nil)
+}

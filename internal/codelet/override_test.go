@@ -1,0 +1,111 @@
+package codelet
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The override registry's contract: a registered factorization is what
+// every BlockParts consumer realizes, the generated straight-line
+// kernels (which bake the default parts) step aside, and the realized
+// network stays bitwise equal to the textbook reference.
+
+func TestSetBlockPartsValidation(t *testing.T) {
+	defer ResetBlockParts()
+	for _, c := range []struct {
+		m     int
+		parts []int
+	}{
+		{GeneratedMaxLog, []int{4, 4}},     // below the block tier
+		{BlockMaxLog + 1, []int{8, 7}},     // above the block tier
+		{GeneratedMaxLog + 2, nil},         // empty factorization
+		{GeneratedMaxLog + 2, []int{5, 4}}, // sums to 9, want 10
+		{GeneratedMaxLog + 2, []int{9, 1}}, // part above the unrolled tier
+		{GeneratedMaxLog + 2, []int{10}},   // single oversized part
+	} {
+		if err := SetBlockParts(c.m, c.parts); err == nil {
+			t.Errorf("SetBlockParts(%d, %v) accepted invalid parts", c.m, c.parts)
+		}
+		if ValidateBlockParts(c.m, c.parts) == nil {
+			t.Errorf("ValidateBlockParts(%d, %v) accepted invalid parts", c.m, c.parts)
+		}
+	}
+	if BlockPartsOverride(GeneratedMaxLog+2) != nil {
+		t.Fatal("rejected SetBlockParts left an override behind")
+	}
+}
+
+func TestBlockPartsOverrideRoutesEveryConsumer(t *testing.T) {
+	defer ResetBlockParts()
+	m := GeneratedMaxLog + 2 // 2^10, generated default {4, 6}-ish
+	if err := SetBlockParts(m, []int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := BlockParts(m); len(got) != 2 || got[0] != 5 || got[1] != 5 {
+		t.Fatalf("BlockParts(%d) = %v under override, want [5 5]", m, got)
+	}
+	// The generated kernels bake the default parts, so overridden sizes
+	// must fall back to the generic kernels that follow the override.
+	if ForBlock(m) != nil || ForBlockContig(m) != nil || ForBlock32(m) != nil || ForBlockContig32(m) != nil {
+		t.Fatal("generated block kernels still served while overridden")
+	}
+	// SetBlockParts copies on the way in: mutating the caller's slice
+	// after registration must not reach the registry.  (The slices
+	// BlockParts returns are read-only by contract — copying them on
+	// every block dispatch would allocate in the kernel hot loop.)
+	mine := []int{5, 5}
+	if err := SetBlockParts(m, mine); err != nil {
+		t.Fatal(err)
+	}
+	mine[0] = 1
+	if got := BlockParts(m); got[0] != 5 {
+		t.Fatal("SetBlockParts aliased the caller's slice")
+	}
+
+	// Bitwise: the overridden network is a legal factorization of the
+	// same transform, so the generic block kernels must still equal the
+	// textbook strided loop exactly.
+	rng := rand.New(rand.NewPCG(23, 29))
+	n := 1 << m
+	for _, stride := range []int{1, 3} {
+		buf := randomVector64(rng, 2+n*stride)
+		want := append([]float64(nil), buf...)
+		Generic(want, 2, stride, m)
+		got := append([]float64(nil), buf...)
+		GenericBlock(got, 2, stride, m)
+		assertBitwise64(t, "block-override", m, 2, stride, got, want)
+
+		buf32 := randomVector32(rng, 2+n*stride)
+		want32 := append([]float32(nil), buf32...)
+		Generic32(want32, 2, stride, m)
+		got32 := append([]float32(nil), buf32...)
+		GenericBlock32(got32, 2, stride, m)
+		assertBitwise32(t, "block32-override", m, 2, stride, got32, want32)
+	}
+}
+
+func TestClearBlockPartsIsPerSize(t *testing.T) {
+	defer ResetBlockParts()
+	a, b := GeneratedMaxLog+2, GeneratedMaxLog+3
+	if err := SetBlockParts(a, []int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetBlockParts(b, []int{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	ClearBlockParts(a)
+	if BlockPartsOverride(a) != nil {
+		t.Fatalf("ClearBlockParts(%d) left the override", a)
+	}
+	if BlockPartsOverride(b) == nil {
+		t.Fatalf("ClearBlockParts(%d) dropped the override for %d", a, b)
+	}
+	if ForBlock(a) == nil {
+		t.Fatalf("generated kernel for 2^%d not restored after clear", a)
+	}
+	ClearBlockParts(a) // idempotent on a cleared size
+	ResetBlockParts()
+	if BlockPartsOverride(b) != nil {
+		t.Fatal("ResetBlockParts left an override")
+	}
+}

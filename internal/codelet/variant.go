@@ -280,6 +280,147 @@ func GenericILFused32(x []float32, base, s, m int) {
 	}
 }
 
+// GenericILFusedRange is GenericILFused restricted to the vector
+// sub-range [kLo, kHi) of the s interleaved vectors — the fused
+// counterpart of GenericILRange the pipelined parallel executor uses
+// when a worker's share of a fused interleaved stage covers only part
+// of a j-row.  It fuses three butterfly levels per pass (radix-8, with
+// one radix-2 or radix-4 prologue when m mod 3 != 0), so the column
+// slice is streamed ceil(m/3) times where GenericILRange streams it m
+// times.  Fusing only regroups the per-element operation DAG — every
+// butterfly still combines the same two level-(l-1) values in the same
+// lower+upper/lower-upper operand order, and a value grouped into a
+// register instead of stored is bitwise the value that would have been
+// loaded back — so any grouping computes bitwise the very values
+// GenericILFused would: partial and full rows mix freely across worker
+// seams and across executor tiers.
+func GenericILFusedRange(x []float64, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	hj := 1
+	switch m % 3 {
+	case 1:
+		for blk := 0; blk < n; blk += 2 {
+			lo := base + blk*s
+			hi := lo + s
+			for k := kLo; k < kHi; k++ {
+				a, b := x[lo+k], x[hi+k]
+				x[lo+k] = a + b
+				x[hi+k] = a - b
+			}
+		}
+		hj = 2
+	case 2:
+		for blk := 0; blk < n; blk += 4 {
+			p0 := base + blk*s
+			p1 := p0 + s
+			p2 := p1 + s
+			p3 := p2 + s
+			for k := kLo; k < kHi; k++ {
+				a, b, c, d := x[p0+k], x[p1+k], x[p2+k], x[p3+k]
+				e, f := a+b, a-b
+				g, hh := c+d, c-d
+				x[p0+k], x[p1+k] = e+g, f+hh
+				x[p2+k], x[p3+k] = e-g, f-hh
+			}
+		}
+		hj = 4
+	}
+	for ; hj < n; hj <<= 3 {
+		for blk := 0; blk < n; blk += hj << 3 {
+			for j := blk; j < blk+hj; j++ {
+				p0 := base + j*s
+				p1 := p0 + hj*s
+				p2 := p1 + hj*s
+				p3 := p2 + hj*s
+				p4 := p3 + hj*s
+				p5 := p4 + hj*s
+				p6 := p5 + hj*s
+				p7 := p6 + hj*s
+				for k := kLo; k < kHi; k++ {
+					a0, a1, a2, a3 := x[p0+k], x[p1+k], x[p2+k], x[p3+k]
+					a4, a5, a6, a7 := x[p4+k], x[p5+k], x[p6+k], x[p7+k]
+					b0, b1 := a0+a1, a0-a1
+					b2, b3 := a2+a3, a2-a3
+					b4, b5 := a4+a5, a4-a5
+					b6, b7 := a6+a7, a6-a7
+					c0, c2 := b0+b2, b0-b2
+					c1, c3 := b1+b3, b1-b3
+					c4, c6 := b4+b6, b4-b6
+					c5, c7 := b5+b7, b5-b7
+					x[p0+k], x[p4+k] = c0+c4, c0-c4
+					x[p1+k], x[p5+k] = c1+c5, c1-c5
+					x[p2+k], x[p6+k] = c2+c6, c2-c6
+					x[p3+k], x[p7+k] = c3+c7, c3-c7
+				}
+			}
+		}
+	}
+}
+
+// GenericILFusedRange32 is the float32 fused interleaved range kernel.
+func GenericILFusedRange32(x []float32, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	hj := 1
+	switch m % 3 {
+	case 1:
+		for blk := 0; blk < n; blk += 2 {
+			lo := base + blk*s
+			hi := lo + s
+			for k := kLo; k < kHi; k++ {
+				a, b := x[lo+k], x[hi+k]
+				x[lo+k] = a + b
+				x[hi+k] = a - b
+			}
+		}
+		hj = 2
+	case 2:
+		for blk := 0; blk < n; blk += 4 {
+			p0 := base + blk*s
+			p1 := p0 + s
+			p2 := p1 + s
+			p3 := p2 + s
+			for k := kLo; k < kHi; k++ {
+				a, b, c, d := x[p0+k], x[p1+k], x[p2+k], x[p3+k]
+				e, f := a+b, a-b
+				g, hh := c+d, c-d
+				x[p0+k], x[p1+k] = e+g, f+hh
+				x[p2+k], x[p3+k] = e-g, f-hh
+			}
+		}
+		hj = 4
+	}
+	for ; hj < n; hj <<= 3 {
+		for blk := 0; blk < n; blk += hj << 3 {
+			for j := blk; j < blk+hj; j++ {
+				p0 := base + j*s
+				p1 := p0 + hj*s
+				p2 := p1 + hj*s
+				p3 := p2 + hj*s
+				p4 := p3 + hj*s
+				p5 := p4 + hj*s
+				p6 := p5 + hj*s
+				p7 := p6 + hj*s
+				for k := kLo; k < kHi; k++ {
+					a0, a1, a2, a3 := x[p0+k], x[p1+k], x[p2+k], x[p3+k]
+					a4, a5, a6, a7 := x[p4+k], x[p5+k], x[p6+k], x[p7+k]
+					b0, b1 := a0+a1, a0-a1
+					b2, b3 := a2+a3, a2-a3
+					b4, b5 := a4+a5, a4-a5
+					b6, b7 := a6+a7, a6-a7
+					c0, c2 := b0+b2, b0-b2
+					c1, c3 := b1+b3, b1-b3
+					c4, c6 := b4+b6, b4-b6
+					c5, c7 := b5+b7, b5-b7
+					x[p0+k], x[p4+k] = c0+c4, c0-c4
+					x[p1+k], x[p5+k] = c1+c5, c1-c5
+					x[p2+k], x[p6+k] = c2+c6, c2-c6
+					x[p3+k], x[p7+k] = c3+c7, c3-c7
+				}
+			}
+		}
+	}
+}
+
 // GenericILRange is GenericIL restricted to the vector sub-range
 // [kLo, kHi) of the s interleaved vectors — the splitting primitive the
 // parallel executor uses when a worker's share of an interleaved stage

@@ -184,3 +184,60 @@ func TestVariantForOutOfRange(t *testing.T) {
 		t.Error("variant lookups must return nil outside [1, GeneratedMaxLog]")
 	}
 }
+
+// The fused interleaved kernels — the radix-4 full-row form and the
+// radix-8 column-range form the pipelined executor splits rows with —
+// regroup butterfly levels into multi-level passes without changing any
+// per-element operand pairing or order, so both must stay BITWISE equal
+// to the per-column Generic reference: for every size covering all
+// m mod 3 prologue shapes and multiple radix-8 passes, full column
+// ranges and every tested split, both element types.  Full-row and
+// range calls mixing within one stage (what the pipelined executor
+// does) is safe exactly because both equal this one reference.
+func TestGenericILFusedAndRangeBitwiseEqualGeneric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for m := 1; m <= 10; m++ {
+		n := 1 << m
+		for _, s := range []int{1, 2, 3, 5, 8} {
+			for _, base := range []int{0, 3} {
+				buf := randomVector64(rng, base+n*s+3)
+				want := append([]float64(nil), buf...)
+				for k := 0; k < s; k++ {
+					Generic(want, base+k, s, m)
+				}
+				got := append([]float64(nil), buf...)
+				GenericILFused(got, base, s, m)
+				assertBitwise64(t, "il-fused", m, base, s, got, want)
+				got2 := append([]float64(nil), buf...)
+				GenericILFusedRange(got2, base, s, 0, s, m)
+				assertBitwise64(t, "il-fused-range-full", m, base, s, got2, want)
+				if s > 1 {
+					split := rng.IntN(s-1) + 1
+					got3 := append([]float64(nil), buf...)
+					GenericILFusedRange(got3, base, s, split, s, m)
+					GenericILFusedRange(got3, base, s, 0, split, m)
+					assertBitwise64(t, "il-fused-range-split", m, base, s, got3, want)
+				}
+
+				buf32 := randomVector32(rng, base+n*s+3)
+				want32 := append([]float32(nil), buf32...)
+				for k := 0; k < s; k++ {
+					Generic32(want32, base+k, s, m)
+				}
+				got32 := append([]float32(nil), buf32...)
+				GenericILFused32(got32, base, s, m)
+				assertBitwise32(t, "il-fused32", m, base, s, got32, want32)
+				got232 := append([]float32(nil), buf32...)
+				GenericILFusedRange32(got232, base, s, 0, s, m)
+				assertBitwise32(t, "il-fused32-range-full", m, base, s, got232, want32)
+				if s > 1 {
+					split := rng.IntN(s-1) + 1
+					got332 := append([]float32(nil), buf32...)
+					GenericILFusedRange32(got332, base, s, split, s, m)
+					GenericILFusedRange32(got332, base, s, 0, split, m)
+					assertBitwise32(t, "il-fused32-range-split", m, base, s, got332, want32)
+				}
+			}
+		}
+	}
+}

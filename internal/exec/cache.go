@@ -184,9 +184,20 @@ var defaultCache = NewScheduleCache(32)
 // — a tuned size stays tuned for the life of the process (or until
 // ResetTunedPlans).
 type tunedEntry struct {
-	plan   *plan.Node
-	policy codelet.Policy
-	soaMin int // batch-width crossover for the SoA tier (see SetSoAMinBatch)
+	plan    *plan.Node
+	policy  codelet.Policy
+	soaMin  int          // batch-width crossover for the SoA tier (see SetSoAMinBatch)
+	parMode ParallelMode // parallel executor tier (see SetParallelMode)
+}
+
+// TunedConfig carries every per-size decision a tuner registers alongside
+// its winning plan: the variant policy the plan was measured under, the
+// SoA batch crossover, and the parallel executor tier.  The zero value is
+// the untuned default for every field.
+type TunedConfig struct {
+	Policy       codelet.Policy
+	SoAMinBatch  int
+	ParallelMode ParallelMode
 }
 
 var (
@@ -216,18 +227,31 @@ func UseTunedPlanPolicy(p *plan.Node, pol codelet.Policy) error {
 // sweep measured it faster.  soaMinBatch 0 keeps the default heuristic,
 // negative disables SoA selection.
 func UseTunedPlanFull(p *plan.Node, pol codelet.Policy, soaMinBatch int) error {
-	s, err := NewScheduleWith(p, pol)
+	return UseTunedPlanWith(p, TunedConfig{Policy: pol, SoAMinBatch: soaMinBatch})
+}
+
+// UseTunedPlanWith registers p compiled under the full tuned
+// configuration — variant policy, SoA batch crossover, and parallel
+// executor tier — and seeds the default cache with the compiled schedule.
+// Every field is re-applied whenever ForSize recompiles the tuned plan
+// after an LRU eviction, so the decisions survive for the life of the
+// process.
+func UseTunedPlanWith(p *plan.Node, cfg TunedConfig) error {
+	s, err := NewScheduleWith(p, cfg.Policy)
 	if err != nil {
 		return err
 	}
-	s.SetSoAMinBatch(soaMinBatch)
+	s.SetSoAMinBatch(cfg.SoAMinBatch)
+	s.SetParallelMode(cfg.ParallelMode)
 	// Warm validates the (size, schedule) pair before anything is
 	// published; a mismatch must not leave a tuned plan registered either.
 	if err := defaultCache.Warm(s.Log2Size(), s); err != nil {
 		return err
 	}
 	tunedMu.Lock()
-	tunedPlans[s.Log2Size()] = tunedEntry{plan: p, policy: pol, soaMin: soaMinBatch}
+	tunedPlans[s.Log2Size()] = tunedEntry{
+		plan: p, policy: cfg.Policy, soaMin: cfg.SoAMinBatch, parMode: cfg.ParallelMode,
+	}
 	tunedMu.Unlock()
 	return nil
 }
@@ -247,6 +271,15 @@ func TunedPolicy(n int) (codelet.Policy, bool) {
 	defer tunedMu.RUnlock()
 	e, ok := tunedPlans[n]
 	return e.policy, ok
+}
+
+// TunedConfigFor returns the full tuned configuration registered for
+// log-size n (the zero config when the size is untuned).
+func TunedConfigFor(n int) (TunedConfig, bool) {
+	tunedMu.RLock()
+	defer tunedMu.RUnlock()
+	e, ok := tunedPlans[n]
+	return TunedConfig{Policy: e.policy, SoAMinBatch: e.soaMin, ParallelMode: e.parMode}, ok
 }
 
 // ResetTunedPlans drops every registered tuned plan and purges the
@@ -277,6 +310,7 @@ func ForSize(n int) *Schedule {
 		if ok {
 			s := CompileWith(e.plan, e.policy)
 			s.SetSoAMinBatch(e.soaMin)
+			s.SetParallelMode(e.parMode)
 			return s
 		}
 		return Compile(plan.Balanced(n, plan.MaxLeafLog))

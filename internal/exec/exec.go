@@ -94,6 +94,14 @@ type Schedule struct {
 	// it per size.
 	soaMin int
 
+	// parMode selects the parallel executor tier RunParallel uses for
+	// this schedule: AutoParallel (the zero value) applies the crossover
+	// heuristic, BarrierParallel pins the per-stage fan-out,
+	// PipelinedParallel pins the dependency-counted window scheduler.
+	// Set before the schedule is shared (SetParallelMode); the tuner's
+	// parallel sweep decides it per size.
+	parMode ParallelMode
+
 	// The SoA stage sequence (block stages expanded to their in-window
 	// parts) is derived once on first batch use; see SoAStages.
 	soaOnce   sync.Once
@@ -227,12 +235,13 @@ func log2(v int) int {
 // needs when a worker's share covers only part of a j-row, and the SoA
 // lane kernel the batch tier runs.
 type kernelSet[T Float] struct {
-	strided func(x []T, base, stride int)
-	contig  func(x []T, base int)
-	il      func(x []T, base, s int)
-	ilFused func(x []T, base, s int)
-	ilRange func(x []T, base, s, kLo, kHi int)
-	soa     func(x []T, base, stride, lane int)
+	strided      func(x []T, base, stride int)
+	contig       func(x []T, base int)
+	il           func(x []T, base, s int)
+	ilFused      func(x []T, base, s int)
+	ilRange      func(x []T, base, s, kLo, kHi int)
+	ilFusedRange func(x []T, base, s, kLo, kHi int)
+	soa          func(x []T, base, stride, lane int)
 }
 
 // kernelsFor resolves the kernel set for log-size m: the unrolled codelets
@@ -261,6 +270,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 				ilRange: func(x []float64, base, s, kLo, kHi int) {
 					codelet.GenericILRange(x, base, s, kLo, kHi, m)
 				},
+				ilFusedRange: func(x []float64, base, s, kLo, kHi int) {
+					codelet.GenericILFusedRange(x, base, s, kLo, kHi, m)
+				},
 				soa: func(x []float64, base, stride, lane int) {
 					codelet.GenericSoA(x, base, stride, lane, m)
 				},
@@ -283,6 +295,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			},
 			ilRange: func(x []float64, base, s, kLo, kHi int) {
 				codelet.GenericILRange(x, base, s, kLo, kHi, m)
+			},
+			ilFusedRange: func(x []float64, base, s, kLo, kHi int) {
+				codelet.GenericILFusedRange(x, base, s, kLo, kHi, m)
 			},
 		}
 		if ks.strided == nil {
@@ -312,6 +327,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 				ilRange: func(x []float32, base, s, kLo, kHi int) {
 					codelet.GenericILRange32(x, base, s, kLo, kHi, m)
 				},
+				ilFusedRange: func(x []float32, base, s, kLo, kHi int) {
+					codelet.GenericILFusedRange32(x, base, s, kLo, kHi, m)
+				},
 				soa: func(x []float32, base, stride, lane int) {
 					codelet.GenericSoA32(x, base, stride, lane, m)
 				},
@@ -334,6 +352,9 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			},
 			ilRange: func(x []float32, base, s, kLo, kHi int) {
 				codelet.GenericILRange32(x, base, s, kLo, kHi, m)
+			},
+			ilFusedRange: func(x []float32, base, s, kLo, kHi int) {
+				codelet.GenericILFusedRange32(x, base, s, kLo, kHi, m)
 			},
 		}
 		if ks.strided == nil {

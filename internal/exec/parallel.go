@@ -44,8 +44,27 @@ const (
 // two calls up, since a single block call is already thousands of
 // butterflies.
 //
+// The executor behind RunParallel is selected per schedule: the
+// window-pipelined tier (pipeline.go) replaces the per-stage barriers
+// with dependency-counted window scheduling when the schedule's
+// registered ParallelMode — or, under AutoParallel, the crossover
+// heuristic — says it pays; this function is the barrier tier both are
+// measured against.
+//
 // workers <= 0 selects GOMAXPROCS.
 func RunParallel[T Float](s *Schedule, x []T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	return RunParallelMode(s, x, workers, s.ParallelMode())
+}
+
+// RunParallelMode is RunParallel with the executor tier pinned: Barrier
+// runs the per-stage fan-out below, Pipelined the dependency-counted
+// window scheduler, and Auto the crossover heuristic (pickParallelMode).
+// All tiers compute bitwise-identical results; the choice is purely a
+// performance one, which the tuner's parallel sweep measures per size.
+func RunParallelMode[T Float](s *Schedule, x []T, workers int, mode ParallelMode) error {
 	if s == nil {
 		return fmt.Errorf("exec: nil schedule")
 	}
@@ -55,6 +74,20 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if mode == AutoParallel {
+		mode = pickParallelMode(s, workers)
+	}
+	if mode == PipelinedParallel {
+		runPipelined(s, x, workers)
+		return nil
+	}
+	runBarrier(s, x, workers)
+	return nil
+}
+
+// runBarrier is the barrier tier's body: per stage, fan the flattened
+// call range out over fresh goroutines and wait.
+func runBarrier[T Float](s *Schedule, x []T, workers int) {
 	var kt kernelTable[T]
 	for i := range s.stages {
 		st := &s.stages[i]
@@ -66,7 +99,10 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 			// repay a barrier at the sizes block leaves appear in.
 			minCalls = 2
 		}
-		if workers == 1 || total < minCalls || total<<uint(st.M) < FanoutElems {
+		// The element count is computed in 64 bits: total<<M can exceed
+		// int on 32-bit hosts for large stage shapes, and a wrapped gate
+		// would run a huge stage inline (or split a tiny one).
+		if workers == 1 || total < minCalls || int64(total)<<uint(st.M) < FanoutElems {
 			runStageRange(st, ks, x, 0, 0, total)
 			continue
 		}
@@ -92,7 +128,6 @@ func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 		}
 		wg.Wait()
 	}
-	return nil
 }
 
 // RunBatchParallel transforms a batch of vectors with one schedule,

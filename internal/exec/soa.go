@@ -50,6 +50,33 @@ const (
 	DefaultSoAMaxLog = 16
 )
 
+// SoAPadMinLane is the narrowest lane the SoA tier pads: power-of-two
+// lanes of at least this width get one pad column so the leading
+// dimension of the SoA buffer is odd.  An exact power-of-two leading
+// dimension is the worst case for a physically indexed cache: the
+// lane-strided transpose columns and the power-of-two-strided butterfly
+// positions all collapse onto a handful of sets (and alias at 4 KB page
+// granularity), which is precisely the conflict pathology the paper's
+// set-associativity analysis flags.  An odd leading dimension walks the
+// columns through every set instead.  Narrow lanes are exempt: their
+// whole tile image fits in a couple of lines per set, and the pad would
+// only waste bandwidth.
+const SoAPadMinLane = 8
+
+// SoALaneDim returns the leading dimension of the SoA buffer for a lane
+// of `lane` vectors: element j of vector b sits at y[j*SoALaneDim(lane)
+// + b].  Power-of-two lanes >= SoAPadMinLane get one pad column (see
+// SoAPadMinLane); every other width is already conflict-benign and stays
+// dense.  machine.SoALaneDim mirrors this (the equality is asserted by
+// tests) so the cost model and the trace simulator price the padded
+// layout the executor actually runs.
+func SoALaneDim(lane int) int {
+	if lane >= SoAPadMinLane && lane&(lane-1) == 0 {
+		return lane + 1
+	}
+	return lane
+}
+
 // SoAMinBatch returns the batch-width threshold at which the batch
 // executors pick the SoA tier for this schedule: 0 means the default
 // crossover heuristic, negative means never, k >= 1 means batches of at
@@ -173,18 +200,26 @@ func (s *Schedule) soaShapeFavors() bool {
 // Policies that disable the interleaved forms (StridedOnly, or a
 // negative ILMinS) map to the SoA lane kernels instead — the SoA
 // analogue of the legacy strided engine.
+// The buffer's leading dimension is SoALaneDim(lane): a padded lane
+// runs its fused streams at effective inner factor S*ld, so the pad
+// column rides along inside the unit-stride passes.  Butterfly partners
+// sit a multiple of S*ld apart, which preserves the column index mod
+// ld — pads only ever pair with pads (kept zero by transposeIn, so the
+// extra arithmetic stays in fast finite range) and every real column
+// computes exactly the per-vector network.
 func soaRun[T Float](s *Schedule, kt *kernelTable[T], y []T, lane int) {
+	ld := SoALaneDim(lane)
 	useLane := s.SoAUsesLaneKernels()
 	for i := range s.SoAStages() {
 		st := &s.soaStages[i]
-		sEff := st.S * lane
-		rowLen := st.Blk * lane
+		sEff := st.S * ld
+		rowLen := st.Blk * ld
 		ks := kt.get(st.M)
 		if useLane {
 			for j := 0; j < st.R; j++ {
 				rowBase := j * rowLen
 				for k := 0; k < st.S; k++ {
-					ks.soa(y, rowBase+k*lane, sEff, lane)
+					ks.soa(y, rowBase+k*ld, sEff, lane)
 				}
 			}
 			continue
@@ -203,13 +238,19 @@ func soaRun[T Float](s *Schedule, kt *kernelTable[T], y []T, lane int) {
 // equality is asserted by tests).
 const SoATransposeTile = 128
 
-// transposeIn gathers the batch into SoA layout: y[j*lane+b] = xs[b][j].
+// transposeIn gathers the batch into SoA layout with leading dimension
+// ld = SoALaneDim(lane): y[j*ld+b] = xs[b][j].  When the lane is padded
+// the pad column is zeroed tile by tile — the fused stage streams run
+// butterflies over it, and zeros keep that arithmetic finite (pooled
+// scratch could otherwise hand the passes denormal or Inf leftovers,
+// which are exactly the slow operands the timing layer guards against).
 func transposeIn[T Float](y []T, xs [][]T, size int) {
 	lane := len(xs)
 	if lane == 1 {
 		copy(y, xs[0])
 		return
 	}
+	ld := SoALaneDim(lane)
 	for j0 := 0; j0 < size; j0 += SoATransposeTile {
 		j1 := j0 + SoATransposeTile
 		if j1 > size {
@@ -217,19 +258,25 @@ func transposeIn[T Float](y []T, xs [][]T, size int) {
 		}
 		for b, x := range xs {
 			for j := j0; j < j1; j++ {
-				y[j*lane+b] = x[j]
+				y[j*ld+b] = x[j]
+			}
+		}
+		if ld != lane {
+			for j := j0; j < j1; j++ {
+				y[j*ld+lane] = 0
 			}
 		}
 	}
 }
 
-// transposeOut scatters the SoA buffer back: xs[b][j] = y[j*lane+b].
+// transposeOut scatters the SoA buffer back: xs[b][j] = y[j*ld+b].
 func transposeOut[T Float](xs [][]T, y []T, size int) {
 	lane := len(xs)
 	if lane == 1 {
 		copy(xs[0], y)
 		return
 	}
+	ld := SoALaneDim(lane)
 	for j0 := 0; j0 < size; j0 += SoATransposeTile {
 		j1 := j0 + SoATransposeTile
 		if j1 > size {
@@ -237,7 +284,7 @@ func transposeOut[T Float](xs [][]T, y []T, size int) {
 		}
 		for b, x := range xs {
 			for j := j0; j < j1; j++ {
-				x[j] = y[j*lane+b]
+				x[j] = y[j*ld+b]
 			}
 		}
 	}
@@ -307,7 +354,7 @@ func runBatchSoA[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
 // runBatchSoALane runs one bounded sub-lane through the SoA tier.
 func runBatchSoALane[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
 	lane := len(xs)
-	p := soaScratch[T](s.size * lane)
+	p := soaScratch[T](s.size * SoALaneDim(lane))
 	y := *p
 	transposeIn(y, xs, s.size)
 	soaRun(s, kt, y, lane)

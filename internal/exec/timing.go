@@ -146,6 +146,24 @@ func timeScheduleOn(s *Schedule, x []float64, opt TimingOptions) float64 {
 	}, func() { seedScratch(x) })
 }
 
+// TimeScheduleParallel measures the real per-run latency of the schedule
+// through the parallel executor with the tier pinned to mode and the
+// worker count pinned to workers (workers <= 0 selects GOMAXPROCS) — the
+// measurement primitive behind the tuner's barrier-vs-pipelined parallel
+// sweep.  The scratch discipline is TimeSchedule's: reinitialized between
+// timed chunks, outside the timed region.
+func TimeScheduleParallel(s *Schedule, workers int, mode ParallelMode, opt TimingOptions) float64 {
+	opt = opt.withDefaults()
+	x := make([]float64, s.Size())
+	return timeChunked(opt, s.Log2Size(), func(k int) {
+		for i := 0; i < k; i++ {
+			if err := RunParallelMode(s, x, workers, mode); err != nil {
+				panic(err)
+			}
+		}
+	}, func() { seedScratch(x) })
+}
+
 // TimeBatch measures the real latency of transforming a batch of lane
 // float64 vectors with the schedule, in nanoseconds per whole batch,
 // forcing either the SoA tier (soa true) or the per-vector path (soa

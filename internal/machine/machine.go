@@ -240,14 +240,17 @@ func (c CostModel) StageOpsFused(m, r, s int, v codelet.Variant, fused bool) OpC
 // One stage pass per batch regardless of width is precisely the
 // amortization the tier exists for; the price of admission is the two
 // transposes (TransposeOps).
+// The effective inner factor uses the padded leading dimension
+// (SoALaneDim): a padded lane's streams carry the pad column through
+// every pass, and the model prices that real traffic.
 func (c CostModel) SoAStageOps(m, r, s, lane int) OpCounts {
-	return c.StageOpsFused(m, r, s*lane, codelet.Interleaved, true)
+	return c.StageOpsFused(m, r, s*SoALaneDim(lane), codelet.Interleaved, true)
 }
 
 // SoAStageLoopInstances is the completed-loop count of one SoA-tier
 // stage (the branch-mispredict term), mirroring SoAStageOps.
 func SoAStageLoopInstances(m, r, s, lane int) int64 {
-	return StageLoopInstancesFused(m, r, s*lane, codelet.Interleaved, true)
+	return StageLoopInstancesFused(m, r, s*SoALaneDim(lane), codelet.Interleaved, true)
 }
 
 // SoALaneStageOps prices one SoA-tier stage executed through the
@@ -301,6 +304,49 @@ func TransposeLoopInstances(n, lane int) int64 {
 	size := int64(1) << uint(n)
 	tiles := (size + TransposeTile - 1) / TransposeTile
 	return 1 + tiles*(1+lane64(lane))
+}
+
+// SoAPadMinLane and SoALaneDim mirror the executor's SoA padding rule
+// (exec.SoAPadMinLane / exec.SoALaneDim; the equality is asserted by
+// tests): power-of-two lanes of at least SoAPadMinLane vectors get one
+// pad column, making the SoA leading dimension odd so transpose columns
+// and butterfly positions stop colliding on cache sets.
+const SoAPadMinLane = 8
+
+// SoALaneDim returns the leading dimension of the SoA buffer for a
+// lane of `lane` vectors (see SoAPadMinLane).
+func SoALaneDim(lane int) int {
+	if lane >= SoAPadMinLane && lane&(lane-1) == 0 {
+		return lane + 1
+	}
+	return lane
+}
+
+// TransposeInOps prices the gather direction of the SoA transpose: the
+// common gather/scatter traffic (TransposeOps) plus, for padded lanes,
+// one store and address update per vector element zeroing the pad
+// column tile by tile.
+func (c CostModel) TransposeInOps(n, lane int) OpCounts {
+	ops := c.TransposeOps(n, lane)
+	if SoALaneDim(lane) != lane {
+		size := int64(1) << uint(n)
+		ops.Store += size
+		ops.Addr += size
+		ops.Loop += c.InnerIter * size
+	}
+	return ops
+}
+
+// TransposeInLoopInstances is the completed-loop count of the gather
+// direction: the scatter count plus one pad-zeroing inner loop per tile
+// for padded lanes.
+func TransposeInLoopInstances(n, lane int) int64 {
+	li := TransposeLoopInstances(n, lane)
+	if SoALaneDim(lane) != lane {
+		size := int64(1) << uint(n)
+		li += (size + TransposeTile - 1) / TransposeTile
+	}
+	return li
 }
 
 func lane64(lane int) int64 {
@@ -389,6 +435,7 @@ type Machine struct {
 
 	Cost  CostModel
 	Cycle CycleModel
+	Par   ParallelCost
 
 	ClockHz float64 // nominal clock, used only to convert measured wall time
 }
@@ -470,6 +517,16 @@ func VirtualOpteron224() *Machine {
 			// instruction count; this value reproduces its correlation
 			// levels (rho ~ 0.96 in cache, ~0.77 out of cache).
 			JitterFrac: 0.32,
+		},
+		Par: ParallelCost{
+			// ~2 microseconds to create and schedule a goroutine, ~1 for a
+			// WaitGroup join, tens of nanoseconds for an atomic counter
+			// update, ~100 ns for a buffered channel round trip — all at
+			// the preset's 1.8 GHz clock.
+			SpawnCycles:   3600,
+			BarrierCycles: 1800,
+			WindowCycles:  70,
+			ChunkCycles:   180,
 		},
 		ClockHz: 1.8e9,
 	}

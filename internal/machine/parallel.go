@@ -1,0 +1,49 @@
+package machine
+
+// ParallelCost models the control-plane overhead of the two parallel
+// executor tiers, in virtual cycles — the machine-model counterpart of
+// the exec package's barrier-vs-pipelined choice.  The barrier tier pays
+// goroutine spawns and a WaitGroup join per fanned-out stage; the
+// pipelined tier pays one pool spawn per run plus dependency-counter and
+// work-queue traffic per window and per chunk.  The terms only cover the
+// control plane: the pipelined tier's memory-side advantage (fewer
+// streamed passes over partial fused rows, no idle workers at stage
+// seams) lives in the instruction/miss models, and the tuner's parallel
+// sweep measures the sum of both.
+type ParallelCost struct {
+	// SpawnCycles is the cost of creating and scheduling one goroutine.
+	SpawnCycles float64
+	// BarrierCycles is the cost of one WaitGroup barrier (join + wake).
+	BarrierCycles float64
+	// WindowCycles is the pipelined tier's per-window bookkeeping: the
+	// completion and dependency counter updates of one window.
+	WindowCycles float64
+	// ChunkCycles is the pipelined tier's per-work-item queue traffic
+	// (one channel send + receive + range decode).
+	ChunkCycles float64
+}
+
+// BarrierOverhead returns the modeled control cycles the barrier tier
+// spends executing stages fanned-out stages with workers workers: each
+// stage spawns a fresh set of goroutines and joins them at a barrier.
+func (p ParallelCost) BarrierOverhead(stages, workers int) float64 {
+	return float64(stages) * (float64(workers)*p.SpawnCycles + p.BarrierCycles)
+}
+
+// PipelinedOverhead returns the modeled control cycles of the pipelined
+// tier: one pool spawn of workers goroutines for the whole run, plus
+// counter and queue traffic proportional to the window and chunk counts.
+func (p ParallelCost) PipelinedOverhead(windows, chunks, workers int) float64 {
+	return float64(workers)*p.SpawnCycles +
+		float64(windows)*p.WindowCycles + float64(chunks)*p.ChunkCycles
+}
+
+// PreferPipelined reports whether the modeled control-plane overhead
+// favors the pipelined tier for the given shape.  With the default
+// window grain the window/chunk counts grow much more slowly than
+// stages*workers, so multi-stage schedules prefer the pipeline as soon
+// as the per-stage spawn churn exceeds the queue traffic; the tuner's
+// measured sweep has the final word per size.
+func (p ParallelCost) PreferPipelined(stages, windows, chunks, workers int) bool {
+	return p.PipelinedOverhead(windows, chunks, workers) < p.BarrierOverhead(stages, workers)
+}

@@ -129,25 +129,28 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 	cost := &t.mach.Cost
 	n := s.Log2Size()
 	size := s.Size()
+	ld := machine.SoALaneDim(lane)
 	soaBase := size * lane // SoA scratch sits behind the batch vectors
 
-	t.transposeStream(size, lane, soaBase)
-	t.counters.Ops.Add(cost.TransposeOps(n, lane))
-	t.counters.LoopInstances += machine.TransposeLoopInstances(n, lane)
+	// Gather: the shared gather/scatter traffic plus, for padded lanes,
+	// the tile-by-tile zeroing of the pad column.
+	t.transposeStream(size, lane, ld, soaBase, true)
+	t.counters.Ops.Add(cost.TransposeInOps(n, lane))
+	t.counters.LoopInstances += machine.TransposeInLoopInstances(n, lane)
 
 	useLane := s.SoAUsesLaneKernels()
 	for _, st := range s.SoAStages() {
-		rowLen := st.Blk * lane
+		rowLen := st.Blk * ld
 		if useLane {
 			// Lane-kernel mode (policies without interleaved forms): R*S
 			// calls, each making m read+write level sweeps over its 2^M
 			// lane-wide strided positions.
 			t.counters.Ops.Add(cost.SoALaneStageOps(st.M, st.R, st.S, lane))
 			t.counters.LoopInstances += machine.SoALaneStageLoopInstances(st.M, st.R, st.S, lane)
-			sEff := st.S * lane
+			sEff := st.S * ld
 			for j := 0; j < st.R; j++ {
 				for k := 0; k < st.S; k++ {
-					base := soaBase + j*rowLen + k*lane
+					base := soaBase + j*rowLen + k*ld
 					for lvl := 0; lvl < st.M; lvl++ {
 						t.soaLanePass(base, sEff, lane, 1<<uint(st.M))
 						t.soaLanePass(base, sEff, lane, 1<<uint(st.M))
@@ -168,7 +171,7 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 		}
 	}
 
-	t.transposeStream(size, lane, soaBase)
+	t.transposeStream(size, lane, ld, soaBase, false)
 	t.counters.Ops.Add(cost.TransposeOps(n, lane))
 	t.counters.LoopInstances += machine.TransposeLoopInstances(n, lane)
 
@@ -186,18 +189,23 @@ func (t *Tracer) soaLanePass(base, sEff, lane, size int) {
 }
 
 // transposeStream feeds one transpose direction into the hierarchy: per
-// tile, a sequential pass over each vector's slice and a lane-strided
-// pass over the tile's SoA image.  Gather and scatter touch the same
-// addresses in the same order, so one helper serves both directions.
-func (t *Tracer) transposeStream(size, lane, soaBase int) {
+// tile, a sequential pass over each vector's slice and an ld-strided
+// pass over the tile's SoA image (ld is the padded leading dimension).
+// Gather and scatter touch the same addresses in the same order; the
+// gather additionally writes the pad column of each tile when the lane
+// is padded, so it carries one extra ld-strided stream.
+func (t *Tracer) transposeStream(size, lane, ld, soaBase int, gather bool) {
 	for j0 := 0; j0 < size; j0 += machine.TransposeTile {
 		tile := machine.TransposeTile
 		if j0+tile > size {
 			tile = size - j0
 		}
 		for b := 0; b < lane; b++ {
-			t.leafPass(b*size+j0, 1, tile)            // vector side, sequential
-			t.leafPass(soaBase+j0*lane+b, lane, tile) // SoA side, lane-strided
+			t.leafPass(b*size+j0, 1, tile)        // vector side, sequential
+			t.leafPass(soaBase+j0*ld+b, ld, tile) // SoA side, ld-strided
+		}
+		if gather && ld != lane {
+			t.leafPass(soaBase+j0*ld+lane, ld, tile) // pad column zeroing
 		}
 	}
 }

@@ -143,10 +143,12 @@ func TestRunScheduleFusedILHalvesLoads(t *testing.T) {
 
 // The SoA batch tier's model==trace exactness: the instruction classes
 // and loop counts RunScheduleSoA accounts must equal the sum of the
-// machine model's SoAStageOps over the expanded stage sequence plus two
-// TransposeOps — for plain and block-leaved plans and several lane
-// widths, so model-guided reasoning about batch serving sees exactly
-// what the simulator executes.
+// machine model's SoAStageOps over the expanded stage sequence plus the
+// gather (TransposeInOps — the gather also zeroes the pad column of
+// padded lanes) and scatter (TransposeOps) — for plain and block-leaved
+// plans and several lane widths including a padded one, so model-guided
+// reasoning about batch serving sees exactly what the simulator
+// executes.
 func TestRunScheduleSoAInstructionsMatchModel(t *testing.T) {
 	m := machine.VirtualOpteron224()
 	tr := New(m)
@@ -162,8 +164,10 @@ func TestRunScheduleSoAInstructionsMatchModel(t *testing.T) {
 			sched := exec.CompileWith(p, pol)
 			for _, lane := range []int{1, 3, 8} {
 				got := tr.RunScheduleSoA(sched, lane)
-				wantOps := m.Cost.TransposeOps(sched.Log2Size(), lane).Scale(2)
-				wantLoops := 2 * machine.TransposeLoopInstances(sched.Log2Size(), lane)
+				wantOps := m.Cost.TransposeInOps(sched.Log2Size(), lane)
+				wantOps.Add(m.Cost.TransposeOps(sched.Log2Size(), lane))
+				wantLoops := machine.TransposeInLoopInstances(sched.Log2Size(), lane) +
+					machine.TransposeLoopInstances(sched.Log2Size(), lane)
 				for _, st := range sched.SoAStages() {
 					if sched.SoAUsesLaneKernels() {
 						wantOps.Add(m.Cost.SoALaneStageOps(st.M, st.R, st.S, lane))
@@ -212,5 +216,29 @@ func TestTransposeTileMirrorsExecutor(t *testing.T) {
 	if machine.TransposeTile != exec.SoATransposeTile {
 		t.Fatalf("machine.TransposeTile %d != exec.SoATransposeTile %d",
 			machine.TransposeTile, exec.SoATransposeTile)
+	}
+}
+
+// The cost model's SoA padding rule must mirror the executor's, or the
+// model prices a layout the engine does not run.
+func TestSoALaneDimMirrorsExecutor(t *testing.T) {
+	if machine.SoAPadMinLane != exec.SoAPadMinLane {
+		t.Fatalf("machine.SoAPadMinLane %d != exec.SoAPadMinLane %d",
+			machine.SoAPadMinLane, exec.SoAPadMinLane)
+	}
+	for lane := 1; lane <= exec.SoAMaxLane+1; lane++ {
+		if m, e := machine.SoALaneDim(lane), exec.SoALaneDim(lane); m != e {
+			t.Fatalf("lane %d: machine.SoALaneDim %d != exec.SoALaneDim %d", lane, m, e)
+		}
+	}
+	for _, lane := range []int{8, 16, 32, 64} {
+		if exec.SoALaneDim(lane) != lane+1 {
+			t.Fatalf("power-of-two lane %d not padded: leading dim %d", lane, exec.SoALaneDim(lane))
+		}
+	}
+	for _, lane := range []int{1, 3, 4, 7, 12, 24} {
+		if exec.SoALaneDim(lane) != lane {
+			t.Fatalf("lane %d unexpectedly padded: leading dim %d", lane, exec.SoALaneDim(lane))
+		}
 	}
 }

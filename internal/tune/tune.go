@@ -11,6 +11,9 @@ package tune
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,6 +53,20 @@ type Options struct {
 	// default shape heuristic in charge.
 	BatchWidths  []int
 	NoBatchSweep bool
+
+	// NoBlockPartsSweep skips the per-size block-factorization sweep:
+	// for each distinct block-leaf size in the winning plan, a small grid
+	// of in-window factorizations (the generated default first) is
+	// measured and the fastest registered via codelet.SetBlockParts
+	// (Result.BlockParts records the non-default winners).
+	NoBlockPartsSweep bool
+
+	// ParallelWorkers is the worker count the parallel-mode sweep
+	// measures under (default runtime.GOMAXPROCS(0)); NoParallelSweep
+	// skips the sweep and leaves the size heuristic in charge of the
+	// barrier-vs-pipelined choice.
+	ParallelWorkers int
+	NoParallelSweep bool
 }
 
 // DefaultBatchWidths is the batch-width grid the SoA sweep measures:
@@ -106,6 +123,16 @@ type Result struct {
 	// the per-vector path, -1 if the per-vector path won at every width,
 	// 0 if the sweep was skipped (default heuristic stays in charge).
 	SoAMinBatch int
+
+	// BlockParts holds the measured in-window factorizations that beat
+	// the generated defaults for the winner's block leaves, keyed by
+	// block log-size; absent keys (and a nil map) keep the defaults.
+	BlockParts map[int][]int
+
+	// ParallelMode is the measured multi-worker dispatch registered for
+	// the winner: "barrier" or "pipelined", "" when the sweep was
+	// skipped or moot (the size heuristic stays in charge).
+	ParallelMode string
 }
 
 // rematchTiming doubles the measurement effort for the final head-to-head
@@ -251,7 +278,56 @@ func Tune(n int, opt Options) (Result, error) {
 		res.Measured = measured
 	}
 
-	// Phase 5: batch-tier sweep — the serving shape the SoA engine was
+	// Phase 5: block-parts sweep — the in-window factorization axis of
+	// the block tier.  For each distinct block-leaf size of the winner,
+	// the generated default and a small grid of alternative
+	// factorizations are timed back to back (a fresh schedule per
+	// candidate: overrides must be set before compiling); the fastest is
+	// installed via codelet.SetBlockParts so every later sweep and the
+	// registered serving path run the measured split.  The default is
+	// measured first and kept on ties — an override forgoes the generated
+	// straight-line kernels, so it must earn the slot.
+	if !opt.NoBlockPartsSweep {
+		if sizes := blockLeafSizes(res.Plan); len(sizes) > 0 {
+			bpTiming := rematchTiming(opt.Timing)
+			for _, m := range sizes {
+				codelet.ClearBlockParts(m)
+				def := append([]int(nil), codelet.BlockParts(m)...)
+				bestNs := math.Inf(1)
+				var bestParts []int // nil: the generated default
+				for _, parts := range blockPartsCandidates(m, def) {
+					if parts == nil {
+						codelet.ClearBlockParts(m)
+					} else if err := codelet.SetBlockParts(m, parts); err != nil {
+						return Result{}, fmt.Errorf("tune: %w", err)
+					}
+					s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+					if err != nil {
+						return Result{}, fmt.Errorf("tune: %w", err)
+					}
+					ns := exec.TimeSchedule(s, bpTiming)
+					measured++
+					if ns < bestNs {
+						bestNs, bestParts = ns, parts
+					}
+				}
+				if bestParts == nil {
+					codelet.ClearBlockParts(m)
+				} else {
+					if err := codelet.SetBlockParts(m, bestParts); err != nil {
+						return Result{}, fmt.Errorf("tune: %w", err)
+					}
+					if res.BlockParts == nil {
+						res.BlockParts = make(map[int][]int)
+					}
+					res.BlockParts[m] = bestParts
+				}
+			}
+			res.Measured = measured
+		}
+	}
+
+	// Phase 6: batch-tier sweep — the serving shape the SoA engine was
 	// built for.  The winner is timed over whole batches through both
 	// batch paths at each swept width, ascending; the first width where
 	// the SoA tier's measured batch latency beats the per-vector path
@@ -283,14 +359,115 @@ func Tune(n int, opt Options) (Result, error) {
 		res.Measured = measured
 	}
 
-	if err := exec.UseTunedPlanFull(res.Plan, res.Policy, res.SoAMinBatch); err != nil {
+	// Phase 7: parallel-mode sweep — the per-stage-barrier pool against
+	// the dependency-counted window pipeline at the deployment's worker
+	// count.  Only meaningful when the pipelined tier could ever run
+	// (at least two workers and a multi-stage plan); the faster mode is
+	// pinned on the registered schedule and recorded in wisdom, so
+	// RunParallel at this size serves the measured choice instead of the
+	// size heuristic.
+	if !opt.NoParallelSweep {
+		workers := opt.ParallelWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		if err != nil {
+			return Result{}, fmt.Errorf("tune: %w", err)
+		}
+		if workers >= 2 && len(s.Stages()) >= 2 {
+			parTiming := rematchTiming(opt.Timing)
+			barNs := exec.TimeScheduleParallel(s, workers, exec.BarrierParallel, parTiming)
+			pipeNs := exec.TimeScheduleParallel(s, workers, exec.PipelinedParallel, parTiming)
+			measured += 2
+			res.ParallelMode = exec.BarrierParallel.String()
+			if pipeNs < barNs {
+				res.ParallelMode = exec.PipelinedParallel.String()
+			}
+			res.Measured = measured
+		}
+	}
+
+	parMode, ok := exec.ParseParallelMode(res.ParallelMode)
+	if !ok {
+		return Result{}, fmt.Errorf("tune: unknown parallel mode %q", res.ParallelMode)
+	}
+	if err := exec.UseTunedPlanWith(res.Plan, exec.TunedConfig{
+		Policy: res.Policy, SoAMinBatch: res.SoAMinBatch, ParallelMode: parMode,
+	}); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	store := processWisdom()
-	if _, err := store.RecordTuned(wisdom.Float64, res.Plan, res.Policy, res.SoAMinBatch, res.NsPerRun); err != nil {
+	tuned := wisdom.Tuned{
+		Policy: res.Policy, SoAMinBatch: res.SoAMinBatch,
+		ParallelMode: res.ParallelMode, BlockParts: res.BlockParts,
+	}
+	if _, err := store.RecordFull(wisdom.Float64, res.Plan, tuned, res.NsPerRun); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	return res, nil
+}
+
+// blockLeafSizes returns the distinct block-tier leaf log-sizes of p,
+// ascending.
+func blockLeafSizes(p *plan.Node) []int {
+	set := map[int]bool{}
+	var walk func(*plan.Node)
+	walk = func(q *plan.Node) {
+		if q.IsLeaf() {
+			if q.Log2Size() > plan.MaxLeafLog {
+				set[q.Log2Size()] = true
+			}
+			return
+		}
+		for _, c := range q.Children() {
+			walk(c)
+		}
+	}
+	walk(p)
+	out := make([]int, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// blockPartsCandidates returns the factorization grid the block-parts
+// sweep measures for block log-size m: nil first (the generated default
+// and its straight-line kernels), then the alternatives distinct from
+// def — the balanced two-part split, the widest-first
+// {GeneratedMaxLog, rest} split, and a balanced three-part split for the
+// larger windows.
+func blockPartsCandidates(m int, def []int) [][]int {
+	cands := [][]int{nil}
+	seen := map[string]bool{partsKey(def): true}
+	add := func(parts []int) {
+		if codelet.ValidateBlockParts(m, parts) != nil {
+			return
+		}
+		if k := partsKey(parts); !seen[k] {
+			seen[k] = true
+			cands = append(cands, parts)
+		}
+	}
+	add([]int{m - m/2, m / 2})
+	add([]int{codelet.GeneratedMaxLog, m - codelet.GeneratedMaxLog})
+	if m >= 12 {
+		third := m / 3
+		add([]int{m - 2*third, third, third})
+	}
+	return cands
+}
+
+// partsKey is a dedupe key for a parts slice (parts are single digits:
+// the unrolled tier tops out at 2^8).
+func partsKey(parts []int) string {
+	b := make([]byte, 0, 2*len(parts))
+	for _, p := range parts {
+		b = append(b, byte('0'+p), ',')
+	}
+	return string(b)
 }
 
 // hasBlockLeaf reports whether the plan contains a block-tier leaf.
@@ -360,21 +537,36 @@ func LoadWisdom(path string) error {
 		if e.Type != wisdom.Float64 {
 			continue
 		}
-		// Entries are validated by wisdom.Load, so the plan parses; the
-		// recorded variant policy and batch crossover ride along into the
-		// serving path.
-		if err := exec.UseTunedPlanFull(plan.MustParse(e.Plan), e.Policy(), e.SoAMinBatch); err != nil {
+		// Entries are validated by wisdom.Load, so the plan parses and
+		// the tuning knobs are well-formed; the recorded variant policy,
+		// batch crossover, parallel mode, and block factorizations all
+		// ride along into the serving path.
+		tc := e.Tuned()
+		for m, parts := range tc.BlockParts {
+			if err := codelet.SetBlockParts(m, parts); err != nil {
+				return fmt.Errorf("tune: %w", err)
+			}
+		}
+		mode, ok := exec.ParseParallelMode(tc.ParallelMode)
+		if !ok {
+			return fmt.Errorf("tune: unknown parallel mode %q", tc.ParallelMode)
+		}
+		if err := exec.UseTunedPlanWith(plan.MustParse(e.Plan), exec.TunedConfig{
+			Policy: tc.Policy, SoAMinBatch: tc.SoAMinBatch, ParallelMode: mode,
+		}); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
 	}
 	return nil
 }
 
-// Reset drops the process wisdom store and every registered tuned plan,
-// restoring the untuned defaults (tests and benchmark baselines).
+// Reset drops the process wisdom store, every registered tuned plan,
+// and every block-parts override, restoring the untuned defaults (tests
+// and benchmark baselines).
 func Reset() {
 	storeMu.Lock()
 	store = wisdom.New()
 	storeMu.Unlock()
 	exec.ResetTunedPlans()
+	codelet.ResetBlockParts()
 }

@@ -341,3 +341,159 @@ func TestTunedBatchCrossoverSurvivesWisdomRoundTrip(t *testing.T) {
 		t.Fatalf("after LoadWisdom crossover = %d, tuner measured %d", got, res.SoAMinBatch)
 	}
 }
+
+// The wisdom format's parallel-mode spellings and the executor's parser
+// are maintained as mirrors (wisdom must not import exec); this test is
+// the pin.  Every spelling wisdom accepts must parse, and every
+// executor mode must serialize to a spelling that round-trips.
+func TestWisdomParallelModeSpellingsMatchExec(t *testing.T) {
+	for _, s := range []string{"", "auto", "barrier", "pipelined"} {
+		if _, ok := exec.ParseParallelMode(s); !ok {
+			t.Errorf("wisdom-accepted spelling %q does not parse in exec", s)
+		}
+	}
+	for _, m := range []exec.ParallelMode{exec.AutoParallel, exec.BarrierParallel, exec.PipelinedParallel} {
+		got, ok := exec.ParseParallelMode(m.String())
+		if !ok || got != m {
+			t.Errorf("mode %v round-trips to (%v, %v)", m, got, ok)
+		}
+	}
+}
+
+// Phase 7 registers a measured barrier/pipelined decision on the
+// serving schedule and in wisdom, and the decision survives a wisdom
+// round-trip into a fresh registry.
+func TestTuneParallelSweepRegistersMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.ParallelWorkers = 2
+	opt.NoBatchSweep = true
+	res, err := Tune(12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParallelMode != "barrier" && res.ParallelMode != "pipelined" {
+		t.Fatalf("parallel sweep produced mode %q", res.ParallelMode)
+	}
+	wantMode, _ := exec.ParseParallelMode(res.ParallelMode)
+	if cfg, ok := exec.TunedConfigFor(12); !ok || cfg.ParallelMode != wantMode {
+		t.Fatalf("registered config = (%+v, %v), want mode %v", cfg, ok, wantMode)
+	}
+	if got := exec.ForSize(12).ParallelMode(); got != wantMode {
+		t.Fatalf("serving schedule carries mode %v, want %v", got, wantMode)
+	}
+
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if got := exec.ForSize(12).ParallelMode(); got != exec.AutoParallel {
+		t.Fatalf("reset left mode %v registered", got)
+	}
+	exec.ResetTunedPlans() // drop the balanced schedule the check above cached
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.ForSize(12).ParallelMode(); got != wantMode {
+		t.Fatalf("after LoadWisdom mode = %v, tuner measured %v", got, wantMode)
+	}
+}
+
+// The sweep respects NoParallelSweep and single-worker deployments:
+// both leave the heuristic ("" mode) in charge.
+func TestTuneParallelSweepSkips(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.NoParallelSweep = true
+	opt.NoBatchSweep = true
+	if res, err := Tune(10, opt); err != nil || res.ParallelMode != "" {
+		t.Fatalf("NoParallelSweep: (%q, %v), want empty mode", res.ParallelMode, err)
+	}
+	Reset()
+	opt = quickOpt()
+	opt.ParallelWorkers = 1
+	opt.NoBatchSweep = true
+	if res, err := Tune(10, opt); err != nil || res.ParallelMode != "" {
+		t.Fatalf("one worker: (%q, %v), want empty mode", res.ParallelMode, err)
+	}
+}
+
+// The block-parts sweep helpers: leaf discovery and the candidate grid.
+func TestBlockPartsSweepHelpers(t *testing.T) {
+	p := plan.MustParse("split[split[small[3],small[4]],small[13]]")
+	if got := blockLeafSizes(p); len(got) != 1 || got[0] != 13 {
+		t.Fatalf("blockLeafSizes = %v, want [13]", got)
+	}
+	if got := blockLeafSizes(plan.MustParse("split[small[5],small[5]]")); len(got) != 0 {
+		t.Fatalf("blockLeafSizes of unrolled plan = %v, want none", got)
+	}
+	def := codelet.BlockParts(13)
+	cands := blockPartsCandidates(13, def)
+	if cands[0] != nil {
+		t.Fatal("candidate grid does not measure the default first")
+	}
+	for _, parts := range cands[1:] {
+		if err := codelet.ValidateBlockParts(13, parts); err != nil {
+			t.Errorf("invalid candidate %v: %v", parts, err)
+		}
+		if partsKey(parts) == partsKey(def) {
+			t.Errorf("candidate %v duplicates the default", parts)
+		}
+	}
+	if len(cands) < 3 {
+		t.Fatalf("only %d candidates for 2^13", len(cands))
+	}
+}
+
+// A Tune run over a plan with a block leaf leaves either the default
+// factorization (no override) or a measured override that matches the
+// result's BlockParts record — and wisdom round-trips the override into
+// a fresh process's codelet registry.
+func TestTuneBlockPartsSweepConsistency(t *testing.T) {
+	Reset()
+	defer Reset()
+	opt := quickOpt()
+	opt.NoBatchSweep = true
+	opt.NoParallelSweep = true
+	res, err := Tune(15, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range blockLeafSizes(res.Plan) {
+		ov := codelet.BlockPartsOverride(m)
+		rec := res.BlockParts[m]
+		if (ov == nil) != (rec == nil) || len(ov) != len(rec) {
+			t.Fatalf("size 2^%d: override %v vs recorded %v", m, ov, rec)
+		}
+		for i := range ov {
+			if ov[i] != rec[i] {
+				t.Fatalf("size 2^%d: override %v vs recorded %v", m, ov, rec)
+			}
+		}
+	}
+	if len(res.BlockParts) == 0 {
+		return // default won everywhere: nothing to round-trip
+	}
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	for m := range res.BlockParts {
+		if codelet.BlockPartsOverride(m) != nil {
+			t.Fatalf("Reset left the 2^%d override in place", m)
+		}
+	}
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	for m, parts := range res.BlockParts {
+		ov := codelet.BlockPartsOverride(m)
+		if len(ov) != len(parts) {
+			t.Fatalf("after LoadWisdom 2^%d override %v, tuner measured %v", m, ov, parts)
+		}
+	}
+}

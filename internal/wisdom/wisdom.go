@@ -24,6 +24,11 @@
 // measured under; files without them load with the default policy, so
 // pre-variant version-1 files remain valid.  Plans may carry block-tier
 // leaves (small[9..14]); they parse and validate like any other leaf.
+// Further optional per-entry fields: "soa_min_batch" (the SoA batch
+// crossover), "parallel_mode" ("barrier" or "pipelined" to pin the
+// multi-worker dispatch tier), and "block_parts" (measured in-window
+// factorizations for block leaves, keyed by decimal log-size).  All are
+// omitted when untuned, so older version-1 files keep loading.
 //
 // Every plan string must parse in the WHT package grammar, validate, and
 // match its entry's log-size; Load rejects files that fail any of these
@@ -39,6 +44,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/codelet"
@@ -91,11 +97,103 @@ type Entry struct {
 	// records that the per-vector path won at every swept width, k >= 1
 	// selects SoA for batches of at least k vectors.
 	SoAMinBatch int `json:"soa_min_batch,omitempty"`
+
+	// ParallelMode is the measured multi-worker dispatch for this plan:
+	// "" or "auto" (absent) keeps the size heuristic, "barrier" pins the
+	// per-stage-barrier tier, "pipelined" pins the dependency-counted
+	// window scheduler.  The spellings are exec.ParseParallelMode's.
+	ParallelMode string `json:"parallel_mode,omitempty"`
+
+	// BlockParts records measured in-window factorizations for the
+	// plan's block leaves, keyed by the block log-size in decimal (JSON
+	// object keys are strings).  Each is validated like
+	// codelet.SetBlockParts validates its arguments; absent keys run the
+	// generated default factorization.
+	BlockParts map[string][]int `json:"block_parts,omitempty"`
 }
 
 // Policy returns the variant-selection policy recorded with the entry.
 func (e Entry) Policy() codelet.Policy {
 	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly, ILFuse: e.ILFuse}
+}
+
+// Tuned returns every tuning knob recorded with the entry as a Tuned
+// carrier.  Entries are validated on the way in (Record* and LoadFor),
+// so the block-parts keys decode without error.
+func (e Entry) Tuned() Tuned {
+	return Tuned{
+		Policy:       e.Policy(),
+		SoAMinBatch:  e.SoAMinBatch,
+		ParallelMode: e.ParallelMode,
+		BlockParts:   decodeBlockParts(e.BlockParts),
+	}
+}
+
+// Tuned bundles the tuning knobs beyond the plan itself that a
+// measurement was taken under: the kernel-variant policy, the SoA batch
+// crossover (Entry.SoAMinBatch), the parallel dispatch mode
+// (Entry.ParallelMode), and any measured block-leaf factorizations.
+type Tuned struct {
+	Policy       codelet.Policy
+	SoAMinBatch  int
+	ParallelMode string
+	BlockParts   map[int][]int
+}
+
+// encodeBlockParts converts a block-parts override map to the
+// string-keyed serialized form, copying the part slices.  Empty maps
+// encode to nil so untuned entries omit the field.
+func encodeBlockParts(bp map[int][]int) map[string][]int {
+	if len(bp) == 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(bp))
+	for m, parts := range bp {
+		out[strconv.Itoa(m)] = append([]int(nil), parts...)
+	}
+	return out
+}
+
+// decodeBlockParts converts the serialized string-keyed form back to
+// the int-keyed map codelet.SetBlockParts takes.  Keys must already be
+// validated (validBlockParts).
+func decodeBlockParts(bp map[string][]int) map[int][]int {
+	if len(bp) == 0 {
+		return nil
+	}
+	out := make(map[int][]int, len(bp))
+	for k, parts := range bp {
+		m, _ := strconv.Atoi(k)
+		out[m] = append([]int(nil), parts...)
+	}
+	return out
+}
+
+// validParallelMode accepts the spellings exec.ParseParallelMode does:
+// absent/auto (heuristic), barrier, pipelined.  Mirrored here rather
+// than imported so the wisdom format does not depend on the executor;
+// the tune package's tests pin the two in agreement.
+func validParallelMode(s string) error {
+	switch s {
+	case "", "auto", "barrier", "pipelined":
+		return nil
+	}
+	return fmt.Errorf("wisdom: unknown parallel mode %q", s)
+}
+
+// validBlockParts checks the serialized block-parts map: decimal keys
+// and, per key, the factorization rules of codelet.SetBlockParts.
+func validBlockParts(bp map[string][]int) error {
+	for k, parts := range bp {
+		m, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("wisdom: block parts key %q is not a block log-size", k)
+		}
+		if err := codelet.ValidateBlockParts(m, parts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Key identifies an entry: one tuned plan per (size, element type).
@@ -145,10 +243,16 @@ func (w *Wisdom) RecordPolicy(typ string, p *plan.Node, pol codelet.Policy, nsPe
 
 // RecordTuned stores a measured plan together with the variant-selection
 // policy it was measured under and the measured SoA batch crossover
-// (soaMinBatch; see Entry.SoAMinBatch), keeping the faster of the new
-// and any existing entry for the same (size, type) key.  It reports
-// whether the new measurement became (or stayed) the stored one.
+// (soaMinBatch; see Entry.SoAMinBatch); see RecordFull.
 func (w *Wisdom) RecordTuned(typ string, p *plan.Node, pol codelet.Policy, soaMinBatch int, nsPerRun float64) (bool, error) {
+	return w.RecordFull(typ, p, Tuned{Policy: pol, SoAMinBatch: soaMinBatch}, nsPerRun)
+}
+
+// RecordFull stores a measured plan together with every tuning knob it
+// was measured under (see Tuned), keeping the faster of the new and any
+// existing entry for the same (size, type) key.  It reports whether the
+// new measurement became (or stayed) the stored one.
+func (w *Wisdom) RecordFull(typ string, p *plan.Node, tc Tuned, nsPerRun float64) (bool, error) {
 	if err := validType(typ); err != nil {
 		return false, err
 	}
@@ -161,10 +265,19 @@ func (w *Wisdom) RecordTuned(typ string, p *plan.Node, pol codelet.Policy, soaMi
 	if nsPerRun <= 0 {
 		return false, fmt.Errorf("wisdom: non-positive measurement %g", nsPerRun)
 	}
+	if err := validParallelMode(tc.ParallelMode); err != nil {
+		return false, err
+	}
+	bp := encodeBlockParts(tc.BlockParts)
+	if err := validBlockParts(bp); err != nil {
+		return false, fmt.Errorf("wisdom: %w", err)
+	}
 	e := Entry{
 		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
-		ILMinS: pol.ILMinS, StridedOnly: pol.StridedOnly, ILFuse: pol.ILFuse,
-		SoAMinBatch: soaMinBatch,
+		ILMinS: tc.Policy.ILMinS, StridedOnly: tc.Policy.StridedOnly, ILFuse: tc.Policy.ILFuse,
+		SoAMinBatch:  tc.SoAMinBatch,
+		ParallelMode: tc.ParallelMode,
+		BlockParts:   bp,
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -323,6 +436,12 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 		if p.Log2Size() != e.N {
 			return nil, fmt.Errorf("wisdom: %s entry %d: plan size 2^%d does not match n=%d",
 				path, i, p.Log2Size(), e.N)
+		}
+		if err := validParallelMode(e.ParallelMode); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if err := validBlockParts(e.BlockParts); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
 		}
 		w.mu.Lock()
 		w.keepFaster(e)

@@ -2,6 +2,7 @@ package wisdom
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -261,5 +262,115 @@ func TestRecordTunedRoundTripsSoAMinBatch(t *testing.T) {
 	}
 	if e := w2.Entries()[0]; e.SoAMinBatch != 0 {
 		t.Fatalf("RecordPolicy entry carries SoAMinBatch %d, want 0", e.SoAMinBatch)
+	}
+}
+
+func TestRecordFullRoundTripsParallelModeAndBlockParts(t *testing.T) {
+	w := New()
+	p := plan.MustParse("split[split[small[3],small[4]],small[13]]") // block leaf 13
+	tc := Tuned{
+		Policy:       codelet.Policy{ILFuse: true},
+		SoAMinBatch:  4,
+		ParallelMode: "pipelined",
+		BlockParts:   map[int][]int{13: {5, 8}},
+	}
+	if _, err := w.RecordFull(Float64, p, tc, 1000); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Entries()[0]
+	got := e.Tuned()
+	if got.ParallelMode != "pipelined" || got.SoAMinBatch != 4 || !got.Policy.ILFuse {
+		t.Fatalf("round-tripped tuning %+v, want %+v", got, tc)
+	}
+	if len(got.BlockParts) != 1 || len(got.BlockParts[13]) != 2 ||
+		got.BlockParts[13][0] != 5 || got.BlockParts[13][1] != 8 {
+		t.Fatalf("round-tripped block parts %v, want map[13:[5 8]]", got.BlockParts)
+	}
+	// The decoded map is a copy: mutating it must not alias the entry.
+	got.BlockParts[13][0] = 99
+	if r.Entries()[0].BlockParts["13"][0] != 5 {
+		t.Fatal("Tuned() aliased the stored block-parts slice")
+	}
+
+	// Untuned entries omit both fields on disk (version-1 compat in the
+	// other direction: files we write stay minimal).
+	w2 := New()
+	if _, err := w2.Record(Float64, plan.MustParse("split[small[5],small[5]]"), 100); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(t.TempDir(), "w2.json")
+	if err := w2.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "parallel_mode") || strings.Contains(string(data), "block_parts") {
+		t.Fatalf("untuned entry serialized optional fields:\n%s", data)
+	}
+}
+
+func TestRecordFullRejectsBadTuning(t *testing.T) {
+	w := New()
+	p := plan.MustParse("split[small[6],small[8]]")
+	for _, tc := range []Tuned{
+		{ParallelMode: "windowed"},              // unknown mode spelling
+		{BlockParts: map[int][]int{8: {4, 4}}},  // 8 is unrolled tier, not block
+		{BlockParts: map[int][]int{13: {5, 7}}}, // parts sum to 12, not 13
+		{BlockParts: map[int][]int{13: {}}},     // empty factorization
+	} {
+		if _, err := w.RecordFull(Float64, p, tc, 1000); err == nil {
+			t.Fatalf("RecordFull accepted bad tuning %+v", tc)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("rejected records left %d entries", w.Len())
+	}
+}
+
+func TestLoadRejectsBadParallelModeAndBlockParts(t *testing.T) {
+	dir := t.TempDir()
+	base := `{"version":1,"fingerprint":{"os":%q,"arch":%q,"maxprocs":%d},"entries":[{%s}]}`
+	fp := CurrentFingerprint()
+	write := func(name, entry string) string {
+		path := filepath.Join(dir, name)
+		content := fmt.Sprintf(base, fp.OS, fp.Arch, fp.MaxProcs, entry)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := `"n":10,"type":"float64","plan":"split[small[5],small[5]]","ns_per_run":100`
+	for name, entry := range map[string]string{
+		"mode.json":  good + `,"parallel_mode":"windowed"`,
+		"tier.json":  good + `,"block_parts":{"8":[4,4]}`,
+		"sum.json":   good + `,"block_parts":{"13":[5,7]}`,
+		"key.json":   good + `,"block_parts":{"thirteen":[5,8]}`,
+		"empty.json": good + `,"block_parts":{"13":[]}`,
+	} {
+		if _, err := Load(write(name, entry)); err == nil {
+			t.Fatalf("%s: Load accepted invalid entry %s", name, entry)
+		}
+	}
+	// The valid spellings, including explicit "auto", load fine; a file
+	// without the new fields (a pre-parallel version-1 file) also loads.
+	for name, entry := range map[string]string{
+		"auto.json":      good + `,"parallel_mode":"auto"`,
+		"barrier.json":   good + `,"parallel_mode":"barrier"`,
+		"pipelined.json": good + `,"parallel_mode":"pipelined","block_parts":{"13":[5,8]}`,
+		"old.json":       good,
+	} {
+		if _, err := Load(write(name, entry)); err != nil {
+			t.Fatalf("%s: Load rejected valid entry: %v", name, err)
+		}
 	}
 }

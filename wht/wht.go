@@ -173,10 +173,37 @@ func CompileWith(p *Plan, pol VariantPolicy) (*Schedule, error) {
 // evaluation code path behind every Apply* entry point.
 func Run[T Float](s *Schedule, x []T) error { return exec.Run(s, x) }
 
-// RunParallel is Run with each sufficiently large stage fanned out over a
-// worker pool (workers <= 0 selects GOMAXPROCS).
+// RunParallel is Run with the schedule's stages executed by a worker
+// pool (workers <= 0 selects GOMAXPROCS).  The parallel tier is chosen
+// by the schedule's ParallelMode: a tuned mode when wisdom recorded
+// one, otherwise a size heuristic picks between the per-stage-barrier
+// pool and the dependency-counted window pipeline.
 func RunParallel[T Float](s *Schedule, x []T, workers int) error {
 	return exec.RunParallel(s, x, workers)
+}
+
+// ParallelMode selects the multi-worker execution tier of RunParallel:
+// AutoParallel (the size heuristic), BarrierParallel (a barrier between
+// consecutive stages), or PipelinedParallel (window-granular dependency
+// counting lets workers cross stage boundaries without barriers).
+type ParallelMode = exec.ParallelMode
+
+// The parallel execution tiers.
+const (
+	AutoParallel      = exec.AutoParallel
+	BarrierParallel   = exec.BarrierParallel
+	PipelinedParallel = exec.PipelinedParallel
+)
+
+// ParseParallelMode parses the wisdom-file spellings of a parallel
+// mode: "", "auto", "barrier", "pipelined".
+var ParseParallelMode = exec.ParseParallelMode
+
+// RunParallelMode is RunParallel with the tier forced, overriding the
+// schedule's mode: the measurement primitive behind the tuner's
+// parallel sweep and the executor equivalence tests.
+func RunParallelMode[T Float](s *Schedule, x []T, workers int, mode ParallelMode) error {
+	return exec.RunParallelMode(s, x, workers, mode)
 }
 
 // RunBatch executes one schedule over many vectors in place.  When the
@@ -379,6 +406,10 @@ var (
 	// batch of lane vectors, forcing either the SoA tier or the
 	// per-vector path — the primitive behind the tuner's batch sweep.
 	TimeBatch = exec.TimeBatch
+	// TimeScheduleParallel measures the median latency of a schedule
+	// under a forced parallel tier and worker count — the primitive
+	// behind the tuner's parallel-mode sweep.
+	TimeScheduleParallel = exec.TimeScheduleParallel
 	// Tune finds a measured-fast plan for WHT(2^n), serves it from the
 	// schedule cache behind Transform, and records it in the process
 	// wisdom store.
