@@ -625,6 +625,89 @@ func BenchmarkVariantStages(b *testing.B) {
 	}
 }
 
+// The SIMD backend against the scalar kernels on the streaming forms it
+// vectorizes, same plan and policy, backend pinned either way.  The SoA
+// lane stages are the headline (4 doubles or 8 floats per instruction
+// across the lane, acceptance bar >= 1.3x at n=16, lane >= 8 on AVX2
+// hosts); the fused interleaved single-vector path is reported
+// alongside.  On hosts without the vector tier both pins run the same
+// scalar kernels and every ratio is ~1x.
+func BenchmarkSIMDKernels(b *testing.B) {
+	if !codelet.SIMDAvailable() {
+		b.Log("no SIMD kernel tier on this host; both backends run scalar")
+	}
+	backends := []struct {
+		name string
+		bk   codelet.Backend
+	}{
+		{"scalar", codelet.ScalarBackend},
+		{"simd", codelet.SIMDBackend},
+	}
+
+	// SoA lane stages: whole-lane streaming butterflies, the shape the
+	// vector tier was built for.
+	for _, cfg := range []struct{ n, lane int }{
+		{14, 8}, {16, 8}, {16, 16}, {18, 16},
+	} {
+		p := plan.Balanced(cfg.n, plan.MaxLeafLog)
+		batch := make([][]float64, cfg.lane)
+		for i := range batch {
+			batch[i] = make([]float64, 1<<cfg.n)
+			for j := range batch[i] {
+				batch[i][j] = float64((i+j)&15) - 7.5
+			}
+		}
+		bytes := int64(8 << cfg.n * cfg.lane)
+		name := fmt.Sprintf("soa/n=%d/lane=%d", cfg.n, cfg.lane)
+		ns := map[string]float64{}
+		for _, bk := range backends {
+			sched := exec.CompileWith(p, codelet.Policy{Backend: bk.bk})
+			b.Run(name+"/"+bk.name, func(b *testing.B) {
+				b.SetBytes(bytes)
+				if err := exec.RunBatchSoA(sched, batch); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := exec.RunBatchSoA(sched, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ns[bk.name] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			})
+		}
+		if ns["scalar"] > 0 && ns["simd"] > 0 {
+			b.Logf("%s: scalar %.0f ns vs simd %.0f ns — %.2fx", name, ns["scalar"], ns["simd"], ns["scalar"]/ns["simd"])
+		}
+	}
+
+	// Fused interleaved single-vector streams: radix-4 passes whose
+	// unit-stride k-loops the vector tier replaces four (or eight)
+	// columns at a time.
+	for _, n := range []int{16, 18} {
+		p := plan.Balanced(n, plan.MaxLeafLog)
+		x := make([]float64, 1<<n)
+		for i := range x {
+			x[i] = float64(i&15) - 7.5
+		}
+		name := fmt.Sprintf("fused-il/n=%d", n)
+		ns := map[string]float64{}
+		for _, bk := range backends {
+			sched := exec.CompileWith(p, codelet.Policy{ILFuse: true, Backend: bk.bk})
+			b.Run(name+"/"+bk.name, func(b *testing.B) {
+				b.SetBytes(int64(8 << n))
+				for i := 0; i < b.N; i++ {
+					exec.MustRun(sched, x)
+				}
+				ns[bk.name] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			})
+		}
+		if ns["scalar"] > 0 && ns["simd"] > 0 {
+			b.Logf("%s: scalar %.0f ns vs simd %.0f ns — %.2fx", name, ns["scalar"], ns["simd"], ns["scalar"]/ns["simd"])
+		}
+	}
+}
+
 // Measured-cost autotuning vs the balanced default at the paper's hard
 // size: the acceptance bar is "tuned no slower than balanced".  Both
 // plans are timed through the shared exec.TimeSchedule helper (the same

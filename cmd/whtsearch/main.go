@@ -5,7 +5,8 @@
 //
 //	whtsearch -n 18 [-method dp|exhaustive|random|pruned|anneal] [-arity 2]
 //	          [-count 1000] [-keep 0.1] [-seed 1] [-workers 1]
-//	          [-cost cycles|instructions|measured] [-wisdom out.json]
+//	          [-cost cycles|instructions|measured] [-backend auto]
+//	          [-wisdom out.json]
 //
 // It prints the best plan found, its cost, and how it compares with the
 // three canonical algorithms — on the virtual machine and, with -time,
@@ -26,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/machine"
@@ -46,12 +48,20 @@ func main() {
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	workers := flag.Int("workers", 1, "parallel cost evaluations for random/pruned search")
 	costName := flag.String("cost", "cycles", "cycles | instructions | measured")
+	backend := flag.String("backend", "", "process-wide kernel backend override: auto, scalar, or simd (the -flag form of WHT_SIMD)")
 	wisdomOut := flag.String("wisdom", "", "write the best plan to this wisdom file")
 	timeReal := flag.Bool("time", false, "also time each plan for real through the compiled engine")
 	flag.Parse()
 
 	if *n < 1 || *n > 26 {
 		log.Fatalf("-n %d outside [1, 26]", *n)
+	}
+	if *backend != "" {
+		b, ok := codelet.ParseBackend(*backend)
+		if !ok {
+			log.Fatalf("unknown backend %q (want auto, scalar, or simd)", *backend)
+		}
+		codelet.SetBackend(b)
 	}
 	mach := machine.VirtualOpteron224()
 	var cost search.Coster

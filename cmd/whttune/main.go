@@ -8,7 +8,7 @@
 // Usage:
 //
 //	whttune -sizes 10,14,18 [-count 24] [-keep 0.25] [-seed 1]
-//	        [-workers 4] [-repeat 3] [-mindur 5ms]
+//	        [-workers 4] [-repeat 3] [-mindur 5ms] [-backend auto]
 //	        [-wisdom wht-wisdom.json] [-load old-wisdom.json]
 //
 // Tune once, serve forever:
@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codelet"
 	"repro/internal/exec"
 	"repro/internal/tune"
 	"repro/internal/wisdom"
@@ -44,9 +45,18 @@ func main() {
 	repeat := flag.Int("repeat", 3, "timed repetitions per measurement (median reported)")
 	minDur := flag.Duration("mindur", 5*time.Millisecond, "minimum wall time per repetition")
 	parWorkers := flag.Int("parworkers", 0, "worker count for the parallel-mode sweep (0 = GOMAXPROCS; sweep is skipped below 2)")
+	backend := flag.String("backend", "", "process-wide kernel backend override: auto, scalar, or simd (the -flag form of WHT_SIMD)")
 	wisdomPath := flag.String("wisdom", "", "write accumulated wisdom to this file")
 	loadPath := flag.String("load", "", "merge an existing wisdom file before tuning")
 	flag.Parse()
+
+	if *backend != "" {
+		b, ok := codelet.ParseBackend(*backend)
+		if !ok {
+			log.Fatalf("unknown backend %q (want auto, scalar, or simd)", *backend)
+		}
+		codelet.SetBackend(b)
+	}
 
 	if *loadPath != "" {
 		if err := tune.LoadWisdom(*loadPath); err != nil {
@@ -61,7 +71,12 @@ func main() {
 	}
 
 	fp := wisdom.CurrentFingerprint()
-	fmt.Printf("fingerprint: %s/%s maxprocs=%d\n\n", fp.OS, fp.Arch, fp.MaxProcs)
+	isaStr := fp.ISA
+	if isaStr == "" {
+		isaStr = "scalar"
+	}
+	fmt.Printf("fingerprint: %s/%s maxprocs=%d isa=%s backend=%s\n\n",
+		fp.OS, fp.Arch, fp.MaxProcs, isaStr, codelet.ActiveBackend())
 	fmt.Printf("%-4s %12s %12s %8s %9s %-9s  %s\n", "n", "tuned ns", "balanced ns", "speedup", "measured", "parallel", "plan")
 	for _, n := range ns {
 		opt := tune.Options{

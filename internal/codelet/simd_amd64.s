@@ -1,0 +1,249 @@
+// AVX2 butterfly primitives for the SIMD codelet backend.  Each routine
+// applies one radix of the WHT butterfly across parallel unit-stride
+// streams: the element count n is a positive multiple of the vector
+// width (4 float64s / 8 float32s per YMM register); the Go drivers in
+// simd_amd64.go peel the scalar tail.  Loads and stores are unaligned
+// (VMOVUPD/VMOVUPS) because stage bases and strides are arbitrary.
+//
+// Operand-order note: Go assembly reverses the Intel order, so
+// VSUBPD Y1, Y0, Y2 computes Y2 = Y0 - Y1.  Every butterfly below keeps
+// the scalar kernels' lower+upper / lower-upper operand order, which is
+// what makes the vector results bitwise-identical to the scalar tier.
+
+#include "textflag.h"
+
+// func avx2AddSub64(lo, hi *float64, n int)
+// Radix-2: lo[k], hi[k] = lo[k]+hi[k], lo[k]-hi[k] for k < n (n % 4 == 0).
+TEXT ·avx2AddSub64(SB), NOSPLIT, $0-24
+	MOVQ lo+0(FP), DI
+	MOVQ hi+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+addsub64_loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (SI)(AX*8), Y1
+	VADDPD  Y1, Y0, Y2
+	VSUBPD  Y1, Y0, Y3
+	VMOVUPD Y2, (DI)(AX*8)
+	VMOVUPD Y3, (SI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      addsub64_loop
+	VZEROUPPER
+	RET
+
+// func avx2AddSub32(lo, hi *float32, n int)
+// Radix-2 over float32 streams (n % 8 == 0).
+TEXT ·avx2AddSub32(SB), NOSPLIT, $0-24
+	MOVQ lo+0(FP), DI
+	MOVQ hi+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+addsub32_loop:
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS (SI)(AX*4), Y1
+	VADDPS  Y1, Y0, Y2
+	VSUBPS  Y1, Y0, Y3
+	VMOVUPS Y2, (DI)(AX*4)
+	VMOVUPS Y3, (SI)(AX*4)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JL      addsub32_loop
+	VZEROUPPER
+	RET
+
+// func avx2Bfly4x64(q0, q1, q2, q3 *float64, n int)
+// Radix-4: two butterfly levels over four float64 streams (n % 4 == 0),
+// matching GenericILFused's fused pass:
+//	e, f = q0+q1, q0-q1; g, h = q2+q3, q2-q3
+//	q0, q1, q2, q3 = e+g, f+h, e-g, f-h
+TEXT ·avx2Bfly4x64(SB), NOSPLIT, $0-40
+	MOVQ q0+0(FP), DI
+	MOVQ q1+8(FP), SI
+	MOVQ q2+16(FP), DX
+	MOVQ q3+24(FP), BX
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+
+bfly4x64_loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (DX)(AX*8), Y2
+	VMOVUPD (BX)(AX*8), Y3
+	VADDPD  Y1, Y0, Y4  // e = a+b
+	VSUBPD  Y1, Y0, Y5  // f = a-b
+	VADDPD  Y3, Y2, Y6  // g = c+d
+	VSUBPD  Y3, Y2, Y7  // h = c-d
+	VADDPD  Y6, Y4, Y8  // e+g
+	VADDPD  Y7, Y5, Y9  // f+h
+	VSUBPD  Y6, Y4, Y10 // e-g
+	VSUBPD  Y7, Y5, Y11 // f-h
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, (SI)(AX*8)
+	VMOVUPD Y10, (DX)(AX*8)
+	VMOVUPD Y11, (BX)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      bfly4x64_loop
+	VZEROUPPER
+	RET
+
+// func avx2Bfly4x32(q0, q1, q2, q3 *float32, n int)
+// Radix-4 over float32 streams (n % 8 == 0).
+TEXT ·avx2Bfly4x32(SB), NOSPLIT, $0-40
+	MOVQ q0+0(FP), DI
+	MOVQ q1+8(FP), SI
+	MOVQ q2+16(FP), DX
+	MOVQ q3+24(FP), BX
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+
+bfly4x32_loop:
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS (DX)(AX*4), Y2
+	VMOVUPS (BX)(AX*4), Y3
+	VADDPS  Y1, Y0, Y4
+	VSUBPS  Y1, Y0, Y5
+	VADDPS  Y3, Y2, Y6
+	VSUBPS  Y3, Y2, Y7
+	VADDPS  Y6, Y4, Y8
+	VADDPS  Y7, Y5, Y9
+	VSUBPS  Y6, Y4, Y10
+	VSUBPS  Y7, Y5, Y11
+	VMOVUPS Y8, (DI)(AX*4)
+	VMOVUPS Y9, (SI)(AX*4)
+	VMOVUPS Y10, (DX)(AX*4)
+	VMOVUPS Y11, (BX)(AX*4)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JL      bfly4x32_loop
+	VZEROUPPER
+	RET
+
+// func avx2Bfly8x64(p0, p1, p2, p3, p4, p5, p6, p7 *float64, n int)
+// Radix-8: three butterfly levels over eight float64 streams
+// (n % 4 == 0), matching GenericILFusedRange's fused pass — level 1
+// pairs (p0,p1)(p2,p3)(p4,p5)(p6,p7), level 2 pairs b-values two
+// apart, level 3 pairs c-values four apart.
+TEXT ·avx2Bfly8x64(SB), NOSPLIT, $0-72
+	MOVQ p0+0(FP), DI
+	MOVQ p1+8(FP), SI
+	MOVQ p2+16(FP), DX
+	MOVQ p3+24(FP), BX
+	MOVQ p4+32(FP), R8
+	MOVQ p5+40(FP), R9
+	MOVQ p6+48(FP), R10
+	MOVQ p7+56(FP), R11
+	MOVQ n+64(FP), CX
+	XORQ AX, AX
+
+bfly8x64_loop:
+	VMOVUPD (DI)(AX*8), Y0   // a0
+	VMOVUPD (SI)(AX*8), Y1   // a1
+	VMOVUPD (DX)(AX*8), Y2   // a2
+	VMOVUPD (BX)(AX*8), Y3   // a3
+	VMOVUPD (R8)(AX*8), Y4   // a4
+	VMOVUPD (R9)(AX*8), Y5   // a5
+	VMOVUPD (R10)(AX*8), Y6  // a6
+	VMOVUPD (R11)(AX*8), Y7  // a7
+	VADDPD  Y1, Y0, Y8       // b0 = a0+a1
+	VSUBPD  Y1, Y0, Y9       // b1 = a0-a1
+	VADDPD  Y3, Y2, Y10      // b2 = a2+a3
+	VSUBPD  Y3, Y2, Y11      // b3 = a2-a3
+	VADDPD  Y5, Y4, Y12      // b4 = a4+a5
+	VSUBPD  Y5, Y4, Y13      // b5 = a4-a5
+	VADDPD  Y7, Y6, Y14      // b6 = a6+a7
+	VSUBPD  Y7, Y6, Y15      // b7 = a6-a7
+	VADDPD  Y10, Y8, Y0      // c0 = b0+b2
+	VSUBPD  Y10, Y8, Y2      // c2 = b0-b2
+	VADDPD  Y11, Y9, Y1      // c1 = b1+b3
+	VSUBPD  Y11, Y9, Y3      // c3 = b1-b3
+	VADDPD  Y14, Y12, Y4     // c4 = b4+b6
+	VSUBPD  Y14, Y12, Y6     // c6 = b4-b6
+	VADDPD  Y15, Y13, Y5     // c5 = b5+b7
+	VSUBPD  Y15, Y13, Y7     // c7 = b5-b7
+	VADDPD  Y4, Y0, Y8       // c0+c4
+	VSUBPD  Y4, Y0, Y12      // c0-c4
+	VADDPD  Y5, Y1, Y9       // c1+c5
+	VSUBPD  Y5, Y1, Y13      // c1-c5
+	VADDPD  Y6, Y2, Y10      // c2+c6
+	VSUBPD  Y6, Y2, Y14      // c2-c6
+	VADDPD  Y7, Y3, Y11      // c3+c7
+	VSUBPD  Y7, Y3, Y15      // c3-c7
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, (SI)(AX*8)
+	VMOVUPD Y10, (DX)(AX*8)
+	VMOVUPD Y11, (BX)(AX*8)
+	VMOVUPD Y12, (R8)(AX*8)
+	VMOVUPD Y13, (R9)(AX*8)
+	VMOVUPD Y14, (R10)(AX*8)
+	VMOVUPD Y15, (R11)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      bfly8x64_loop
+	VZEROUPPER
+	RET
+
+// func avx2Bfly8x32(p0, p1, p2, p3, p4, p5, p6, p7 *float32, n int)
+// Radix-8 over float32 streams (n % 8 == 0).
+TEXT ·avx2Bfly8x32(SB), NOSPLIT, $0-72
+	MOVQ p0+0(FP), DI
+	MOVQ p1+8(FP), SI
+	MOVQ p2+16(FP), DX
+	MOVQ p3+24(FP), BX
+	MOVQ p4+32(FP), R8
+	MOVQ p5+40(FP), R9
+	MOVQ p6+48(FP), R10
+	MOVQ p7+56(FP), R11
+	MOVQ n+64(FP), CX
+	XORQ AX, AX
+
+bfly8x32_loop:
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS (DX)(AX*4), Y2
+	VMOVUPS (BX)(AX*4), Y3
+	VMOVUPS (R8)(AX*4), Y4
+	VMOVUPS (R9)(AX*4), Y5
+	VMOVUPS (R10)(AX*4), Y6
+	VMOVUPS (R11)(AX*4), Y7
+	VADDPS  Y1, Y0, Y8
+	VSUBPS  Y1, Y0, Y9
+	VADDPS  Y3, Y2, Y10
+	VSUBPS  Y3, Y2, Y11
+	VADDPS  Y5, Y4, Y12
+	VSUBPS  Y5, Y4, Y13
+	VADDPS  Y7, Y6, Y14
+	VSUBPS  Y7, Y6, Y15
+	VADDPS  Y10, Y8, Y0
+	VSUBPS  Y10, Y8, Y2
+	VADDPS  Y11, Y9, Y1
+	VSUBPS  Y11, Y9, Y3
+	VADDPS  Y14, Y12, Y4
+	VSUBPS  Y14, Y12, Y6
+	VADDPS  Y15, Y13, Y5
+	VSUBPS  Y15, Y13, Y7
+	VADDPS  Y4, Y0, Y8
+	VSUBPS  Y4, Y0, Y12
+	VADDPS  Y5, Y1, Y9
+	VSUBPS  Y5, Y1, Y13
+	VADDPS  Y6, Y2, Y10
+	VSUBPS  Y6, Y2, Y14
+	VADDPS  Y7, Y3, Y11
+	VSUBPS  Y7, Y3, Y15
+	VMOVUPS Y8, (DI)(AX*4)
+	VMOVUPS Y9, (SI)(AX*4)
+	VMOVUPS Y10, (DX)(AX*4)
+	VMOVUPS Y11, (BX)(AX*4)
+	VMOVUPS Y12, (R8)(AX*4)
+	VMOVUPS Y13, (R9)(AX*4)
+	VMOVUPS Y14, (R10)(AX*4)
+	VMOVUPS Y15, (R11)(AX*4)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JL      bfly8x32_loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,53 @@
+//go:build !amd64
+
+package codelet
+
+// Non-amd64 hosts have no vector kernel tier: EffectiveSIMD is
+// constant-false, so the executor never selects the SIMD* names.  They
+// delegate to the scalar generics anyway — the SIMD tier's contract is
+// bitwise equality with scalar, so the delegation is exact and keeps
+// every GOARCH compiling the same call sites.
+
+const simdAvailable = false
+
+// SIMDIL delegates to GenericIL on hosts without the vector tier.
+func SIMDIL(x []float64, base, s, m int) { GenericIL(x, base, s, m) }
+
+// SIMDIL32 delegates to GenericIL32.
+func SIMDIL32(x []float32, base, s, m int) { GenericIL32(x, base, s, m) }
+
+// SIMDILFused delegates to GenericILFused.
+func SIMDILFused(x []float64, base, s, m int) { GenericILFused(x, base, s, m) }
+
+// SIMDILFused32 delegates to GenericILFused32.
+func SIMDILFused32(x []float32, base, s, m int) { GenericILFused32(x, base, s, m) }
+
+// SIMDILRange delegates to GenericILRange.
+func SIMDILRange(x []float64, base, s, kLo, kHi, m int) {
+	GenericILRange(x, base, s, kLo, kHi, m)
+}
+
+// SIMDILRange32 delegates to GenericILRange32.
+func SIMDILRange32(x []float32, base, s, kLo, kHi, m int) {
+	GenericILRange32(x, base, s, kLo, kHi, m)
+}
+
+// SIMDILFusedRange delegates to GenericILFusedRange.
+func SIMDILFusedRange(x []float64, base, s, kLo, kHi, m int) {
+	GenericILFusedRange(x, base, s, kLo, kHi, m)
+}
+
+// SIMDILFusedRange32 delegates to GenericILFusedRange32.
+func SIMDILFusedRange32(x []float32, base, s, kLo, kHi, m int) {
+	GenericILFusedRange32(x, base, s, kLo, kHi, m)
+}
+
+// SIMDSoA delegates to GenericSoA.
+func SIMDSoA(x []float64, base, stride, lane, m int) {
+	GenericSoA(x, base, stride, lane, m)
+}
+
+// SIMDSoA32 delegates to GenericSoA32.
+func SIMDSoA32(x []float32, base, stride, lane, m int) {
+	GenericSoA32(x, base, stride, lane, m)
+}

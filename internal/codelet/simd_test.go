@@ -1,0 +1,218 @@
+package codelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillPattern writes a deterministic, sign-varied, non-symmetric pattern
+// so that any operand-order or indexing slip changes some output bit.
+func fillPattern(x []float64, r *rand.Rand) {
+	for i := range x {
+		x[i] = math.Ldexp(r.Float64()*2-1, r.Intn(9)-4)
+	}
+}
+
+func fillPattern32(x []float32, r *rand.Rand) {
+	for i := range x {
+		x[i] = float32(math.Ldexp(r.Float64()*2-1, r.Intn(5)-2))
+	}
+}
+
+func equalBits(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: bit mismatch at [%d]: want %v (%#x) got %v (%#x)",
+				name, i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+}
+
+func equalBits32(t *testing.T, name string, want, got []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+			t.Fatalf("%s: bit mismatch at [%d]: want %v got %v", name, i, want[i], got[i])
+		}
+	}
+}
+
+// TestSIMDKernelsBitwise pins the SIMD tier's contract: every SIMD*
+// kernel computes bitwise the same results as its Generic* counterpart,
+// over odd strides (so vector runs straddle every alignment), non-zero
+// bases, and lane/range widths that exercise both the vector body and
+// the scalar tail (including widths below one vector).
+func TestSIMDKernelsBitwise(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("SIMD tier unavailable on this host; delegation is identity")
+	}
+	r := rand.New(rand.NewSource(7))
+	base := 3 // misaligned on purpose
+	for m := 1; m <= 10; m++ {
+		n := 1 << uint(m)
+		for _, s := range []int{1, 3, 4, 7, 8, 16, 33} {
+			ref := make([]float64, base+n*s+5)
+			got := make([]float64, len(ref))
+			fillPattern(ref, r)
+			copy(got, ref)
+
+			GenericIL(ref, base, s, m)
+			SIMDIL(got, base, s, m)
+			equalBits(t, "IL", ref, got)
+
+			fillPattern(ref, r)
+			copy(got, ref)
+			GenericILFused(ref, base, s, m)
+			SIMDILFused(got, base, s, m)
+			equalBits(t, "ILFused", ref, got)
+
+			for _, kr := range [][2]int{{0, s}, {0, min(5, s)}, {s / 3, s}, {s / 2, s/2 + min(6, s-s/2)}} {
+				kLo, kHi := kr[0], kr[1]
+				if kLo >= kHi {
+					continue
+				}
+				fillPattern(ref, r)
+				copy(got, ref)
+				GenericILRange(ref, base, s, kLo, kHi, m)
+				SIMDILRange(got, base, s, kLo, kHi, m)
+				equalBits(t, "ILRange", ref, got)
+
+				fillPattern(ref, r)
+				copy(got, ref)
+				GenericILFusedRange(ref, base, s, kLo, kHi, m)
+				SIMDILFusedRange(got, base, s, kLo, kHi, m)
+				equalBits(t, "ILFusedRange", ref, got)
+			}
+
+			for _, lane := range []int{1, 3, 4, 7, 8, 16} {
+				if lane > s {
+					continue
+				}
+				fillPattern(ref, r)
+				copy(got, ref)
+				GenericSoA(ref, base, s, lane, m)
+				SIMDSoA(got, base, s, lane, m)
+				equalBits(t, "SoA", ref, got)
+			}
+		}
+	}
+}
+
+// TestSIMDKernelsBitwise32 is the float32 grid.
+func TestSIMDKernelsBitwise32(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("SIMD tier unavailable on this host; delegation is identity")
+	}
+	r := rand.New(rand.NewSource(11))
+	base := 5
+	for m := 1; m <= 9; m++ {
+		n := 1 << uint(m)
+		for _, s := range []int{1, 3, 7, 8, 16, 33} {
+			ref := make([]float32, base+n*s+3)
+			got := make([]float32, len(ref))
+			fillPattern32(ref, r)
+			copy(got, ref)
+
+			GenericIL32(ref, base, s, m)
+			SIMDIL32(got, base, s, m)
+			equalBits32(t, "IL32", ref, got)
+
+			fillPattern32(ref, r)
+			copy(got, ref)
+			GenericILFused32(ref, base, s, m)
+			SIMDILFused32(got, base, s, m)
+			equalBits32(t, "ILFused32", ref, got)
+
+			for _, kr := range [][2]int{{0, s}, {s / 3, s}, {s / 2, s/2 + min(9, s-s/2)}} {
+				kLo, kHi := kr[0], kr[1]
+				if kLo >= kHi {
+					continue
+				}
+				fillPattern32(ref, r)
+				copy(got, ref)
+				GenericILRange32(ref, base, s, kLo, kHi, m)
+				SIMDILRange32(got, base, s, kLo, kHi, m)
+				equalBits32(t, "ILRange32", ref, got)
+
+				fillPattern32(ref, r)
+				copy(got, ref)
+				GenericILFusedRange32(ref, base, s, kLo, kHi, m)
+				SIMDILFusedRange32(got, base, s, kLo, kHi, m)
+				equalBits32(t, "ILFusedRange32", ref, got)
+			}
+
+			for _, lane := range []int{1, 3, 7, 8, 16} {
+				if lane > s {
+					continue
+				}
+				fillPattern32(ref, r)
+				copy(got, ref)
+				GenericSoA32(ref, base, s, lane, m)
+				SIMDSoA32(got, base, s, lane, m)
+				equalBits32(t, "SoA32", ref, got)
+			}
+		}
+	}
+}
+
+// TestBackendParseRoundTrip pins the wisdom-file spellings and the
+// WHT_SIMD aliases.
+func TestBackendParseRoundTrip(t *testing.T) {
+	for _, b := range []Backend{AutoBackend, ScalarBackend, SIMDBackend} {
+		got, ok := ParseBackend(b.String())
+		if !ok || got != b {
+			t.Fatalf("ParseBackend(%q) = %v, %v", b.String(), got, ok)
+		}
+	}
+	cases := map[string]Backend{
+		"": AutoBackend, "auto": AutoBackend,
+		"off": ScalarBackend, "0": ScalarBackend, "scalar": ScalarBackend,
+		"on": SIMDBackend, "1": SIMDBackend, "simd": SIMDBackend,
+	}
+	for in, want := range cases {
+		got, ok := ParseBackend(in)
+		if !ok || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+	if _, ok := ParseBackend("mmx"); ok {
+		t.Fatal("ParseBackend accepted an unknown spelling")
+	}
+}
+
+// TestEffectiveSIMD pins the backend resolution order: explicit policy
+// choice > process override > host availability.
+func TestEffectiveSIMD(t *testing.T) {
+	defer SetBackend(ActiveBackend())
+	avail := SIMDAvailable()
+
+	SetBackend(AutoBackend)
+	if EffectiveSIMD(AutoBackend) != avail {
+		t.Fatal("auto/auto should track availability")
+	}
+	if EffectiveSIMD(ScalarBackend) {
+		t.Fatal("explicit scalar policy must stay scalar")
+	}
+	if EffectiveSIMD(SIMDBackend) != avail {
+		t.Fatal("explicit simd policy should track availability")
+	}
+
+	SetBackend(ScalarBackend)
+	if EffectiveSIMD(AutoBackend) {
+		t.Fatal("auto policy must follow a scalar process override")
+	}
+	if EffectiveSIMD(SIMDBackend) != avail {
+		t.Fatal("explicit simd policy must beat a scalar process override")
+	}
+
+	SetBackend(SIMDBackend)
+	if EffectiveSIMD(AutoBackend) != avail {
+		t.Fatal("auto policy must follow a simd process override")
+	}
+	if EffectiveSIMD(ScalarBackend) {
+		t.Fatal("explicit scalar policy must beat a simd process override")
+	}
+	SetBackend(AutoBackend)
+}

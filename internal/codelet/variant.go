@@ -86,6 +86,13 @@ type Policy struct {
 	// matches the single-level kernels the variant benchmarks were
 	// calibrated against; the tuner's policy sweep measures it per size.
 	ILFuse bool
+	// Backend selects the instruction tier the streaming kernels run on
+	// (see Backend): the zero value AutoBackend follows the process
+	// override and runs SIMD whenever the host supports it, so untuned
+	// policies get the vector kernels for free; the tuner's backend
+	// sweep pins ScalarBackend when measurement says the scalar forms
+	// win a stage shape, and wisdom files round-trip the choice.
+	Backend Backend
 }
 
 // DefaultPolicy returns the default selection policy (the zero value).

@@ -180,8 +180,68 @@ func assertBitwise32(t *testing.T, variant string, m, base, sOrStride int, got, 
 func TestVariantForOutOfRange(t *testing.T) {
 	if ForContig(0) != nil || ForContig(GeneratedMaxLog+1) != nil ||
 		ForIL(0) != nil || ForIL(GeneratedMaxLog+1) != nil ||
-		ForContig32(-1) != nil || ForIL32(-1) != nil {
+		ForContig32(-1) != nil || ForIL32(-1) != nil ||
+		ForILFused(0) != nil || ForILFused(GeneratedMaxLog+1) != nil ||
+		ForILFusedRange(0) != nil || ForILFusedRange(GeneratedMaxLog+1) != nil ||
+		ForILFused32(-1) != nil || ForILFusedRange32(-1) != nil {
 		t.Error("variant lookups must return nil outside [1, GeneratedMaxLog]")
+	}
+}
+
+// The generated (unrolled-pass) fused interleaved codelets replace the
+// Generic loop forms on the scalar hot path, so they must be BITWISE
+// equal to them over full rows, full ranges and split ranges — the
+// same contract TestGenericILFusedAndRangeBitwiseEqualGeneric pins for
+// the loop forms, transitively anchoring the codelets to the per-column
+// Generic reference.
+func TestGeneratedILFusedCodeletsBitwiseEqualGeneric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for m := 1; m <= GeneratedMaxLog; m++ {
+		n := 1 << m
+		fk, rk := ForILFused(m), ForILFusedRange(m)
+		fk32, rk32 := ForILFused32(m), ForILFusedRange32(m)
+		if fk == nil || rk == nil || fk32 == nil || rk32 == nil {
+			t.Fatalf("m=%d: fused codelet tables have nil entries", m)
+		}
+		for _, s := range []int{1, 2, 3, 5, 8} {
+			for _, base := range []int{0, 3} {
+				buf := randomVector64(rng, base+n*s+3)
+				want := append([]float64(nil), buf...)
+				GenericILFused(want, base, s, m)
+
+				got := append([]float64(nil), buf...)
+				fk(got, base, s)
+				assertBitwise64(t, "gen-il-fused", m, base, s, got, want)
+				got2 := append([]float64(nil), buf...)
+				rk(got2, base, s, 0, s)
+				assertBitwise64(t, "gen-il-fused-range-full", m, base, s, got2, want)
+				if s > 1 {
+					split := rng.IntN(s-1) + 1
+					got3 := append([]float64(nil), buf...)
+					rk(got3, base, s, split, s)
+					rk(got3, base, s, 0, split)
+					assertBitwise64(t, "gen-il-fused-range-split", m, base, s, got3, want)
+				}
+
+				buf32 := randomVector32(rng, base+n*s+3)
+				want32 := append([]float32(nil), buf32...)
+				GenericILFused32(want32, base, s, m)
+
+				got32 := append([]float32(nil), buf32...)
+				fk32(got32, base, s)
+				assertBitwise32(t, "gen-il-fused32", m, base, s, got32, want32)
+				got232 := append([]float32(nil), buf32...)
+				rk32(got232, base, s, 0, s)
+				assertBitwise32(t, "gen-il-fused32-range-full", m, base, s, got232, want32)
+				if s > 1 {
+					split := rng.IntN(s-1) + 1
+					got332 := append([]float32(nil), buf32...)
+					rk32(got332, base, s, split, s)
+					rk32(got332, base, s, 0, split)
+					assertBitwise32(t, "gen-il-fused32-range-split", m, base, s, got332, want32)
+				}
+			}
+		}
 	}
 }
 

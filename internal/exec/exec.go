@@ -125,6 +125,13 @@ func (s *Schedule) NumStages() int { return len(s.stages) }
 // under.
 func (s *Schedule) Policy() codelet.Policy { return s.policy }
 
+// SIMDEnabled reports whether this schedule's executors run the vector
+// backend for their streaming kernels, resolving the policy's Backend
+// against the process override and host availability at call time (see
+// codelet.EffectiveSIMD).  Either way the computed results are bitwise
+// identical; only throughput changes.
+func (s *Schedule) SIMDEnabled() bool { return codelet.EffectiveSIMD(s.policy.Backend) }
+
 // String renders the schedule as its stage sequence with the selected
 // kernel variant per stage (fused interleaved stages as "il+f"), e.g.
 // "[I1 x W2^2 x I4 strided] [I4 x W2^2 x I1 contig]".
@@ -250,33 +257,62 @@ type kernelSet[T Float] struct {
 // two concrete instantiations share the Float type set, so the assertions
 // through any are exact.
 //
+// simd selects the vector backend for the streaming slots (il, ilFused,
+// ilRange, ilFusedRange, soa) on both tiers — exactly the kernels whose
+// unit-stride inner sweeps the vector unit consumes, and bitwise-equal
+// to their scalar forms by the codelet package's contract.  The
+// strided/contig slots are always scalar: the unrolled single-assignment
+// codelets have no inner loop to vectorize, and the block kernels are
+// built from them.
+//
 // Block sizes carry no interleaved form (Policy.Select never picks it for
 // them), but the il/ilFused/ilRange slots are still populated with the
-// generic streaming kernels so hand-built schedules stay correct.
-func kernelsFor[T Float](m int) kernelSet[T] {
+// streaming kernels so hand-built schedules stay correct.
+func kernelsFor[T Float](m int, simd bool) kernelSet[T] {
 	var zero T
 	switch any(zero).(type) {
 	case float64:
-		if m > codelet.GeneratedMaxLog {
-			ks := kernelSet[float64]{
-				strided: codelet.ForBlock(m),
-				contig:  codelet.ForBlockContig(m),
-				il: func(x []float64, base, s int) {
-					codelet.GenericIL(x, base, s, m)
-				},
-				ilFused: func(x []float64, base, s int) {
-					codelet.GenericILFused(x, base, s, m)
-				},
-				ilRange: func(x []float64, base, s, kLo, kHi int) {
-					codelet.GenericILRange(x, base, s, kLo, kHi, m)
-				},
-				ilFusedRange: func(x []float64, base, s, kLo, kHi int) {
-					codelet.GenericILFusedRange(x, base, s, kLo, kHi, m)
-				},
-				soa: func(x []float64, base, stride, lane int) {
-					codelet.GenericSoA(x, base, stride, lane, m)
-				},
+		var ks kernelSet[float64]
+		if simd {
+			ks.il = func(x []float64, base, s int) { codelet.SIMDIL(x, base, s, m) }
+			ks.ilFused = func(x []float64, base, s int) { codelet.SIMDILFused(x, base, s, m) }
+			ks.ilRange = func(x []float64, base, s, kLo, kHi int) {
+				codelet.SIMDILRange(x, base, s, kLo, kHi, m)
 			}
+			ks.ilFusedRange = func(x []float64, base, s, kLo, kHi int) {
+				codelet.SIMDILFusedRange(x, base, s, kLo, kHi, m)
+			}
+			ks.soa = func(x []float64, base, stride, lane int) {
+				codelet.SIMDSoA(x, base, stride, lane, m)
+			}
+		} else {
+			ks.ilRange = func(x []float64, base, s, kLo, kHi int) {
+				codelet.GenericILRange(x, base, s, kLo, kHi, m)
+			}
+			if m <= codelet.GeneratedMaxLog {
+				ks.il = codelet.ForIL(m)
+				ks.soa = codelet.ForSoA(m)
+				ks.ilFused = codelet.ForILFused(m)
+				ks.ilFusedRange = codelet.ForILFusedRange(m)
+			}
+			if ks.il == nil {
+				ks.il = func(x []float64, base, s int) { codelet.GenericIL(x, base, s, m) }
+			}
+			if ks.soa == nil {
+				ks.soa = func(x []float64, base, stride, lane int) { codelet.GenericSoA(x, base, stride, lane, m) }
+			}
+			if ks.ilFused == nil {
+				ks.ilFused = func(x []float64, base, s int) { codelet.GenericILFused(x, base, s, m) }
+			}
+			if ks.ilFusedRange == nil {
+				ks.ilFusedRange = func(x []float64, base, s, kLo, kHi int) {
+					codelet.GenericILFusedRange(x, base, s, kLo, kHi, m)
+				}
+			}
+		}
+		if m > codelet.GeneratedMaxLog {
+			ks.strided = codelet.ForBlock(m)
+			ks.contig = codelet.ForBlockContig(m)
 			if ks.strided == nil {
 				ks.strided = func(x []float64, base, stride int) { codelet.GenericBlock(x, base, stride, m) }
 			}
@@ -285,55 +321,57 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			}
 			return any(ks).(kernelSet[T])
 		}
-		ks := kernelSet[float64]{
-			strided: codelet.For(m),
-			contig:  codelet.ForContig(m),
-			il:      codelet.ForIL(m),
-			soa:     codelet.ForSoA(m),
-			ilFused: func(x []float64, base, s int) {
-				codelet.GenericILFused(x, base, s, m)
-			},
-			ilRange: func(x []float64, base, s, kLo, kHi int) {
-				codelet.GenericILRange(x, base, s, kLo, kHi, m)
-			},
-			ilFusedRange: func(x []float64, base, s, kLo, kHi int) {
-				codelet.GenericILFusedRange(x, base, s, kLo, kHi, m)
-			},
-		}
+		ks.strided = codelet.For(m)
+		ks.contig = codelet.ForContig(m)
 		if ks.strided == nil {
 			ks.strided = func(x []float64, base, stride int) { codelet.Generic(x, base, stride, m) }
 		}
 		if ks.contig == nil {
 			ks.contig = func(x []float64, base int) { codelet.GenericContig(x, base, m) }
 		}
-		if ks.il == nil {
-			ks.il = func(x []float64, base, s int) { codelet.GenericIL(x, base, s, m) }
-		}
-		if ks.soa == nil {
-			ks.soa = func(x []float64, base, stride, lane int) { codelet.GenericSoA(x, base, stride, lane, m) }
-		}
 		return any(ks).(kernelSet[T])
 	default:
-		if m > codelet.GeneratedMaxLog {
-			ks := kernelSet[float32]{
-				strided: codelet.ForBlock32(m),
-				contig:  codelet.ForBlockContig32(m),
-				il: func(x []float32, base, s int) {
-					codelet.GenericIL32(x, base, s, m)
-				},
-				ilFused: func(x []float32, base, s int) {
-					codelet.GenericILFused32(x, base, s, m)
-				},
-				ilRange: func(x []float32, base, s, kLo, kHi int) {
-					codelet.GenericILRange32(x, base, s, kLo, kHi, m)
-				},
-				ilFusedRange: func(x []float32, base, s, kLo, kHi int) {
-					codelet.GenericILFusedRange32(x, base, s, kLo, kHi, m)
-				},
-				soa: func(x []float32, base, stride, lane int) {
-					codelet.GenericSoA32(x, base, stride, lane, m)
-				},
+		var ks kernelSet[float32]
+		if simd {
+			ks.il = func(x []float32, base, s int) { codelet.SIMDIL32(x, base, s, m) }
+			ks.ilFused = func(x []float32, base, s int) { codelet.SIMDILFused32(x, base, s, m) }
+			ks.ilRange = func(x []float32, base, s, kLo, kHi int) {
+				codelet.SIMDILRange32(x, base, s, kLo, kHi, m)
 			}
+			ks.ilFusedRange = func(x []float32, base, s, kLo, kHi int) {
+				codelet.SIMDILFusedRange32(x, base, s, kLo, kHi, m)
+			}
+			ks.soa = func(x []float32, base, stride, lane int) {
+				codelet.SIMDSoA32(x, base, stride, lane, m)
+			}
+		} else {
+			ks.ilRange = func(x []float32, base, s, kLo, kHi int) {
+				codelet.GenericILRange32(x, base, s, kLo, kHi, m)
+			}
+			if m <= codelet.GeneratedMaxLog {
+				ks.il = codelet.ForIL32(m)
+				ks.soa = codelet.ForSoA32(m)
+				ks.ilFused = codelet.ForILFused32(m)
+				ks.ilFusedRange = codelet.ForILFusedRange32(m)
+			}
+			if ks.il == nil {
+				ks.il = func(x []float32, base, s int) { codelet.GenericIL32(x, base, s, m) }
+			}
+			if ks.soa == nil {
+				ks.soa = func(x []float32, base, stride, lane int) { codelet.GenericSoA32(x, base, stride, lane, m) }
+			}
+			if ks.ilFused == nil {
+				ks.ilFused = func(x []float32, base, s int) { codelet.GenericILFused32(x, base, s, m) }
+			}
+			if ks.ilFusedRange == nil {
+				ks.ilFusedRange = func(x []float32, base, s, kLo, kHi int) {
+					codelet.GenericILFusedRange32(x, base, s, kLo, kHi, m)
+				}
+			}
+		}
+		if m > codelet.GeneratedMaxLog {
+			ks.strided = codelet.ForBlock32(m)
+			ks.contig = codelet.ForBlockContig32(m)
 			if ks.strided == nil {
 				ks.strided = func(x []float32, base, stride int) { codelet.GenericBlock32(x, base, stride, m) }
 			}
@@ -342,32 +380,13 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 			}
 			return any(ks).(kernelSet[T])
 		}
-		ks := kernelSet[float32]{
-			strided: codelet.For32(m),
-			contig:  codelet.ForContig32(m),
-			il:      codelet.ForIL32(m),
-			soa:     codelet.ForSoA32(m),
-			ilFused: func(x []float32, base, s int) {
-				codelet.GenericILFused32(x, base, s, m)
-			},
-			ilRange: func(x []float32, base, s, kLo, kHi int) {
-				codelet.GenericILRange32(x, base, s, kLo, kHi, m)
-			},
-			ilFusedRange: func(x []float32, base, s, kLo, kHi int) {
-				codelet.GenericILFusedRange32(x, base, s, kLo, kHi, m)
-			},
-		}
+		ks.strided = codelet.For32(m)
+		ks.contig = codelet.ForContig32(m)
 		if ks.strided == nil {
 			ks.strided = func(x []float32, base, stride int) { codelet.Generic32(x, base, stride, m) }
 		}
 		if ks.contig == nil {
 			ks.contig = func(x []float32, base int) { codelet.GenericContig32(x, base, m) }
-		}
-		if ks.il == nil {
-			ks.il = func(x []float32, base, s int) { codelet.GenericIL32(x, base, s, m) }
-		}
-		if ks.soa == nil {
-			ks.soa = func(x []float32, base, stride, lane int) { codelet.GenericSoA32(x, base, stride, lane, m) }
 		}
 		return any(ks).(kernelSet[T])
 	}
@@ -375,9 +394,22 @@ func kernelsFor[T Float](m int) kernelSet[T] {
 
 // kernelTable resolves the kernel sets a schedule needs, one lookup per
 // distinct leaf size.  The table is cheap enough to rebuild per Run call;
-// batch and parallel executors build it once and share it.
+// batch and parallel executors build it once and share it.  simd routes
+// the streaming slots to the vector backend; executors construct tables
+// with newKernelTable so the flag follows the schedule's policy (the
+// zero value is the scalar table — what Interpret's strided-only walker
+// uses).
 type kernelTable[T Float] struct {
+	simd bool
 	sets [plan.BlockLeafMax + 1]kernelSet[T]
+}
+
+// newKernelTable returns the kernel table for a schedule, resolving the
+// policy's backend against the process override and host availability at
+// run time — so one compiled schedule follows SetBackend / WHT_SIMD
+// changes between runs.
+func newKernelTable[T Float](s *Schedule) kernelTable[T] {
+	return kernelTable[T]{simd: s.SIMDEnabled()}
 }
 
 func (kt *kernelTable[T]) get(m int) *kernelSet[T] {
@@ -385,7 +417,7 @@ func (kt *kernelTable[T]) get(m int) *kernelSet[T] {
 	// indexes the table.
 	ks := &kt.sets[m]
 	if ks.strided == nil {
-		*ks = kernelsFor[T](m)
+		*ks = kernelsFor[T](m, kt.simd)
 	}
 	return ks
 }

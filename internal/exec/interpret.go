@@ -29,6 +29,8 @@ func Interpret[T Float](p *plan.Node, x []T) error {
 	if len(x) != p.Size() {
 		return fmt.Errorf("exec: vector length %d does not match plan size %d", len(x), p.Size())
 	}
+	// The zero-value (scalar) table suffices: the walker only ever calls
+	// the strided slot, which no backend vectorizes.
 	var kt kernelTable[T]
 	interpretRec(p, &kt, x, 0, 1)
 	return nil

@@ -88,7 +88,7 @@ func RunParallelMode[T Float](s *Schedule, x []T, workers int, mode ParallelMode
 // runBarrier is the barrier tier's body: per stage, fan the flattened
 // call range out over fresh goroutines and wait.
 func runBarrier[T Float](s *Schedule, x []T, workers int) {
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	for i := range s.stages {
 		st := &s.stages[i]
 		ks := kt.get(st.M)
@@ -155,7 +155,7 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		return RunBatchSoAParallel(s, xs, workers)
 	}
 	if workers == 1 || len(xs) < 2 {
-		var kt kernelTable[T]
+		kt := newKernelTable[T](s)
 		for _, x := range xs {
 			runStages(s, &kt, x, 0, 1)
 		}
@@ -170,7 +170,7 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var kt kernelTable[T]
+			kt := newKernelTable[T](s)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(xs) {

@@ -161,6 +161,19 @@ type pipePlan struct {
 	totalChunks int
 }
 
+// PipeShape reports the window and chunk counts the pipelined tier
+// would schedule for this schedule at the given worker count — the
+// inputs machine.ParallelCost prices the tier with.  ok is false when
+// the schedule cannot pipeline (fewer than two stages or workers) and
+// RunParallel would fall back to the barrier tier.
+func PipeShape(s *Schedule, workers int) (windows, chunks int, ok bool) {
+	pp := buildPipePlan(s, workers)
+	if pp == nil {
+		return 0, 0, false
+	}
+	return pp.totalWins, pp.totalChunks, true
+}
+
 // buildPipePlan derives the window plan, or returns nil when the
 // schedule has no cross-stage structure to pipeline (fewer than two
 // stages) and the caller should fall back to the barrier tier.
@@ -272,7 +285,7 @@ func runPipelined[T Float](s *Schedule, x []T, workers int) {
 	// Kernel sets are resolved once, before the pool starts: the lazy
 	// kernelTable is not concurrency-safe and resolving up front keeps
 	// the workers allocation-free.
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	sets := make([]*kernelSet[T], len(s.stages))
 	for i := range s.stages {
 		sets[i] = kt.get(s.stages[i].M)

@@ -18,7 +18,7 @@ func Run[T Float](s *Schedule, x []T) error {
 	if len(x) != s.size {
 		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
 	}
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	runStages(s, &kt, x, 0, 1)
 	return nil
 }
@@ -49,7 +49,7 @@ func RunStrided[T Float](s *Schedule, x []T, base, stride int) error {
 		return fmt.Errorf("exec: strided vector [%d:%d:%d] exceeds buffer of length %d",
 			base, stride, last, len(x))
 	}
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	runStages(s, &kt, x, base, stride)
 	return nil
 }
@@ -156,7 +156,7 @@ func RunBatch[T Float](s *Schedule, xs [][]T) error {
 			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
 		}
 	}
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	if s.soaSelect(len(xs)) {
 		runBatchSoA(s, &kt, xs)
 		return nil

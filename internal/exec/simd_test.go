@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// simdBasePolicies is the policy grid the SIMD equivalence sweep pins
+// the backend axis onto: the shapes whose streaming slots the vector
+// tier replaces (interleaved, fused radix-4, and — through block plans
+// and the pipelined executor — the range forms).
+func simdBasePolicies() []codelet.Policy {
+	return []codelet.Policy{
+		codelet.DefaultPolicy(),
+		{ILMinS: 2},
+		{ILFuse: true},
+		{ILMinS: 2, ILFuse: true},
+	}
+}
+
+// withBackend returns pol with the backend pinned.
+func withBackend(pol codelet.Policy, b codelet.Backend) codelet.Policy {
+	pol.Backend = b
+	return pol
+}
+
+// checkSIMDEquivalence demands bitwise equality between the
+// scalar-pinned and SIMD-pinned compilations of one (plan, policy)
+// pair across the sequential, strided, parallel, batch, and SoA batch
+// engines.  On hosts without the vector tier the SIMD schedule resolves
+// scalar and the check degenerates to self-consistency — exactly the
+// fallback contract.
+func checkSIMDEquivalence[T Float](t *testing.T, p *plan.Node, pol codelet.Policy, lanes []int, rng *rand.Rand, label string) {
+	t.Helper()
+	scalar, err := NewScheduleWith(p, withBackend(pol, codelet.ScalarBackend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simd, err := NewScheduleWith(p, withBackend(pol, codelet.SIMDBackend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.SIMDEnabled() {
+		t.Fatalf("%s: scalar-pinned schedule reports SIMD", label)
+	}
+	if simd.SIMDEnabled() != codelet.SIMDAvailable() {
+		t.Fatalf("%s: SIMD-pinned schedule reports %v, host tier is %v",
+			label, simd.SIMDEnabled(), codelet.SIMDAvailable())
+	}
+
+	n := p.Size()
+	x := make([]T, n)
+	for i := range x {
+		x[i] = T(rng.Float64()*2 - 1)
+	}
+	want := append([]T(nil), x...)
+	MustRun(scalar, want)
+
+	got := append([]T(nil), x...)
+	MustRun(simd, got)
+	assertBatchEqual(t, label+"/run", [][]T{got}, [][]T{want})
+
+	// Unaligned base and non-unit stride through the strided entry point.
+	const base, stride = 3, 5
+	buf := make([]T, base+(n-1)*stride+1)
+	for i := range buf {
+		buf[i] = T(rng.Float64()*2 - 1)
+	}
+	wantBuf := append([]T(nil), buf...)
+	if err := RunStrided(scalar, wantBuf, base, stride); err != nil {
+		t.Fatal(err)
+	}
+	gotBuf := append([]T(nil), buf...)
+	if err := RunStrided(simd, gotBuf, base, stride); err != nil {
+		t.Fatal(err)
+	}
+	assertBatchEqual(t, label+"/strided", [][]T{gotBuf}, [][]T{wantBuf})
+
+	// The parallel tiers: barrier always, and at pipeline-regime sizes
+	// the auto heuristic routes through the window scheduler, whose
+	// chunked calls are the range kernels' only exec-level entry.
+	for _, workers := range []int{2, 5} {
+		got = append([]T(nil), x...)
+		if err := RunParallel(simd, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		assertBatchEqual(t, fmt.Sprintf("%s/parallel-%d", label, workers), [][]T{got}, [][]T{want})
+	}
+
+	// The SoA batch tier at the swept lane widths (including widths that
+	// are not multiples of the vector width, so the masked tails run).
+	for _, lane := range lanes {
+		xs := randomBatch[T](rng, lane, n)
+		wantBatch := cloneBatch(xs)
+		for _, v := range wantBatch {
+			MustRun(scalar, v)
+		}
+		gotBatch := cloneBatch(xs)
+		if err := RunBatchSoA(simd, gotBatch); err != nil {
+			t.Fatal(err)
+		}
+		assertBatchEqual(t, fmt.Sprintf("%s/soa-%d", label, lane), gotBatch, wantBatch)
+	}
+}
+
+// TestSIMDBackendBitwiseEqualsScalar is the acceptance property of the
+// SIMD backend: pinning Policy.Backend to the vector tier never changes
+// a single output bit relative to the scalar kernels, across transform
+// sizes from the codelet range through the out-of-cache regime, lane
+// widths around and off the vector width, unaligned strided access,
+// both element types, and every engine.  Dense small sizes sweep the
+// full grid; the large sizes spot-check the block tier and the
+// pipelined executor with thinned axes to bound the suite's runtime.
+func TestSIMDBackendBitwiseEqualsScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 103))
+	fullLanes := []int{1, 3, 4, 7, 8, 16}
+	for n := 1; n <= 12; n++ {
+		p := soaTestPlan(n)
+		for _, pol := range simdBasePolicies() {
+			label := fmt.Sprintf("n=%d/pol=%+v", n, pol)
+			checkSIMDEquivalence[float64](t, p, pol, fullLanes, rng, label+"/f64")
+			checkSIMDEquivalence[float32](t, p, pol, fullLanes, rng, label+"/f32")
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	spot := []struct {
+		n     int
+		lanes []int
+		f32   bool
+	}{
+		{16, []int{1, 3, 8}, true},
+		{18, []int{1, 3}, false},
+		{20, []int{3}, false},
+	}
+	for _, sc := range spot {
+		p := soaTestPlan(sc.n)
+		for _, pol := range []codelet.Policy{codelet.DefaultPolicy(), {ILFuse: true}} {
+			label := fmt.Sprintf("n=%d/pol=%+v", sc.n, pol)
+			checkSIMDEquivalence[float64](t, p, pol, sc.lanes, rng, label+"/f64")
+			if sc.f32 {
+				checkSIMDEquivalence[float32](t, p, pol, sc.lanes, rng, label+"/f32")
+			}
+		}
+	}
+}
+
+// TestSIMDProcessOverrideForcedOnAndOff drives Auto-backend schedules
+// under both process-wide overrides (the SetBackend / WHT_SIMD axis):
+// resolution must follow the override on each run — the kernel table is
+// rebuilt per run, not baked at compile time — and results must stay
+// bitwise-identical either way.  The parallel engines run under both
+// overrides so a -race pass covers the forced-on and forced-off
+// configurations.
+func TestSIMDProcessOverrideForcedOnAndOff(t *testing.T) {
+	defer codelet.SetBackend(codelet.AutoBackend)
+	rng := rand.New(rand.NewPCG(107, 109))
+	const n = 13
+	p := soaTestPlan(n)
+	s, err := NewScheduleWith(p, codelet.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomVector(1<<n, rng)
+
+	codelet.SetBackend(codelet.ScalarBackend)
+	if s.SIMDEnabled() {
+		t.Fatal("forced-scalar override not honored by an Auto schedule")
+	}
+	want := append([]float64(nil), x...)
+	MustRun(s, want)
+
+	codelet.SetBackend(codelet.SIMDBackend)
+	if s.SIMDEnabled() != codelet.SIMDAvailable() {
+		t.Fatalf("forced-SIMD override resolves %v, host tier is %v",
+			s.SIMDEnabled(), codelet.SIMDAvailable())
+	}
+	for _, backend := range []codelet.Backend{codelet.SIMDBackend, codelet.ScalarBackend} {
+		codelet.SetBackend(backend)
+		got := append([]float64(nil), x...)
+		MustRun(s, got)
+		assertSame(t, fmt.Sprintf("forced-%v/run", backend), n, p, got, want)
+
+		got = append([]float64(nil), x...)
+		if err := RunParallel(s, got, 4); err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, fmt.Sprintf("forced-%v/parallel", backend), n, p, got, want)
+
+		batch := [][]float64{append([]float64(nil), x...), append([]float64(nil), x...)}
+		if err := RunBatchSoA(s, batch); err != nil {
+			t.Fatal(err)
+		}
+		assertBatchEqual(t, fmt.Sprintf("forced-%v/soa", backend), batch, [][]float64{want, want})
+	}
+}

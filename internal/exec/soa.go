@@ -381,7 +381,7 @@ func RunBatchSoA[T Float](s *Schedule, xs [][]T) error {
 	if len(xs) == 0 {
 		return nil
 	}
-	var kt kernelTable[T]
+	kt := newKernelTable[T](s)
 	runBatchSoA(s, &kt, xs)
 	return nil
 }
@@ -418,7 +418,7 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		workers = maxW
 	}
 	if workers == 1 {
-		var kt kernelTable[T]
+		kt := newKernelTable[T](s)
 		runBatchSoA(s, &kt, xs)
 		return nil
 	}
@@ -432,7 +432,7 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		wg.Add(1)
 		go func(sub [][]T) {
 			defer wg.Done()
-			var kt kernelTable[T]
+			kt := newKernelTable[T](s)
 			runBatchSoA(s, &kt, sub)
 		}(xs[lo:hi])
 	}

@@ -180,7 +180,7 @@ func TimeBatch(s *Schedule, lane int, soa bool, opt TimingOptions) float64 {
 	for i := range xs {
 		xs[i] = make([]float64, s.Size())
 	}
-	var kt kernelTable[float64]
+	kt := newKernelTable[float64](s)
 	run := func(k int) {
 		for i := 0; i < k; i++ {
 			if soa {

@@ -1,0 +1,38 @@
+package isa
+
+// cpuid executes the CPUID instruction for (leaf, subleaf) and returns
+// the four result registers.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which records the
+// register state the OS saves and restores across context switches.
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+// detectAVX2 follows the Intel-documented sequence: the CPU must report
+// OSXSAVE and AVX (CPUID.1:ECX), the OS must have enabled XMM and YMM
+// state saving (XCR0 bits 1-2 via XGETBV — a kernel that does not
+// context-switch the YMM registers would silently corrupt them), and
+// the CPU must report AVX2 (CPUID.7.0:EBX bit 5).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	const ymmState = 0x6 // XCR0: XMM (bit 1) and YMM (bit 2) enabled
+	if lo, _ := xgetbv(); lo&ymmState != ymmState {
+		return false
+	}
+	const avx2Bit = 1 << 5 // CPUID.7.0:EBX.AVX2
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,28 @@
+// Package isa detects the instruction-set features the SIMD codelet
+// backend can target on the running host.  Detection is performed once
+// at init via raw CPUID/XGETBV (amd64) so the library carries no
+// external dependency; other GOARCHes report no vector tier and the
+// backend dispatch falls back to the scalar kernels.
+//
+// The package is deliberately tiny: it answers the two questions the
+// rest of the library asks — "may the AVX2 kernels run here?"
+// (HasAVX2) and "what feature string goes into a wisdom fingerprint?"
+// (Features) — and nothing else.
+package isa
+
+// HasAVX2 reports whether the running CPU supports AVX2 and the
+// operating system has enabled YMM state saving (OSXSAVE + XCR0), i.e.
+// whether the AVX2 codelet tier may execute.
+func HasAVX2() bool { return hasAVX2 }
+
+// Features returns the feature string recorded in wisdom fingerprints:
+// the highest vector tier the codelet backend would use on this host
+// ("avx2"), or the empty string when the backend has no vector tier
+// here.  Tuned-plan files carry this string so measurements never
+// migrate across hosts with different vector units.
+func Features() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return ""
+}

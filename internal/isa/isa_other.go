@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package isa
+
+// Non-amd64 hosts have no AVX2 tier; the codelet backend dispatches to
+// the scalar kernels (NEON is a named follow-up in ROADMAP.md).
+const hasAVX2 = false

@@ -1,0 +1,29 @@
+package isa
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestFeaturesConsistent(t *testing.T) {
+	if HasAVX2() && Features() != "avx2" {
+		t.Fatalf("HasAVX2 true but Features() = %q", Features())
+	}
+	if !HasAVX2() && Features() != "" {
+		t.Fatalf("HasAVX2 false but Features() = %q", Features())
+	}
+	if runtime.GOARCH != "amd64" && HasAVX2() {
+		t.Fatalf("HasAVX2 true on %s", runtime.GOARCH)
+	}
+}
+
+func TestDetectionStable(t *testing.T) {
+	// Detection is a pure function of the host; repeated queries must
+	// agree (the package caches one CPUID probe at init).
+	first := HasAVX2()
+	for i := 0; i < 3; i++ {
+		if HasAVX2() != first {
+			t.Fatal("HasAVX2 changed between calls")
+		}
+	}
+}

@@ -356,6 +356,40 @@ func lane64(lane int) int64 {
 	return int64(lane)
 }
 
+// SIMDLanes returns the elements per vector instruction of the AVX2
+// backend for the given element size: 32-byte YMM registers carry 4
+// float64s or 8 float32s.  Element sizes that do not divide the
+// register width price as scalar (1).
+func SIMDLanes(elemSize int) int {
+	if elemSize > 0 && 32%elemSize == 0 {
+		return 32 / elemSize
+	}
+	return 1
+}
+
+// SIMDStageOps rescales a scalar streaming-stage instruction count to
+// the vector backend at `lanes` elements per instruction.  The
+// streaming kernels' inner sweeps retire one arithmetic, load, store
+// and loop-bookkeeping instruction per vector instead of per element,
+// so those classes shrink by the lane factor (ceiling division — the
+// scalar tail still issues); address setup, call overhead and spill
+// traffic are per-call, not per-element, and are kept unchanged.  The
+// result is the model-side price of flipping a stage's Backend from
+// scalar to SIMD: the butterfly work is identical, only the
+// instruction-stream density changes — which is why SIMD results stay
+// bitwise-equal while throughput moves.
+func (c CostModel) SIMDStageOps(ops OpCounts, lanes int) OpCounts {
+	if lanes <= 1 {
+		return ops
+	}
+	l := int64(lanes)
+	ops.Arith = (ops.Arith + l - 1) / l
+	ops.Load = (ops.Load + l - 1) / l
+	ops.Store = (ops.Store + l - 1) / l
+	ops.Loop = (ops.Loop + l - 1) / l
+	return ops
+}
+
 // StageLoopInstances returns the completed-loop count of one compiled
 // stage (the branch-mispredict term of the cycle model): the flat row
 // walk for the strided form, a single dispatch loop for the contiguous

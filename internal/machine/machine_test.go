@@ -1,6 +1,10 @@
 package machine
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/codelet"
+)
 
 func TestVirtualOpteronGeometryMatchesPaper(t *testing.T) {
 	m := VirtualOpteron224()
@@ -70,6 +74,64 @@ func TestOpCountsArithmetic(t *testing.T) {
 	c.Add(a)
 	if c != a.Scale(2) {
 		t.Fatalf("add: %+v", c)
+	}
+}
+
+func TestSIMDLanes(t *testing.T) {
+	if SIMDLanes(8) != 4 || SIMDLanes(4) != 8 {
+		t.Fatalf("SIMDLanes: got f64=%d f32=%d, want 4 and 8", SIMDLanes(8), SIMDLanes(4))
+	}
+	if SIMDLanes(0) != 1 || SIMDLanes(3) != 1 || SIMDLanes(-8) != 1 {
+		t.Fatal("SIMDLanes must price non-dividing element sizes as scalar")
+	}
+}
+
+func TestSIMDStageOpsPricesVectorThroughput(t *testing.T) {
+	c := VirtualOpteron224().Cost
+	scalar := c.StageOpsFused(4, 8, 64, codelet.Interleaved, true)
+	vec := c.SIMDStageOps(scalar, 4)
+	if vec.Total() >= scalar.Total() {
+		t.Fatalf("SIMD stage must price below scalar: %d >= %d", vec.Total(), scalar.Total())
+	}
+	// Streaming classes shrink by the lane factor (ceiling); per-call
+	// classes are untouched.
+	if want := (scalar.Arith + 3) / 4; vec.Arith != want {
+		t.Fatalf("Arith: got %d want %d", vec.Arith, want)
+	}
+	if want := (scalar.Load + 3) / 4; vec.Load != want {
+		t.Fatalf("Load: got %d want %d", vec.Load, want)
+	}
+	if vec.Addr != scalar.Addr || vec.Call != scalar.Call ||
+		vec.SpillLd != scalar.SpillLd || vec.SpillSt != scalar.SpillSt {
+		t.Fatal("per-call classes must not change under SIMD pricing")
+	}
+	if got := c.SIMDStageOps(scalar, 1); got != scalar {
+		t.Fatal("lanes <= 1 must be the identity")
+	}
+}
+
+func TestDecisivePreference(t *testing.T) {
+	p := ParallelCost{SpawnCycles: 100, BarrierCycles: 50, WindowCycles: 1, ChunkCycles: 2}
+	// 4 stages, 8 workers: barrier = 4*(800+50) = 3400.
+	// Pipelined with 16 windows, 32 chunks = 800 + 16 + 64 = 880: ratio
+	// ~3.9 — pipelined and decisive.
+	pipe, decisive := p.DecisivePreference(4, 16, 32, 8)
+	if !pipe || !decisive {
+		t.Fatalf("4-stage shape: got pipelined=%v decisive=%v, want both", pipe, decisive)
+	}
+	if !p.PreferPipelined(4, 16, 32, 8) {
+		t.Fatal("DecisivePreference and PreferPipelined disagree")
+	}
+	// 1 stage, huge chunk count: barrier = 850, pipelined = 800 + 1000 +
+	// 4000 = 5800: barrier wins decisively.
+	pipe, decisive = p.DecisivePreference(1, 1000, 2000, 8)
+	if pipe || !decisive {
+		t.Fatalf("chunk-heavy shape: got pipelined=%v decisive=%v, want barrier decisive", pipe, decisive)
+	}
+	// Near parity: barrier = 850, pipelined = 800 + 10 + 40 = 850 — no
+	// preference is decisive at ratio 1.
+	if _, decisive = p.DecisivePreference(1, 10, 20, 8); decisive {
+		t.Fatal("parity shape must not be decisive")
 	}
 }
 

@@ -47,3 +47,26 @@ func (p ParallelCost) PipelinedOverhead(windows, chunks, workers int) float64 {
 func (p ParallelCost) PreferPipelined(stages, windows, chunks, workers int) bool {
 	return p.PipelinedOverhead(windows, chunks, workers) < p.BarrierOverhead(stages, workers)
 }
+
+// DecisiveParallelMargin is the overhead ratio at which the modeled
+// barrier-vs-pipelined preference is treated as decisive: when the
+// cheaper tier's modeled control cycles are this many times below the
+// other's, the tuner skips measuring the losing tier (the model is a
+// prefilter, not the final word — see tune's parallel sweep).  The
+// value sits above the ratio the preset produces for 2-stage schedules
+// (~1.9 at high worker counts, where measurement still decides) and
+// below the 4-stage ratio (~3), where the barrier tier's per-stage
+// spawn churn has never measured competitive.
+const DecisiveParallelMargin = 2.5
+
+// DecisivePreference returns the modeled tier preference for the given
+// shape and whether the margin is decisive (the cheaper tier's modeled
+// overhead is at least DecisiveParallelMargin times below the other's).
+func (p ParallelCost) DecisivePreference(stages, windows, chunks, workers int) (pipelined, decisive bool) {
+	bar := p.BarrierOverhead(stages, workers)
+	pipe := p.PipelinedOverhead(windows, chunks, workers)
+	if pipe < bar {
+		return true, pipe*DecisiveParallelMargin <= bar
+	}
+	return false, bar*DecisiveParallelMargin <= pipe
+}

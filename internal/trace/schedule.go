@@ -23,14 +23,35 @@ import (
 //
 // Model-guided search driven by these counters therefore sees the same
 // stage-shape landscape the measured coster does.
+//
+// Schedules whose policy pins the SIMD backend price their streaming
+// (interleaved) stages at vector throughput via SIMDStageOps; the
+// reference stream is unchanged — the vector kernels touch the same
+// addresses in the same order — so only the instruction classes shrink.
 func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
 	t.hier.Reset()
 	t.counters = Counters{}
+	t.priceLanes = simdPricingLanes(s, t.mach)
 	for _, st := range s.Stages() {
 		t.stage(st)
 	}
+	t.priceLanes = 1
 	t.counters.Mem = t.hier.Counters()
 	return t.counters
+}
+
+// simdPricingLanes returns the vector lane count the instruction model
+// prices a schedule's streaming stages with: the machine's vector width
+// in elements when the schedule's policy explicitly pins the SIMD
+// backend, 1 (scalar) otherwise.  Pricing keys on the requested
+// backend, not the host's runtime resolution, so virtual-machine
+// results stay host-independent: an Auto policy prices scalar — the
+// conservative baseline the tuner's measured backend sweep corrects.
+func simdPricingLanes(s *exec.Schedule, m *machine.Machine) int {
+	if s.Policy().Backend == codelet.SIMDBackend {
+		return machine.SIMDLanes(m.ElemSize)
+	}
+	return 1
 }
 
 // stage accounts one compiled stage: instruction classes from the cost
@@ -39,7 +60,14 @@ func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
 // stream through the simulated hierarchy.
 func (t *Tracer) stage(st exec.Stage) {
 	cost := &t.mach.Cost
-	t.counters.Ops.Add(cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused))
+	ops := cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused)
+	if st.V == codelet.Interleaved {
+		// The streaming slots are the only forms the SIMD backend
+		// replaces; strided and contiguous stages stay scalar on every
+		// backend.
+		ops = cost.SIMDStageOps(ops, t.priceLanes)
+	}
+	t.counters.Ops.Add(ops)
 	t.counters.LoopInstances += machineStageLoops(st)
 	size := 1 << uint(st.M)
 	if st.M > plan.MaxLeafLog {
@@ -126,6 +154,8 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 	}
 	t.hier.Reset()
 	t.counters = Counters{}
+	t.priceLanes = simdPricingLanes(s, t.mach)
+	defer func() { t.priceLanes = 1 }()
 	cost := &t.mach.Cost
 	n := s.Log2Size()
 	size := s.Size()
@@ -144,8 +174,10 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 		if useLane {
 			// Lane-kernel mode (policies without interleaved forms): R*S
 			// calls, each making m read+write level sweeps over its 2^M
-			// lane-wide strided positions.
-			t.counters.Ops.Add(cost.SoALaneStageOps(st.M, st.R, st.S, lane))
+			// lane-wide strided positions.  The lane runs are unit-stride
+			// streams, so SIMD-pinned schedules price them at vector
+			// throughput like the interleaved forms.
+			t.counters.Ops.Add(cost.SIMDStageOps(cost.SoALaneStageOps(st.M, st.R, st.S, lane), t.priceLanes))
 			t.counters.LoopInstances += machine.SoALaneStageLoopInstances(st.M, st.R, st.S, lane)
 			sEff := st.S * ld
 			for j := 0; j < st.R; j++ {
@@ -159,7 +191,7 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 			}
 			continue
 		}
-		t.counters.Ops.Add(cost.SoAStageOps(st.M, st.R, st.S, lane))
+		t.counters.Ops.Add(cost.SIMDStageOps(cost.SoAStageOps(st.M, st.R, st.S, lane), t.priceLanes))
 		t.counters.LoopInstances += machine.SoAStageLoopInstances(st.M, st.R, st.S, lane)
 		passes := (st.M + 1) / 2
 		for j := 0; j < st.R; j++ {

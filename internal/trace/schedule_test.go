@@ -82,6 +82,67 @@ func TestRunScheduleInstructionsMatchStageOps(t *testing.T) {
 	}
 }
 
+// SIMD-pinned schedules price their streaming stages at vector
+// throughput (SIMDStageOps over the interleaved stages, exactly), keep
+// per-call instruction classes and the whole reference stream
+// unchanged, and Auto-backend schedules price scalar regardless of the
+// host — virtual-machine results must not depend on where they run.
+func TestRunScheduleSIMDPricing(t *testing.T) {
+	m := machine.VirtualOpteron224()
+	tr := New(m)
+	lanes := machine.SIMDLanes(m.ElemSize)
+	if lanes <= 1 {
+		t.Fatalf("virtual machine element size %d has no vector pricing", m.ElemSize)
+	}
+	p := plan.MustParse("split[small[4],small[8]]")
+	for _, base := range []codelet.Policy{codelet.DefaultPolicy(), {ILMinS: 2}, {ILMinS: 2, ILFuse: true}} {
+		scalarPol, simdPol, autoPol := base, base, base
+		scalarPol.Backend = codelet.ScalarBackend
+		simdPol.Backend = codelet.SIMDBackend
+		autoPol.Backend = codelet.AutoBackend
+
+		scalar := tr.RunSchedule(exec.CompileWith(p, scalarPol))
+		simd := tr.RunSchedule(exec.CompileWith(p, simdPol))
+		auto := tr.RunSchedule(exec.CompileWith(p, autoPol))
+
+		if auto.Ops != scalar.Ops {
+			t.Fatalf("policy %+v: auto backend priced %+v, scalar %+v — auto must price scalar", base, auto.Ops, scalar.Ops)
+		}
+		var want machine.OpCounts
+		sched := exec.CompileWith(p, simdPol)
+		hasIL := false
+		for _, st := range sched.Stages() {
+			ops := m.Cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused)
+			if st.V == codelet.Interleaved {
+				ops = m.Cost.SIMDStageOps(ops, lanes)
+				hasIL = true
+			}
+			want.Add(ops)
+		}
+		if simd.Ops != want {
+			t.Fatalf("policy %+v: SIMD trace %+v, model says %+v", base, simd.Ops, want)
+		}
+		if hasIL && simd.Instructions() >= scalar.Instructions() {
+			t.Fatalf("policy %+v: SIMD pricing %d not below scalar %d", base, simd.Instructions(), scalar.Instructions())
+		}
+		if simd.Mem != scalar.Mem {
+			t.Fatalf("policy %+v: SIMD pricing changed the reference stream: %+v != %+v", base, simd.Mem, scalar.Mem)
+		}
+	}
+
+	// The SoA batch trace prices the same way: pinned SIMD below scalar,
+	// identical memory counters.
+	const lane = 8
+	scalar := tr.RunScheduleSoA(exec.CompileWith(p, codelet.Policy{Backend: codelet.ScalarBackend}), lane)
+	simd := tr.RunScheduleSoA(exec.CompileWith(p, codelet.Policy{Backend: codelet.SIMDBackend}), lane)
+	if simd.Instructions() >= scalar.Instructions() {
+		t.Fatalf("SoA SIMD pricing %d not below scalar %d", simd.Instructions(), scalar.Instructions())
+	}
+	if simd.Mem != scalar.Mem {
+		t.Fatalf("SoA SIMD pricing changed the reference stream")
+	}
+}
+
 // Block stages in the schedule tracer issue the same reference stream as
 // the tree walker's block leaves: strided-only one-level splits stay
 // bit-for-bit equal on the memory counters.

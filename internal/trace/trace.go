@@ -45,6 +45,10 @@ type Tracer struct {
 	leafOps   [plan.BlockLeafMax + 1]machine.OpCounts
 
 	counters Counters
+	// priceLanes is the vector lane count the current RunSchedule*
+	// invocation prices streaming stages with (1 = scalar pricing); see
+	// simdPricingLanes.
+	priceLanes int
 }
 
 // New returns a Tracer for the given machine with a fresh hierarchy.

@@ -41,7 +41,10 @@ type Options struct {
 
 	// Policies is the set of kernel-variant selection policies measured
 	// for the winning plan; the fastest is registered and recorded in
-	// wisdom.  Empty selects DefaultPolicies.
+	// wisdom.  Empty selects DefaultPolicies.  On hosts with a SIMD
+	// kernel tier the sweep widens each Auto-backend policy with a
+	// scalar-pinned twin (see backendAxis), so the scalar-vs-SIMD choice
+	// is measured per stage shape rather than assumed.
 	Policies []codelet.Policy
 
 	// BatchWidths is the ascending set of batch widths the SoA-vs-AoS
@@ -133,6 +136,13 @@ type Result struct {
 	// the winner: "barrier" or "pipelined", "" when the sweep was
 	// skipped or moot (the size heuristic stays in charge).
 	ParallelMode string
+
+	// ParallelPrefiltered reports that the parallel-mode sweep skipped
+	// the losing tier's measurement because the machine model's
+	// control-plane margin was decisive
+	// (machine.ParallelCost.DecisivePreference); ParallelMode then
+	// carries the model's pick, confirmed by the single measurement.
+	ParallelPrefiltered bool
 }
 
 // rematchTiming doubles the measurement effort for the final head-to-head
@@ -259,8 +269,9 @@ func Tune(n int, opt Options) (Result, error) {
 		}
 		res.NsPerRun = exec.TimeSchedule(incSched, polTiming)
 		measured++
+		policies := backendAxis(opt.Policies)
 		for _, pl := range sweep {
-			for _, pol := range opt.Policies {
+			for _, pol := range policies {
 				if pol == incPol && pl.Equal(incPlan) {
 					continue // already freshly timed as the incumbent
 				}
@@ -377,9 +388,36 @@ func Tune(n int, opt Options) (Result, error) {
 		}
 		if workers >= 2 && len(s.Stages()) >= 2 {
 			parTiming := rematchTiming(opt.Timing)
-			barNs := exec.TimeScheduleParallel(s, workers, exec.BarrierParallel, parTiming)
-			pipeNs := exec.TimeScheduleParallel(s, workers, exec.PipelinedParallel, parTiming)
-			measured += 2
+			// Model prefilter: the machine model prices both tiers'
+			// control planes from the schedule's pipeline shape, and when
+			// the margin is decisive (DecisiveParallelMargin) the losing
+			// tier's measurement is skipped — the model is a prefilter,
+			// and the surviving tier is still measured for the recorded
+			// latency.  Skipping the barrier tier is additionally gated on
+			// the pipelined tier's size regime (PipelineMinElems): below
+			// it the control plane is not the dominant term and the
+			// barrier tier stays in the running regardless of the model.
+			measureBar, measurePipe := true, true
+			if windows, chunks, ok := exec.PipeShape(s, workers); ok {
+				pipe, decisive := mach.Par.DecisivePreference(len(s.Stages()), windows, chunks, workers)
+				if decisive {
+					if pipe {
+						measureBar = s.Size() < exec.PipelineMinElems
+					} else {
+						measurePipe = false
+					}
+					res.ParallelPrefiltered = !measureBar || !measurePipe
+				}
+			}
+			barNs, pipeNs := math.Inf(1), math.Inf(1)
+			if measureBar {
+				barNs = exec.TimeScheduleParallel(s, workers, exec.BarrierParallel, parTiming)
+				measured++
+			}
+			if measurePipe {
+				pipeNs = exec.TimeScheduleParallel(s, workers, exec.PipelinedParallel, parTiming)
+				measured++
+			}
 			res.ParallelMode = exec.BarrierParallel.String()
 			if pipeNs < barNs {
 				res.ParallelMode = exec.PipelinedParallel.String()
@@ -406,6 +444,35 @@ func Tune(n int, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
 	return res, nil
+}
+
+// backendAxis widens a policy grid with the codelet-backend axis: on
+// hosts with a SIMD kernel tier, every Auto-backend policy gains a
+// scalar-pinned twin, so the sweep measures scalar-vs-SIMD per stage
+// shape instead of assuming the vector tier wins (narrow-lane SoA
+// stages and short streams can favor scalar).  Policies that already
+// pin a backend pass through unchanged; without a SIMD tier every
+// backend resolves scalar and the grid is returned as-is.
+func backendAxis(policies []codelet.Policy) []codelet.Policy {
+	if !codelet.SIMDAvailable() {
+		return policies
+	}
+	seen := make(map[codelet.Policy]bool, 2*len(policies))
+	out := make([]codelet.Policy, 0, 2*len(policies))
+	add := func(p codelet.Policy) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range policies {
+		add(p)
+		if p.Backend == codelet.AutoBackend {
+			p.Backend = codelet.ScalarBackend
+			add(p)
+		}
+	}
+	return out
 }
 
 // blockLeafSizes returns the distinct block-tier leaf log-sizes of p,

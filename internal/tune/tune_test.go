@@ -421,6 +421,141 @@ func TestTuneParallelSweepSkips(t *testing.T) {
 	}
 }
 
+// backendAxis widens Auto-backend policies with scalar-pinned twins on
+// SIMD hosts and is the identity elsewhere; pinned policies never gain
+// twins and the output carries no duplicates.
+func TestBackendAxis(t *testing.T) {
+	in := []codelet.Policy{
+		codelet.DefaultPolicy(),
+		{ILFuse: true},
+		{Backend: codelet.SIMDBackend},
+		{Backend: codelet.ScalarBackend},
+	}
+	out := backendAxis(in)
+	if !codelet.SIMDAvailable() {
+		if len(out) != len(in) {
+			t.Fatalf("scalar host: backendAxis changed the grid: %d -> %d", len(in), len(out))
+		}
+		return
+	}
+	// Two Auto policies gain scalar twins; {Backend: Scalar} collides
+	// with the default's twin and must not duplicate.
+	want := map[codelet.Policy]bool{
+		codelet.DefaultPolicy():                        true,
+		{Backend: codelet.ScalarBackend}:               true,
+		{ILFuse: true}:                                 true,
+		{ILFuse: true, Backend: codelet.ScalarBackend}: true,
+		{Backend: codelet.SIMDBackend}:                 true,
+	}
+	if len(out) != len(want) {
+		t.Fatalf("backendAxis returned %d policies %+v, want %d", len(out), out, len(want))
+	}
+	seen := map[codelet.Policy]bool{}
+	for _, p := range out {
+		if !want[p] {
+			t.Fatalf("unexpected policy %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate policy %+v", p)
+		}
+		seen[p] = true
+	}
+	// The original order is preserved for the policies that were already
+	// present, so the incumbent-first sweep semantics are unchanged.
+	if out[0] != in[0] {
+		t.Fatalf("backendAxis reordered the grid head: %+v", out[0])
+	}
+}
+
+// The backend the sweep measures fastest rides the full registration
+// path: result, serving policy, and a wisdom save/load round-trip.
+func TestTuneBackendSweepRoundTrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	const n = 10
+	opt := quickOpt()
+	opt.NoBatchSweep = true
+	opt.NoParallelSweep = true
+	opt.Policies = []codelet.Policy{
+		{Backend: codelet.ScalarBackend},
+		{Backend: codelet.SIMDBackend},
+	}
+	res, err := Tune(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Policy.Backend {
+	case codelet.AutoBackend, codelet.ScalarBackend, codelet.SIMDBackend:
+	default:
+		t.Fatalf("tuned policy carries backend %v", res.Policy.Backend)
+	}
+	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {
+		t.Fatalf("serving policy = (%+v, %v), want %+v", pol, ok, res.Policy)
+	}
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, pol, _, ok := Wisdom().LookupPolicy(n, wisdom.Float64); !ok || pol != res.Policy {
+		t.Fatalf("wisdom round-trip policy = (%+v, %v), want %+v", pol, ok, res.Policy)
+	}
+	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {
+		t.Fatalf("reloaded serving policy = (%+v, %v), want %+v", pol, ok, res.Policy)
+	}
+}
+
+// The phase-7 prefilter must agree with the model it consults: Result
+// reports a skipped measurement exactly when DecisivePreference is
+// decisive for the registered schedule's pipeline shape (gated on the
+// pipelined size regime), and a prefiltered result's mode is the
+// model's pick.
+func TestTuneParallelPrefilterConsistency(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, n := range []int{12, 17} {
+		Reset()
+		opt := quickOpt()
+		opt.ParallelWorkers = 2
+		opt.NoBatchSweep = true
+		res, err := Tune(n, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPrefiltered, wantPipe := false, false
+		if windows, chunks, ok := exec.PipeShape(s, 2); ok {
+			pipe, decisive := machine.VirtualOpteron224().Par.DecisivePreference(len(s.Stages()), windows, chunks, 2)
+			if decisive {
+				wantPipe = pipe
+				if pipe {
+					wantPrefiltered = s.Size() >= exec.PipelineMinElems
+				} else {
+					wantPrefiltered = true
+				}
+			}
+		}
+		if res.ParallelPrefiltered != wantPrefiltered {
+			t.Fatalf("n=%d: ParallelPrefiltered=%v, model says %v", n, res.ParallelPrefiltered, wantPrefiltered)
+		}
+		if wantPrefiltered {
+			wantMode := "barrier"
+			if wantPipe {
+				wantMode = "pipelined"
+			}
+			if res.ParallelMode != wantMode {
+				t.Fatalf("n=%d: prefiltered mode %q, model picked %q", n, res.ParallelMode, wantMode)
+			}
+		}
+	}
+}
+
 // The block-parts sweep helpers: leaf discovery and the candidate grid.
 func TestBlockPartsSweepHelpers(t *testing.T) {
 	p := plan.MustParse("split[split[small[3],small[4]],small[13]]")

@@ -19,16 +19,24 @@
 //	  ]
 //	}
 //
-// The optional "il_min_s" / "strided_only" / "il_fuse" fields round-trip
-// the kernel-variant selection policy (codelet.Policy) the plan was
-// measured under; files without them load with the default policy, so
-// pre-variant version-1 files remain valid.  Plans may carry block-tier
-// leaves (small[9..14]); they parse and validate like any other leaf.
-// Further optional per-entry fields: "soa_min_batch" (the SoA batch
-// crossover), "parallel_mode" ("barrier" or "pipelined" to pin the
-// multi-worker dispatch tier), and "block_parts" (measured in-window
+// The optional "il_min_s" / "strided_only" / "il_fuse" / "backend"
+// fields round-trip the kernel-variant selection policy (codelet.Policy)
+// the plan was measured under; files without them load with the default
+// policy, so pre-variant version-1 files remain valid.  Plans may carry
+// block-tier leaves (small[9..14]); they parse and validate like any
+// other leaf.  Further optional per-entry fields: "soa_min_batch" (the
+// SoA batch crossover), "parallel_mode" ("barrier" or "pipelined" to pin
+// the multi-worker dispatch tier), and "block_parts" (measured in-window
 // factorizations for block leaves, keyed by decimal log-size).  All are
 // omitted when untuned, so older version-1 files keep loading.
+//
+// The fingerprint carries an optional "isa" field naming the vector
+// extensions the measuring process detected (codelet backend dispatch;
+// empty on scalar-only hosts and omitted from the JSON).  A SIMD-tuned
+// file therefore refuses to load on a host whose ISA differs — backend
+// choices measured with AVX2 live do not transfer to a machine without
+// it — while pre-SIMD files (no "isa" key) keep loading on scalar hosts,
+// where the absent field matches the empty feature string.
 //
 // Every plan string must parse in the WHT package grammar, validate, and
 // match its entry's log-size; Load rejects files that fail any of these
@@ -48,6 +56,7 @@ import (
 	"sync"
 
 	"repro/internal/codelet"
+	"repro/internal/isa"
 	"repro/internal/plan"
 )
 
@@ -68,11 +77,22 @@ type Fingerprint struct {
 	OS       string `json:"os"`
 	Arch     string `json:"arch"`
 	MaxProcs int    `json:"maxprocs"`
+
+	// ISA names the detected vector extensions backend dispatch can use
+	// ("avx2", or "" on scalar-only hosts).  Backend choices measured
+	// with SIMD live are meaningless where the ISA differs, so it is
+	// part of the identity LoadFor matches.  Pre-SIMD files omit the
+	// field; it decodes as "" and matches scalar-only hosts.
+	ISA string `json:"isa,omitempty"`
 }
 
 // CurrentFingerprint returns the fingerprint of the running process.
 func CurrentFingerprint() Fingerprint {
-	return Fingerprint{OS: runtime.GOOS, Arch: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
+	return Fingerprint{
+		OS: runtime.GOOS, Arch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		ISA:      isa.Features(),
+	}
 }
 
 // Entry is one tuned-plan record.  The optional variant-policy fields
@@ -91,6 +111,12 @@ type Entry struct {
 	ILMinS      int  `json:"il_min_s,omitempty"`
 	StridedOnly bool `json:"strided_only,omitempty"`
 	ILFuse      bool `json:"il_fuse,omitempty"`
+
+	// Backend is the codelet backend the measurement was taken under:
+	// "" or "auto" (absent) resolves per host, "scalar" pins the portable
+	// kernels, "simd" requests the vector tier.  The spellings are
+	// codelet.ParseBackend's.
+	Backend string `json:"backend,omitempty"`
 
 	// SoAMinBatch is the measured batch-width crossover of the SoA batch
 	// tier for this plan: 0 (absent) keeps the default heuristic, -1
@@ -113,8 +139,11 @@ type Entry struct {
 }
 
 // Policy returns the variant-selection policy recorded with the entry.
+// Entries are validated on the way in, so the backend spelling parses;
+// an absent field is AutoBackend.
 func (e Entry) Policy() codelet.Policy {
-	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly, ILFuse: e.ILFuse}
+	b, _ := codelet.ParseBackend(e.Backend)
+	return codelet.Policy{ILMinS: e.ILMinS, StridedOnly: e.StridedOnly, ILFuse: e.ILFuse, Backend: b}
 }
 
 // Tuned returns every tuning knob recorded with the entry as a Tuned
@@ -167,6 +196,24 @@ func decodeBlockParts(bp map[string][]int) map[int][]int {
 		out[m] = append([]int(nil), parts...)
 	}
 	return out
+}
+
+// encodeBackend serializes a policy backend, omitting the default:
+// AutoBackend encodes as "" so untuned entries skip the field and
+// pre-SIMD files stay byte-identical on re-save.
+func encodeBackend(b codelet.Backend) string {
+	if b == codelet.AutoBackend {
+		return ""
+	}
+	return b.String()
+}
+
+// validBackend accepts the spellings codelet.ParseBackend does.
+func validBackend(s string) error {
+	if _, ok := codelet.ParseBackend(s); !ok {
+		return fmt.Errorf("wisdom: unknown backend %q", s)
+	}
+	return nil
 }
 
 // validParallelMode accepts the spellings exec.ParseParallelMode does:
@@ -268,6 +315,11 @@ func (w *Wisdom) RecordFull(typ string, p *plan.Node, tc Tuned, nsPerRun float64
 	if err := validParallelMode(tc.ParallelMode); err != nil {
 		return false, err
 	}
+	// A Backend outside the declared constants has no spelling and would
+	// poison the file on save.
+	if err := validBackend(encodeBackend(tc.Policy.Backend)); err != nil {
+		return false, err
+	}
 	bp := encodeBlockParts(tc.BlockParts)
 	if err := validBlockParts(bp); err != nil {
 		return false, fmt.Errorf("wisdom: %w", err)
@@ -275,6 +327,7 @@ func (w *Wisdom) RecordFull(typ string, p *plan.Node, tc Tuned, nsPerRun float64
 	e := Entry{
 		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
 		ILMinS: tc.Policy.ILMinS, StridedOnly: tc.Policy.StridedOnly, ILFuse: tc.Policy.ILFuse,
+		Backend:      encodeBackend(tc.Policy.Backend),
 		SoAMinBatch:  tc.SoAMinBatch,
 		ParallelMode: tc.ParallelMode,
 		BlockParts:   bp,
@@ -438,6 +491,9 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 				path, i, p.Log2Size(), e.N)
 		}
 		if err := validParallelMode(e.ParallelMode); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if err := validBackend(e.Backend); err != nil {
 			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
 		}
 		if err := validBlockParts(e.BlockParts); err != nil {

@@ -339,11 +339,14 @@ func TestRecordFullRejectsBadTuning(t *testing.T) {
 
 func TestLoadRejectsBadParallelModeAndBlockParts(t *testing.T) {
 	dir := t.TempDir()
-	base := `{"version":1,"fingerprint":{"os":%q,"arch":%q,"maxprocs":%d},"entries":[{%s}]}`
-	fp := CurrentFingerprint()
+	base := `{"version":1,"fingerprint":%s,"entries":[{%s}]}`
+	fp, err := json.Marshal(CurrentFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
 	write := func(name, entry string) string {
 		path := filepath.Join(dir, name)
-		content := fmt.Sprintf(base, fp.OS, fp.Arch, fp.MaxProcs, entry)
+		content := fmt.Sprintf(base, fp, entry)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -372,5 +375,122 @@ func TestLoadRejectsBadParallelModeAndBlockParts(t *testing.T) {
 		if _, err := Load(write(name, entry)); err != nil {
 			t.Fatalf("%s: Load rejected valid entry: %v", name, err)
 		}
+	}
+	// Backend spellings: the valid ones load, unknown ones are rejected.
+	for name, entry := range map[string]string{
+		"bauto.json":   good + `,"backend":"auto"`,
+		"bscalar.json": good + `,"backend":"scalar"`,
+		"bsimd.json":   good + `,"backend":"simd"`,
+	} {
+		if _, err := Load(write(name, entry)); err != nil {
+			t.Fatalf("%s: Load rejected valid backend: %v", name, err)
+		}
+	}
+	if _, err := Load(write("bbad.json", good+`,"backend":"avx9"`)); err == nil {
+		t.Fatal("Load accepted an unknown backend spelling")
+	}
+}
+
+// The backend field round-trips through save/load and back into the
+// compiled policy; the Auto default stays off disk so pre-SIMD files
+// re-save byte-compatibly.
+func TestBackendPolicyRoundTrip(t *testing.T) {
+	w := New()
+	p := plan.MustParse("split[small[5],small[5]]")
+	if _, err := w.RecordFull(Float64, p,
+		Tuned{Policy: codelet.Policy{ILFuse: true, Backend: codelet.ScalarBackend}}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RecordFull(Float32, p,
+		Tuned{Policy: codelet.Policy{Backend: codelet.AutoBackend}}, 90); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"backend": "scalar"`) {
+		t.Fatalf("scalar backend not serialized:\n%s", data)
+	}
+	if strings.Count(string(data), `"backend"`) != 1 {
+		t.Fatalf("auto backend must stay off disk:\n%s", data)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pol, _, ok := r.LookupPolicy(10, Float64); !ok || pol.Backend != codelet.ScalarBackend || !pol.ILFuse {
+		t.Fatalf("float64 policy = %+v, want scalar backend with ILFuse", pol)
+	}
+	if _, pol, _, ok := r.LookupPolicy(10, Float32); !ok || pol.Backend != codelet.AutoBackend {
+		t.Fatalf("float32 policy = %+v, want auto backend", pol)
+	}
+
+	// A backend value outside the declared constants has no valid
+	// spelling and must be rejected before it poisons the file.
+	if _, err := w.RecordFull(Float64, p,
+		Tuned{Policy: codelet.Policy{Backend: codelet.Backend(99)}}, 50); err == nil {
+		t.Fatal("RecordFull accepted an out-of-range backend")
+	}
+}
+
+// The fingerprint's ISA field is part of the identity LoadFor matches:
+// SIMD-tuned files do not load on hosts with a different vector ISA,
+// while pre-SIMD files (no "isa" key) still load on scalar-only hosts.
+func TestFingerprintISACompat(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, fpJSON string) string {
+		path := filepath.Join(dir, name)
+		content := `{"version":1,"fingerprint":` + fpJSON +
+			`,"entries":[{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100}]}`
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	scalarFP := Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4}
+	avx2FP := Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4, ISA: "avx2"}
+
+	// A pre-SIMD file (no isa key) is a scalar-host file: it loads under
+	// the matching ISA-less fingerprint and nowhere else.
+	old := write("old.json", `{"os":"linux","arch":"amd64","maxprocs":4}`)
+	if _, err := LoadFor(old, scalarFP); err != nil {
+		t.Fatalf("pre-SIMD file rejected on a scalar host: %v", err)
+	}
+	if _, err := LoadFor(old, avx2FP); err == nil {
+		t.Fatal("pre-SIMD file accepted on an AVX2 host")
+	}
+
+	// A SIMD-tuned file only loads where the ISA matches.
+	tuned := write("avx2.json", `{"os":"linux","arch":"amd64","maxprocs":4,"isa":"avx2"}`)
+	if _, err := LoadFor(tuned, avx2FP); err != nil {
+		t.Fatalf("AVX2 file rejected on a matching host: %v", err)
+	}
+	if _, err := LoadFor(tuned, scalarFP); err == nil {
+		t.Fatal("AVX2 file accepted on a scalar host")
+	}
+
+	// Saved files carry the current ISA and load back on the same host.
+	w := NewFor(avx2FP)
+	if _, err := w.Record(Float64, plan.MustParse("split[small[4],small[4]]"), 100); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "saved.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"isa": "avx2"`) {
+		t.Fatalf("saved file lost the ISA field:\n%s", data)
+	}
+	if _, err := LoadFor(path, avx2FP); err != nil {
+		t.Fatal(err)
 	}
 }

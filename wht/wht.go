@@ -39,6 +39,15 @@
 // per-vector evaluation); RunBatchSoA/ApplyBatchSoA force it, and
 // Schedule.SetSoAMinBatch (or a tuned wisdom entry) sets the crossover.
 //
+// On amd64 hosts with AVX2 the streaming kernel forms (interleaved,
+// fused-IL, and the SoA lane sweeps) execute through hand-written
+// vector assembly, bitwise-identical to the scalar codelets because
+// unit-stride vectorization never reorders any element's add/sub
+// chain.  Dispatch is automatic (runtime CPU detection); Policy.Backend
+// pins one schedule, SetBackend or the WHT_SIMD environment variable
+// ("scalar"/"simd") overrides the whole process, and every other
+// GOOS/GOARCH builds the pure-Go fallback via build tags.
+//
 // Model-driven search on the virtual machine:
 //
 //	mach := wht.NewMachine()
@@ -51,8 +60,8 @@
 // winner behind Transform's schedule cache, and records it in a process
 // wisdom store.  SaveWisdom/LoadWisdom persist that store as a small
 // versioned JSON file keyed by a machine fingerprint
-// (GOOS/GOARCH/GOMAXPROCS), so a fresh process serves tuned plans from
-// its first Transform call:
+// (GOOS/GOARCH/GOMAXPROCS plus the detected vector ISA), so a fresh
+// process serves tuned plans from its first Transform call:
 //
 //	res, _ := wht.Tune(18, wht.TuneOptions{})
 //	_ = wht.SaveWisdom("wht-wisdom.json")   // tune once ...
@@ -66,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/plan"
 	"repro/internal/search"
@@ -157,6 +167,50 @@ const DefaultILMinS = codelet.DefaultILMinS
 
 // DefaultVariantPolicy returns the default variant-selection policy.
 var DefaultVariantPolicy = codelet.DefaultPolicy
+
+// Backend selects the instruction tier the streaming kernel forms run
+// on (VariantPolicy.Backend): the portable scalar kernels or the
+// hand-written vector kernels on hosts that have them.  SIMD results
+// are bitwise-identical to scalar — vectorizing a unit-stride butterfly
+// sweep never reorders any element's operation DAG — so the choice is
+// purely a performance one, measured per stage shape by the tuner.
+type Backend = codelet.Backend
+
+// The kernel backends.
+const (
+	// AutoBackend (the zero value) follows the process override
+	// (SetBackend / the WHT_SIMD environment variable) and, absent one,
+	// runs SIMD whenever the host supports it.
+	AutoBackend = codelet.AutoBackend
+	// ScalarBackend pins the pure-Go kernels.
+	ScalarBackend = codelet.ScalarBackend
+	// SIMDBackend requests the vector kernels, degrading to scalar
+	// (never erroring) on hosts without the tier.
+	SIMDBackend = codelet.SIMDBackend
+)
+
+// ParseBackend parses the wisdom-file and WHT_SIMD spellings of a
+// backend: "", "auto", "scalar"/"off"/"0", "simd"/"on"/"1".
+var ParseBackend = codelet.ParseBackend
+
+// SIMDAvailable reports whether the SIMD kernel tier exists on this
+// host (amd64 with AVX2 and OS-enabled YMM state).
+var SIMDAvailable = codelet.SIMDAvailable
+
+// SetBackend sets the process-wide backend override Auto-backend
+// schedules resolve through — the programmatic form of the WHT_SIMD
+// environment variable.  Per-schedule choices via
+// VariantPolicy.Backend take precedence.
+var SetBackend = codelet.SetBackend
+
+// ActiveBackend returns the process-wide backend override (AutoBackend
+// when none was set).
+var ActiveBackend = codelet.ActiveBackend
+
+// ISAFeatures names the detected vector extensions ("avx2", or "" on
+// scalar-only hosts) — the string recorded in wisdom fingerprints, so
+// SIMD-tuned wisdom refuses to load where the ISA differs.
+var ISAFeatures = isa.Features
 
 // Compile flattens a plan into a reusable schedule under the default
 // variant policy.

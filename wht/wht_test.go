@@ -291,3 +291,70 @@ func TestBatchSoAFacade(t *testing.T) {
 		}
 	}
 }
+
+// The backend axis through the facade: parse/format round-trips, pinned
+// compilation, the process override, and bitwise equality between the
+// scalar and SIMD tiers — exercised exactly as a downstream user would.
+func TestBackendFacade(t *testing.T) {
+	defer wht.SetBackend(wht.AutoBackend)
+	for _, s := range []string{"", "auto", "scalar", "simd", "off", "on"} {
+		if _, ok := wht.ParseBackend(s); !ok {
+			t.Fatalf("ParseBackend rejected %q", s)
+		}
+	}
+	if _, ok := wht.ParseBackend("avx512"); ok {
+		t.Fatal("ParseBackend accepted an unknown spelling")
+	}
+	if wht.SIMDAvailable() && wht.ISAFeatures() == "" {
+		t.Fatal("SIMD tier reported without ISA features")
+	}
+
+	p, err := wht.Parse("split[small[6],small[6]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1<<12)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	scalar, err := wht.CompileWith(p, wht.VariantPolicy{Backend: wht.ScalarBackend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simd, err := wht.CompileWith(p, wht.VariantPolicy{Backend: wht.SIMDBackend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), x...)
+	if err := wht.Run(scalar, want); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), x...)
+	if err := wht.Run(simd, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SIMD backend diverges at %d: %v != %v (bitwise)", i, got[i], want[i])
+		}
+	}
+
+	// The process override steers Auto schedules; restore at exit.
+	wht.SetBackend(wht.ScalarBackend)
+	if got := wht.ActiveBackend(); got != wht.ScalarBackend {
+		t.Fatalf("ActiveBackend = %v after SetBackend(scalar)", got)
+	}
+	auto, err := wht.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := append([]float64(nil), x...)
+	if err := wht.Run(auto, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("forced-scalar auto run diverges at %d", i)
+		}
+	}
+}
