@@ -706,6 +706,88 @@ func BenchmarkSIMDKernels(b *testing.B) {
 			b.Logf("%s: scalar %.0f ns vs simd %.0f ns — %.2fx", name, ns["scalar"], ns["simd"], ns["scalar"]/ns["simd"])
 		}
 	}
+
+	// Vectorized strided and contiguous unrolled tiers: full j-rows of a
+	// strided stage stream as chunked fused interleaved passes (no
+	// gathers), and the straight-line contiguous codelets split into a
+	// scalar head pass plus vector butterfly passes.  StridedOnly forces
+	// every stage through the strided dispatch; ILMinS -1 leaves the
+	// stride-1 stage on the contiguous codelet with strided above it.
+	for _, cfg := range []struct {
+		name string
+		pol  codelet.Policy
+		n    int
+	}{
+		{"strided/n=16", codelet.Policy{StridedOnly: true}, 16},
+		{"strided/n=18", codelet.Policy{StridedOnly: true}, 18},
+		{"contig/n=16", codelet.Policy{ILMinS: -1}, 16},
+		{"contig/n=18", codelet.Policy{ILMinS: -1}, 18},
+	} {
+		p := plan.Balanced(cfg.n, plan.MaxLeafLog)
+		x := make([]float64, 1<<cfg.n)
+		for i := range x {
+			x[i] = float64(i&15) - 7.5
+		}
+		ns := map[string]float64{}
+		for _, bk := range backends {
+			pol := cfg.pol
+			pol.Backend = bk.bk
+			sched := exec.CompileWith(p, pol)
+			b.Run(cfg.name+"/"+bk.name, func(b *testing.B) {
+				b.SetBytes(int64(8 << cfg.n))
+				for i := 0; i < b.N; i++ {
+					exec.MustRun(sched, x)
+				}
+				ns[bk.name] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			})
+		}
+		if ns["scalar"] > 0 && ns["simd"] > 0 {
+			b.Logf("%s: scalar %.0f ns vs simd %.0f ns — %.2fx", cfg.name, ns["scalar"], ns["simd"], ns["scalar"]/ns["simd"])
+		}
+	}
+
+	// Mixed per-stage pins: the shape the tuner's backend sweep registers
+	// — SIMD where the stage vectorizes (wide strided rows, streaming
+	// forms), scalar where it would not — against the all-scalar pin on
+	// the same schedule.
+	{
+		const n = 18
+		p := plan.Balanced(n, plan.MaxLeafLog)
+		x := make([]float64, 1<<n)
+		for i := range x {
+			x[i] = float64(i&15) - 7.5
+		}
+		ns := map[string]float64{}
+		for _, bk := range backends {
+			sched := exec.CompileWith(p, codelet.Policy{Backend: codelet.ScalarBackend})
+			if bk.bk == codelet.SIMDBackend {
+				bs := make([]codelet.Backend, len(sched.Stages()))
+				for i, st := range sched.Stages() {
+					bs[i] = codelet.ScalarBackend
+					if st.V == codelet.Interleaved || st.S >= codelet.SIMDWidth64 {
+						bs[i] = codelet.SIMDBackend
+					}
+				}
+				if err := sched.SetStageBackends(bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			name := "mixed-pin/n=18/" + bk.name
+			if bk.bk == codelet.SIMDBackend {
+				name = "mixed-pin/n=18/mixed"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.SetBytes(int64(8 << n))
+				for i := 0; i < b.N; i++ {
+					exec.MustRun(sched, x)
+				}
+				ns[bk.name] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			})
+		}
+		if ns["scalar"] > 0 && ns["simd"] > 0 {
+			b.Logf("mixed-pin/n=18: scalar %.0f ns vs mixed %.0f ns — %.2fx", ns["scalar"], ns["simd"], ns["scalar"]/ns["simd"])
+		}
+	}
 }
 
 // Measured-cost autotuning vs the balanced default at the paper's hard

@@ -38,6 +38,16 @@
 // form, strided+contig for the contiguous form) — otherwise the table
 // entries stay nil and the generic block fallbacks serve those sizes.
 //
+// Everything whtgen emits is scalar pure Go.  The SIMD backend
+// (internal/codelet's AVX2 and NEON assembly) is not generated: it
+// overlays the generated kernels at dispatch time — the vectorized
+// strided, contiguous, streaming and SoA-lane forms replace the
+// corresponding generated kernels per stage when a stage's backend pin
+// resolves to SIMD and its shape vectorizes, and fall back to these
+// tables everywhere else.  Generated codelets therefore stay the
+// correctness reference (and the bitwise-equality baseline) for every
+// backend.
+//
 // Usage:
 //
 //	whtgen -max 8 -blockmax 14 -out internal/codelet/codelets_gen.go

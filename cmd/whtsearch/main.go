@@ -62,6 +62,9 @@ func main() {
 			log.Fatalf("unknown backend %q (want auto, scalar, or simd)", *backend)
 		}
 		codelet.SetBackend(b)
+		if res := codelet.Resolve(b); res.Degraded() {
+			log.Printf("warning: backend %s — no SIMD kernel tier on this host, stages run scalar", res)
+		}
 	}
 	mach := machine.VirtualOpteron224()
 	var cost search.Coster

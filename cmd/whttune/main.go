@@ -56,6 +56,9 @@ func main() {
 			log.Fatalf("unknown backend %q (want auto, scalar, or simd)", *backend)
 		}
 		codelet.SetBackend(b)
+		if res := codelet.Resolve(b); res.Degraded() {
+			log.Printf("warning: backend %s — no SIMD kernel tier on this host, stages run scalar", res)
+		}
 	}
 
 	if *loadPath != "" {
@@ -100,6 +103,13 @@ func main() {
 			n, res.NsPerRun, res.BaselineNs, res.BaselineNs/res.NsPerRun, res.Measured, parMode, res.Plan)
 		for m, parts := range res.BlockParts {
 			fmt.Printf("     block 2^%d factorization tuned to %v\n", m, parts)
+		}
+		if res.StageBackends != nil {
+			specs := make([]string, len(res.StageBackends))
+			for i, b := range res.StageBackends {
+				specs[i] = b.String()
+			}
+			fmt.Printf("     stage backends tuned to [%s]\n", strings.Join(specs, " "))
 		}
 	}
 

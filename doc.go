@@ -28,16 +28,31 @@
 // releases exactly the dependent windows of the next stage, letting
 // workers cross stage boundaries while slow chunks still drain
 // (>= 1.25x over the barrier tier at n in 18..20,
-// BenchmarkParallelPipeline).  The measured-cost autotuner (wht.Tune,
-// cmd/whttune) searches over real timings of compiled schedules —
-// block-leaf candidates, the fused-interleaved policy, per-size block
-// factorizations, the SoA-vs-per-vector batch choice, and the
-// barrier-vs-pipelined parallel mode included — serves the winner from
-// the process-wide schedule cache, and persists it across restarts as a
+// BenchmarkParallelPipeline).  Orthogonal to all of it runs the backend
+// axis: every kernel form ships as pure-Go scalar code plus, on amd64
+// (AVX2) and arm64 (NEON), hand-written vector assembly for the
+// streaming passes, the SoA lane sweeps, wide strided stages (full
+// j-rows streamed as chunked fused passes, no gathers), and large
+// contiguous codelets — bitwise-identical to scalar by construction,
+// since vectorizing a unit-stride sweep reorders no element's add/sub
+// chain.  The backend is pinned per compiled stage
+// (exec.Schedule.SetStageBackends): a mixed schedule runs scalar
+// kernels on shapes that do not vectorize next to SIMD kernels on
+// shapes that do, and the cost model prices each stage's pin
+// shape-aware (machine.SIMDVectorizes/SIMDStageOpsShaped).  The
+// measured-cost autotuner (wht.Tune, cmd/whttune) searches over real
+// timings of compiled schedules — block-leaf candidates, the
+// fused-interleaved policy, per-size block factorizations, the
+// SoA-vs-per-vector batch choice, the barrier-vs-pipelined parallel
+// mode, and the per-stage backend vector (model-prefiltered by
+// machine.DecisiveBackendPreference, contested stages settled by
+// greedy measured flips) included — serves the winner from the
+// process-wide schedule cache, and persists it across restarts as a
 // fingerprinted wisdom file (wht.SaveWisdom/LoadWisdom), including the
-// kernel-variant policy, batch crossover, block factorizations, and
-// parallel mode the winner was measured under — the paper's conclusion
-// that search must be driven by measurements, closed end to end.  Its timing loop reinitializes its
+// kernel-variant policy, batch crossover, block factorizations,
+// parallel mode, and stage backends the winner was measured under —
+// the paper's conclusion that search must be driven by measurements,
+// closed end to end.  Its timing loop reinitializes its
 // scratch between chunks, so arbitrarily long measurements of the
 // unnormalized (data-doubling) transform stay finite.  The root package
 // exists to host the paper-figure and engine benchmark harness

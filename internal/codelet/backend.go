@@ -6,17 +6,23 @@ import (
 	"sync/atomic"
 )
 
-// Backend selects the instruction tier the streaming kernel forms run
-// on.  The backend only affects the loop-shaped streaming kernels —
-// interleaved, fused interleaved, their range forms, and the SoA lane
-// kernels — whose unit-stride inner sweeps are exactly the shape a
-// vector unit consumes; the straight-line unrolled strided/contiguous
-// codelets stay scalar on every backend (their single-assignment form
-// has no inner loop to vectorize).  Because WHT butterflies are exact
-// IEEE add/sub and vectorizing a unit-stride sweep never reorders any
-// element's operation DAG, SIMD results are bitwise-identical to
-// scalar; the choice is purely a performance one, and the tuner's
-// backend sweep measures it per stage shape.
+// Backend selects the instruction tier a stage's kernels run on.  The
+// vector tier covers every unrolled-tier stage shape: the loop-shaped
+// streaming kernels — interleaved, fused interleaved, their range
+// forms, and the SoA lane kernels — whose unit-stride inner sweeps are
+// exactly the shape a vector unit consumes, plus the vectorized
+// strided form (rows with S >= the vector width load contiguous runs
+// across the inner index, gather-free) and the vectorized contiguous
+// form (vector passes above the width, one fused scalar head pass
+// below it).  Only the block-tier strided/contiguous kernels stay
+// scalar on every backend: their in-window cache-resident
+// decomposition is the point, and streaming them would forfeit it.
+// Because WHT butterflies are exact IEEE add/sub and vectorizing a
+// unit-stride sweep never reorders any element's operation DAG, SIMD
+// results are bitwise-identical to scalar; the choice is purely a
+// performance one, and the tuner's backend sweep measures it per stage
+// shape — per stage, via exec.Schedule.SetStageBackends, when a mixed
+// schedule wants a SIMD streaming pass next to a scalar strided one.
 type Backend uint8
 
 const (
@@ -102,6 +108,50 @@ func EffectiveSIMD(b Backend) bool {
 		return false
 	}
 	return simdAvailable
+}
+
+// BackendResolution records how a requested backend resolved on this
+// host: Requested is what was asked for (an AutoBackend request is
+// first resolved through the process override), Effective is the tier
+// that actually runs — always ScalarBackend or SIMDBackend.
+type BackendResolution struct {
+	Requested Backend
+	Effective Backend
+}
+
+// Degraded reports whether an explicit SIMD request silently fell back
+// to the scalar tier because the host has no vector unit.  An
+// AutoBackend request resolving to scalar is not degradation — auto
+// never promises the vector tier — but WHT_SIMD=simd (or a pinned
+// SIMDBackend policy) on a scalar-only host is: the results are still
+// bitwise-correct, yet tuned timings recorded under SIMD no longer
+// describe what runs, which is why whttune and whtsearch warn on it.
+func (r BackendResolution) Degraded() bool {
+	return r.Requested == SIMDBackend && r.Effective != SIMDBackend
+}
+
+// String renders the resolution as "requested -> effective" (or just
+// the backend name when they agree).
+func (r BackendResolution) String() string {
+	if r.Requested == r.Effective {
+		return r.Effective.String()
+	}
+	return r.Requested.String() + " -> " + r.Effective.String()
+}
+
+// Resolve reports how backend b resolves on this host right now:
+// against the process override (for AutoBackend) and the host's vector
+// tier availability.
+func Resolve(b Backend) BackendResolution {
+	req := b
+	if req == AutoBackend {
+		req = ActiveBackend()
+	}
+	eff := ScalarBackend
+	if EffectiveSIMD(b) {
+		eff = SIMDBackend
+	}
+	return BackendResolution{Requested: req, Effective: eff}
 }
 
 func init() {

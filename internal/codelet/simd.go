@@ -1,0 +1,561 @@
+//go:build amd64 || arm64
+
+package codelet
+
+// The shared vector kernel tier.  Every SIMD* function mirrors its
+// Generic* counterpart loop for loop; only the unit-stride inner
+// k-sweep is replaced by a vector run with a scalar tail.  The six
+// vec* butterfly primitives are per-ISA assembly (simd_amd64.s: AVX2
+// YMM, 4 float64s / 8 float32s per op; simd_arm64.s: NEON quadword,
+// 2 float64s / 4 float32s per op) behind one shared set of drivers;
+// simdWidth64/simdWidth32 in the per-arch Go files parameterize the
+// tail masks.  Vectorizing a unit-stride sweep partitions the
+// iteration space but never reorders any element's add/sub DAG, and
+// the assembly keeps the scalar operand order (lower+upper,
+// lower-upper), so the results are bitwise-identical to the scalar
+// tier — the equivalence tests in simd_test.go pin this over the full
+// size x stride x lane grid.
+
+// SIMDWidth64 and SIMDWidth32 export the host vector width in elements
+// per type — the executor's eligibility gate for the vectorized
+// strided tier (a strided stage needs S >= width to fill a vector from
+// its contiguous inner index).
+const (
+	SIMDWidth64 = simdWidth64
+	SIMDWidth32 = simdWidth32
+)
+
+//go:noescape
+func vecAddSub64(lo, hi *float64, n int)
+
+//go:noescape
+func vecAddSub32(lo, hi *float32, n int)
+
+//go:noescape
+func vecBfly4x64(q0, q1, q2, q3 *float64, n int)
+
+//go:noescape
+func vecBfly4x32(q0, q1, q2, q3 *float32, n int)
+
+//go:noescape
+func vecBfly8x64(p0, p1, p2, p3, p4, p5, p6, p7 *float64, n int)
+
+//go:noescape
+func vecBfly8x32(p0, p1, p2, p3, p4, p5, p6, p7 *float32, n int)
+
+// addSubRun applies the radix-2 butterfly elementwise across two
+// equal-length unit-stride runs: vector body, scalar tail.
+func addSubRun(lo, hi []float64) {
+	n := len(lo)
+	hi = hi[:n]
+	w := n &^ (simdWidth64 - 1)
+	if w > 0 {
+		vecAddSub64(&lo[0], &hi[0], w)
+	}
+	for k := w; k < n; k++ {
+		a, b := lo[k], hi[k]
+		lo[k] = a + b
+		hi[k] = a - b
+	}
+}
+
+func addSubRun32(lo, hi []float32) {
+	n := len(lo)
+	hi = hi[:n]
+	w := n &^ (simdWidth32 - 1)
+	if w > 0 {
+		vecAddSub32(&lo[0], &hi[0], w)
+	}
+	for k := w; k < n; k++ {
+		a, b := lo[k], hi[k]
+		lo[k] = a + b
+		hi[k] = a - b
+	}
+}
+
+// bfly4Run applies the radix-4 butterfly (two fused levels) elementwise
+// across four equal-length unit-stride runs.
+func bfly4Run(q0, q1, q2, q3 []float64) {
+	n := len(q0)
+	q1 = q1[:n]
+	q2 = q2[:n]
+	q3 = q3[:n]
+	w := n &^ (simdWidth64 - 1)
+	if w > 0 {
+		vecBfly4x64(&q0[0], &q1[0], &q2[0], &q3[0], w)
+	}
+	for k := w; k < n; k++ {
+		a, b, c, d := q0[k], q1[k], q2[k], q3[k]
+		e, f := a+b, a-b
+		g, hh := c+d, c-d
+		q0[k], q1[k] = e+g, f+hh
+		q2[k], q3[k] = e-g, f-hh
+	}
+}
+
+func bfly4Run32(q0, q1, q2, q3 []float32) {
+	n := len(q0)
+	q1 = q1[:n]
+	q2 = q2[:n]
+	q3 = q3[:n]
+	w := n &^ (simdWidth32 - 1)
+	if w > 0 {
+		vecBfly4x32(&q0[0], &q1[0], &q2[0], &q3[0], w)
+	}
+	for k := w; k < n; k++ {
+		a, b, c, d := q0[k], q1[k], q2[k], q3[k]
+		e, f := a+b, a-b
+		g, hh := c+d, c-d
+		q0[k], q1[k] = e+g, f+hh
+		q2[k], q3[k] = e-g, f-hh
+	}
+}
+
+// bfly8Run applies the radix-8 butterfly (three fused levels)
+// elementwise across eight equal-length unit-stride runs.
+func bfly8Run(p0, p1, p2, p3, p4, p5, p6, p7 []float64) {
+	n := len(p0)
+	p1 = p1[:n]
+	p2 = p2[:n]
+	p3 = p3[:n]
+	p4 = p4[:n]
+	p5 = p5[:n]
+	p6 = p6[:n]
+	p7 = p7[:n]
+	w := n &^ (simdWidth64 - 1)
+	if w > 0 {
+		vecBfly8x64(&p0[0], &p1[0], &p2[0], &p3[0], &p4[0], &p5[0], &p6[0], &p7[0], w)
+	}
+	for k := w; k < n; k++ {
+		a0, a1, a2, a3 := p0[k], p1[k], p2[k], p3[k]
+		a4, a5, a6, a7 := p4[k], p5[k], p6[k], p7[k]
+		b0, b1 := a0+a1, a0-a1
+		b2, b3 := a2+a3, a2-a3
+		b4, b5 := a4+a5, a4-a5
+		b6, b7 := a6+a7, a6-a7
+		c0, c2 := b0+b2, b0-b2
+		c1, c3 := b1+b3, b1-b3
+		c4, c6 := b4+b6, b4-b6
+		c5, c7 := b5+b7, b5-b7
+		p0[k], p4[k] = c0+c4, c0-c4
+		p1[k], p5[k] = c1+c5, c1-c5
+		p2[k], p6[k] = c2+c6, c2-c6
+		p3[k], p7[k] = c3+c7, c3-c7
+	}
+}
+
+func bfly8Run32(p0, p1, p2, p3, p4, p5, p6, p7 []float32) {
+	n := len(p0)
+	p1 = p1[:n]
+	p2 = p2[:n]
+	p3 = p3[:n]
+	p4 = p4[:n]
+	p5 = p5[:n]
+	p6 = p6[:n]
+	p7 = p7[:n]
+	w := n &^ (simdWidth32 - 1)
+	if w > 0 {
+		vecBfly8x32(&p0[0], &p1[0], &p2[0], &p3[0], &p4[0], &p5[0], &p6[0], &p7[0], w)
+	}
+	for k := w; k < n; k++ {
+		a0, a1, a2, a3 := p0[k], p1[k], p2[k], p3[k]
+		a4, a5, a6, a7 := p4[k], p5[k], p6[k], p7[k]
+		b0, b1 := a0+a1, a0-a1
+		b2, b3 := a2+a3, a2-a3
+		b4, b5 := a4+a5, a4-a5
+		b6, b7 := a6+a7, a6-a7
+		c0, c2 := b0+b2, b0-b2
+		c1, c3 := b1+b3, b1-b3
+		c4, c6 := b4+b6, b4-b6
+		c5, c7 := b5+b7, b5-b7
+		p0[k], p4[k] = c0+c4, c0-c4
+		p1[k], p5[k] = c1+c5, c1-c5
+		p2[k], p6[k] = c2+c6, c2-c6
+		p3[k], p7[k] = c3+c7, c3-c7
+	}
+}
+
+// SIMDIL is the vector form of GenericIL: s interleaved in-place
+// WHT(2^m)s on x[base : base+s*2^m], one vector run per butterfly pair
+// per level.
+func SIMDIL(x []float64, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	for h := s; h < n*s; h <<= 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			addSubRun(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+	}
+}
+
+// SIMDIL32 is the float32 vector interleaved kernel.
+func SIMDIL32(x []float32, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	for h := s; h < n*s; h <<= 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			addSubRun32(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+	}
+}
+
+// SIMDILFused is the vector form of GenericILFused: radix-4 fused
+// streaming passes (one radix-2 pass first when m is odd).
+func SIMDILFused(x []float64, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	h := s
+	if m&1 == 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			addSubRun(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+		h <<= 1
+	}
+	for ; h < n*s; h <<= 2 {
+		for blk := 0; blk < n*s; blk += h << 2 {
+			bfly4Run(v[blk:blk+h], v[blk+h:blk+2*h], v[blk+2*h:blk+3*h], v[blk+3*h:blk+4*h])
+		}
+	}
+}
+
+// SIMDILFused32 is the float32 vector fused interleaved kernel.
+func SIMDILFused32(x []float32, base, s, m int) {
+	n := 1 << uint(m)
+	v := x[base : base+n*s]
+	h := s
+	if m&1 == 1 {
+		for blk := 0; blk < n*s; blk += h << 1 {
+			addSubRun32(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+		h <<= 1
+	}
+	for ; h < n*s; h <<= 2 {
+		for blk := 0; blk < n*s; blk += h << 2 {
+			bfly4Run32(v[blk:blk+h], v[blk+h:blk+2*h], v[blk+2*h:blk+3*h], v[blk+3*h:blk+4*h])
+		}
+	}
+}
+
+// SIMDILRange is the vector form of GenericILRange: the [kLo, kHi)
+// vector sub-range of the s interleaved vectors.
+func SIMDILRange(x []float64, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*s
+				hi := lo + h*s
+				addSubRun(x[lo+kLo:lo+kHi], x[hi+kLo:hi+kHi])
+			}
+		}
+	}
+}
+
+// SIMDILRange32 is the float32 vector interleaved range kernel.
+func SIMDILRange32(x []float32, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				lo := base + j*s
+				hi := lo + h*s
+				addSubRun32(x[lo+kLo:lo+kHi], x[hi+kLo:hi+kHi])
+			}
+		}
+	}
+}
+
+// SIMDILFusedRange is the vector form of GenericILFusedRange: radix-8
+// fused passes over the [kLo, kHi) vector sub-range, with the same
+// radix-2/radix-4 prologue when m mod 3 != 0.
+func SIMDILFusedRange(x []float64, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	hj := 1
+	switch m % 3 {
+	case 1:
+		for blk := 0; blk < n; blk += 2 {
+			lo := base + blk*s
+			hi := lo + s
+			addSubRun(x[lo+kLo:lo+kHi], x[hi+kLo:hi+kHi])
+		}
+		hj = 2
+	case 2:
+		for blk := 0; blk < n; blk += 4 {
+			p0 := base + blk*s
+			p1 := p0 + s
+			p2 := p1 + s
+			p3 := p2 + s
+			bfly4Run(x[p0+kLo:p0+kHi], x[p1+kLo:p1+kHi], x[p2+kLo:p2+kHi], x[p3+kLo:p3+kHi])
+		}
+		hj = 4
+	}
+	for ; hj < n; hj <<= 3 {
+		for blk := 0; blk < n; blk += hj << 3 {
+			for j := blk; j < blk+hj; j++ {
+				p0 := base + j*s
+				p1 := p0 + hj*s
+				p2 := p1 + hj*s
+				p3 := p2 + hj*s
+				p4 := p3 + hj*s
+				p5 := p4 + hj*s
+				p6 := p5 + hj*s
+				p7 := p6 + hj*s
+				bfly8Run(
+					x[p0+kLo:p0+kHi], x[p1+kLo:p1+kHi], x[p2+kLo:p2+kHi], x[p3+kLo:p3+kHi],
+					x[p4+kLo:p4+kHi], x[p5+kLo:p5+kHi], x[p6+kLo:p6+kHi], x[p7+kLo:p7+kHi])
+			}
+		}
+	}
+}
+
+// SIMDILFusedRange32 is the float32 vector fused interleaved range
+// kernel.
+func SIMDILFusedRange32(x []float32, base, s, kLo, kHi, m int) {
+	n := 1 << uint(m)
+	hj := 1
+	switch m % 3 {
+	case 1:
+		for blk := 0; blk < n; blk += 2 {
+			lo := base + blk*s
+			hi := lo + s
+			addSubRun32(x[lo+kLo:lo+kHi], x[hi+kLo:hi+kHi])
+		}
+		hj = 2
+	case 2:
+		for blk := 0; blk < n; blk += 4 {
+			p0 := base + blk*s
+			p1 := p0 + s
+			p2 := p1 + s
+			p3 := p2 + s
+			bfly4Run32(x[p0+kLo:p0+kHi], x[p1+kLo:p1+kHi], x[p2+kLo:p2+kHi], x[p3+kLo:p3+kHi])
+		}
+		hj = 4
+	}
+	for ; hj < n; hj <<= 3 {
+		for blk := 0; blk < n; blk += hj << 3 {
+			for j := blk; j < blk+hj; j++ {
+				p0 := base + j*s
+				p1 := p0 + hj*s
+				p2 := p1 + hj*s
+				p3 := p2 + hj*s
+				p4 := p3 + hj*s
+				p5 := p4 + hj*s
+				p6 := p5 + hj*s
+				p7 := p6 + hj*s
+				bfly8Run32(
+					x[p0+kLo:p0+kHi], x[p1+kLo:p1+kHi], x[p2+kLo:p2+kHi], x[p3+kLo:p3+kHi],
+					x[p4+kLo:p4+kHi], x[p5+kLo:p5+kHi], x[p6+kLo:p6+kHi], x[p7+kLo:p7+kHi])
+			}
+		}
+	}
+}
+
+// SIMDSoA is the vector form of GenericSoA: lane interleaved in-place
+// WHT(2^m)s in SoA layout, one vector run per butterfly pair per level.
+func SIMDSoA(x []float64, base, stride, lane, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				p := base + j*stride
+				q := p + h*stride
+				addSubRun(x[p:p+lane], x[q:q+lane])
+			}
+		}
+	}
+}
+
+// SIMDSoA32 is the float32 vector SoA kernel.
+func SIMDSoA32(x []float32, base, stride, lane, m int) {
+	n := 1 << uint(m)
+	for h := 1; h < n; h <<= 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			for j := blk; j < blk+h; j++ {
+				p := base + j*stride
+				q := p + h*stride
+				addSubRun32(x[p:p+lane], x[q:q+lane])
+			}
+		}
+	}
+}
+
+// The vectorized contiguous tier.  A contiguous WHT(2^m) has no inner
+// k-loop to vectorize across, but its butterfly levels at h >= width
+// pair unit-stride runs the vector unit consumes directly; the levels
+// below the vector width are fused into one scalar pass of independent
+// WHT(width) transforms on consecutive width-sized chunks.  Both halves
+// only regroup the per-element add/sub DAG of GenericContig, so the
+// results stay bitwise-identical to the scalar kernel.
+
+// contigHead64 applies the first log2(simdWidth64) butterfly levels of
+// a contiguous WHT in one pass: an independent WHT(simdWidth64) on each
+// consecutive width-sized chunk.  len(v) must be a multiple of the
+// width.  The switch is on an arch constant, so the dead arm compiles
+// away.
+func contigHead64(v []float64) {
+	switch simdWidth64 {
+	case 2:
+		for i := 0; i+2 <= len(v); i += 2 {
+			a, b := v[i], v[i+1]
+			v[i], v[i+1] = a+b, a-b
+		}
+	case 4:
+		for i := 0; i+4 <= len(v); i += 4 {
+			a, b, c, d := v[i], v[i+1], v[i+2], v[i+3]
+			e, f := a+b, a-b
+			g, h := c+d, c-d
+			v[i], v[i+1], v[i+2], v[i+3] = e+g, f+h, e-g, f-h
+		}
+	}
+}
+
+// contigHead32 is the float32 head pass (WHT(4) or WHT(8) chunks,
+// depending on the arch width).
+func contigHead32(v []float32) {
+	switch simdWidth32 {
+	case 4:
+		for i := 0; i+4 <= len(v); i += 4 {
+			a, b, c, d := v[i], v[i+1], v[i+2], v[i+3]
+			e, f := a+b, a-b
+			g, h := c+d, c-d
+			v[i], v[i+1], v[i+2], v[i+3] = e+g, f+h, e-g, f-h
+		}
+	case 8:
+		for i := 0; i+8 <= len(v); i += 8 {
+			a0, a1, a2, a3 := v[i], v[i+1], v[i+2], v[i+3]
+			a4, a5, a6, a7 := v[i+4], v[i+5], v[i+6], v[i+7]
+			b0, b1 := a0+a1, a0-a1
+			b2, b3 := a2+a3, a2-a3
+			b4, b5 := a4+a5, a4-a5
+			b6, b7 := a6+a7, a6-a7
+			c0, c2 := b0+b2, b0-b2
+			c1, c3 := b1+b3, b1-b3
+			c4, c6 := b4+b6, b4-b6
+			c5, c7 := b5+b7, b5-b7
+			v[i], v[i+4] = c0+c4, c0-c4
+			v[i+1], v[i+5] = c1+c5, c1-c5
+			v[i+2], v[i+6] = c2+c6, c2-c6
+			v[i+3], v[i+7] = c3+c7, c3-c7
+		}
+	}
+}
+
+// SIMDContig is the vector form of GenericContig: the scalar head pass
+// covers the sub-width levels, then radix-4 fused vector passes (one
+// radix-2 pass first when the remaining level count is odd) finish the
+// transform.  Sizes below the vector width fall back to the scalar
+// kernel.
+func SIMDContig(x []float64, base, m int) {
+	n := 1 << uint(m)
+	if n < simdWidth64 {
+		GenericContig(x, base, m)
+		return
+	}
+	v := x[base : base+n]
+	contigHead64(v)
+	h := simdWidth64
+	if (m-simdShift64)&1 == 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			addSubRun(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+		h <<= 1
+	}
+	for ; h < n; h <<= 2 {
+		for blk := 0; blk < n; blk += h << 2 {
+			bfly4Run(v[blk:blk+h], v[blk+h:blk+2*h], v[blk+2*h:blk+3*h], v[blk+3*h:blk+4*h])
+		}
+	}
+}
+
+// SIMDContig32 is the float32 vector contiguous kernel.
+func SIMDContig32(x []float32, base, m int) {
+	n := 1 << uint(m)
+	if n < simdWidth32 {
+		GenericContig32(x, base, m)
+		return
+	}
+	v := x[base : base+n]
+	contigHead32(v)
+	h := simdWidth32
+	if (m-simdShift32)&1 == 1 {
+		for blk := 0; blk < n; blk += h << 1 {
+			addSubRun32(v[blk:blk+h], v[blk+h:blk+2*h])
+		}
+		h <<= 1
+	}
+	for ; h < n; h <<= 2 {
+		for blk := 0; blk < n; blk += h << 2 {
+			bfly4Run32(v[blk:blk+h], v[blk+h:blk+2*h], v[blk+2*h:blk+3*h], v[blk+3*h:blk+4*h])
+		}
+	}
+}
+
+// The vectorized strided tier.  The full j-row of a strided stage — the
+// S strided vectors at bases rowBase+k, k < S, each of stride S — is
+// exactly the interleaved layout of that row, so the row vectorizes
+// gather-free through the radix-8 fused streaming kernel: every inner
+// access is a unit-stride run of columns across the inner index.
+// Column chunking keeps each pass's footprint (2^m * chunk elements)
+// cache-resident where the whole row would stream; chunk seams are
+// column boundaries, and every column's add/sub DAG is untouched, so
+// the results are bitwise-identical to per-(j,k) strided kernel calls.
+
+// stridedChunkTarget64/32 target the per-chunk footprint of the
+// vectorized strided walk in elements (~32 KB per pass).
+const (
+	stridedChunkTarget64 = 1 << 12
+	stridedChunkTarget32 = 1 << 13
+)
+
+// stridedChunkCols returns the column-chunk width for a vectorized
+// strided row: the footprint target scaled by the kernel size, never
+// below one vector, never above the row.
+func stridedChunkCols(m, s, width, target int) int {
+	c := target >> uint(m)
+	if c < width {
+		c = width
+	}
+	if c > s {
+		c = s
+	}
+	return c
+}
+
+// SIMDStrided runs one full j-row of a strided stage (all s columns)
+// through the chunked fused streaming kernel.  Callers gate on
+// s >= SIMDWidth64; smaller rows have no full vector to load.
+func SIMDStrided(x []float64, base, s, m int) {
+	SIMDStridedRange(x, base, s, 0, s, m)
+}
+
+// SIMDStridedRange is SIMDStrided restricted to columns [kLo, kHi) —
+// the partial-row form the parallel executors hand to workers.
+func SIMDStridedRange(x []float64, base, s, kLo, kHi, m int) {
+	chunk := stridedChunkCols(m, s, simdWidth64, stridedChunkTarget64)
+	for k := kLo; k < kHi; {
+		end := k + chunk
+		if end > kHi {
+			end = kHi
+		}
+		SIMDILFusedRange(x, base, s, k, end, m)
+		k = end
+	}
+}
+
+// SIMDStrided32 is the float32 vectorized strided row kernel.
+func SIMDStrided32(x []float32, base, s, m int) {
+	SIMDStridedRange32(x, base, s, 0, s, m)
+}
+
+// SIMDStridedRange32 is the float32 partial-row form.
+func SIMDStridedRange32(x []float32, base, s, kLo, kHi, m int) {
+	chunk := stridedChunkCols(m, s, simdWidth32, stridedChunkTarget32)
+	for k := kLo; k < kHi; {
+		end := k + chunk
+		if end > kHi {
+			end = kHi
+		}
+		SIMDILFusedRange32(x, base, s, k, end, m)
+		k = end
+	}
+}

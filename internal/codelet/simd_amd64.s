@@ -2,7 +2,7 @@
 // applies one radix of the WHT butterfly across parallel unit-stride
 // streams: the element count n is a positive multiple of the vector
 // width (4 float64s / 8 float32s per YMM register); the Go drivers in
-// simd_amd64.go peel the scalar tail.  Loads and stores are unaligned
+// simd.go peel the scalar tail.  Loads and stores are unaligned
 // (VMOVUPD/VMOVUPS) because stage bases and strides are arbitrary.
 //
 // Operand-order note: Go assembly reverses the Intel order, so
@@ -12,9 +12,9 @@
 
 #include "textflag.h"
 
-// func avx2AddSub64(lo, hi *float64, n int)
+// func vecAddSub64(lo, hi *float64, n int)
 // Radix-2: lo[k], hi[k] = lo[k]+hi[k], lo[k]-hi[k] for k < n (n % 4 == 0).
-TEXT ·avx2AddSub64(SB), NOSPLIT, $0-24
+TEXT ·vecAddSub64(SB), NOSPLIT, $0-24
 	MOVQ lo+0(FP), DI
 	MOVQ hi+8(FP), SI
 	MOVQ n+16(FP), CX
@@ -33,9 +33,9 @@ addsub64_loop:
 	VZEROUPPER
 	RET
 
-// func avx2AddSub32(lo, hi *float32, n int)
+// func vecAddSub32(lo, hi *float32, n int)
 // Radix-2 over float32 streams (n % 8 == 0).
-TEXT ·avx2AddSub32(SB), NOSPLIT, $0-24
+TEXT ·vecAddSub32(SB), NOSPLIT, $0-24
 	MOVQ lo+0(FP), DI
 	MOVQ hi+8(FP), SI
 	MOVQ n+16(FP), CX
@@ -54,12 +54,12 @@ addsub32_loop:
 	VZEROUPPER
 	RET
 
-// func avx2Bfly4x64(q0, q1, q2, q3 *float64, n int)
+// func vecBfly4x64(q0, q1, q2, q3 *float64, n int)
 // Radix-4: two butterfly levels over four float64 streams (n % 4 == 0),
 // matching GenericILFused's fused pass:
 //	e, f = q0+q1, q0-q1; g, h = q2+q3, q2-q3
 //	q0, q1, q2, q3 = e+g, f+h, e-g, f-h
-TEXT ·avx2Bfly4x64(SB), NOSPLIT, $0-40
+TEXT ·vecBfly4x64(SB), NOSPLIT, $0-40
 	MOVQ q0+0(FP), DI
 	MOVQ q1+8(FP), SI
 	MOVQ q2+16(FP), DX
@@ -90,9 +90,9 @@ bfly4x64_loop:
 	VZEROUPPER
 	RET
 
-// func avx2Bfly4x32(q0, q1, q2, q3 *float32, n int)
+// func vecBfly4x32(q0, q1, q2, q3 *float32, n int)
 // Radix-4 over float32 streams (n % 8 == 0).
-TEXT ·avx2Bfly4x32(SB), NOSPLIT, $0-40
+TEXT ·vecBfly4x32(SB), NOSPLIT, $0-40
 	MOVQ q0+0(FP), DI
 	MOVQ q1+8(FP), SI
 	MOVQ q2+16(FP), DX
@@ -123,12 +123,12 @@ bfly4x32_loop:
 	VZEROUPPER
 	RET
 
-// func avx2Bfly8x64(p0, p1, p2, p3, p4, p5, p6, p7 *float64, n int)
+// func vecBfly8x64(p0, p1, p2, p3, p4, p5, p6, p7 *float64, n int)
 // Radix-8: three butterfly levels over eight float64 streams
 // (n % 4 == 0), matching GenericILFusedRange's fused pass — level 1
 // pairs (p0,p1)(p2,p3)(p4,p5)(p6,p7), level 2 pairs b-values two
 // apart, level 3 pairs c-values four apart.
-TEXT ·avx2Bfly8x64(SB), NOSPLIT, $0-72
+TEXT ·vecBfly8x64(SB), NOSPLIT, $0-72
 	MOVQ p0+0(FP), DI
 	MOVQ p1+8(FP), SI
 	MOVQ p2+16(FP), DX
@@ -187,9 +187,9 @@ bfly8x64_loop:
 	VZEROUPPER
 	RET
 
-// func avx2Bfly8x32(p0, p1, p2, p3, p4, p5, p6, p7 *float32, n int)
+// func vecBfly8x32(p0, p1, p2, p3, p4, p5, p6, p7 *float32, n int)
 // Radix-8 over float32 streams (n % 8 == 0).
-TEXT ·avx2Bfly8x32(SB), NOSPLIT, $0-72
+TEXT ·vecBfly8x32(SB), NOSPLIT, $0-72
 	MOVQ p0+0(FP), DI
 	MOVQ p1+8(FP), SI
 	MOVQ p2+16(FP), DX

@@ -1,0 +1,22 @@
+package codelet
+
+import "repro/internal/isa"
+
+// The NEON instantiation of the vector kernel tier (see simd.go for the
+// shared drivers and simd_arm64.s for the butterfly primitives):
+// quadword vector registers hold 2 float64s or 4 float32s per
+// operation.
+
+// simdAvailable gates the vector tier.  Advanced SIMD is part of the
+// ARMv8-A baseline, so this is effectively always true on arm64; the
+// isa indirection keeps the structure identical to amd64.
+var simdAvailable = isa.HasNEON()
+
+// Vector widths in elements, and their logs — the tail masks of the
+// shared run drivers and the head-pass depth of the contiguous kernel.
+const (
+	simdWidth64 = 2
+	simdWidth32 = 4
+	simdShift64 = 1
+	simdShift32 = 2
+)

@@ -1,0 +1,246 @@
+// NEON butterfly primitives for the SIMD codelet backend.  Each routine
+// applies one radix of the WHT butterfly across parallel unit-stride
+// streams: the element count n is a positive multiple of the vector
+// width (2 float64s / 4 float32s per quadword register); the Go drivers
+// in simd.go peel the scalar tail.  VLD1/VST1 are alignment-agnostic,
+// so arbitrary stage bases and strides are fine.
+//
+// The Go assembler has no mnemonics for the vector FADD/FSUB forms
+// (only the scalar FADDD/FADDS/FSUBD/FSUBS and the integer VADD/VSUB),
+// so the arithmetic is emitted as WORD-encoded A64 instructions behind
+// the macros below.  Encoding (C7.2 FADD/FSUB vector):
+//
+//	0Q001110 fsz1 Rm 110101 Rn Rd      f=0 FADD, f=1 FSUB
+//	Q=1 (128-bit), sz=0 -> .4S, sz=1 -> .2D
+//
+// The macro operand order follows Go assembly's source2, source1,
+// destination convention (the same order the AVX2 file uses):
+// VFADD2D(m, n, d) computes Vd = Vn + Vm and VFSUB2D(m, n, d) computes
+// Vd = Vn - Vm.  Every butterfly keeps the scalar kernels' lower+upper
+// / lower-upper operand order, which is what makes the vector results
+// bitwise-identical to the scalar tier.
+
+#include "textflag.h"
+
+#define VFADD2D(Vm, Vn, Vd) WORD $(0x4E60D400 | Vm<<16 | Vn<<5 | Vd)
+#define VFSUB2D(Vm, Vn, Vd) WORD $(0x4EE0D400 | Vm<<16 | Vn<<5 | Vd)
+#define VFADD4S(Vm, Vn, Vd) WORD $(0x4E20D400 | Vm<<16 | Vn<<5 | Vd)
+#define VFSUB4S(Vm, Vn, Vd) WORD $(0x4EA0D400 | Vm<<16 | Vn<<5 | Vd)
+
+// func vecAddSub64(lo, hi *float64, n int)
+// Radix-2: lo[k], hi[k] = lo[k]+hi[k], lo[k]-hi[k] for k < n (n % 2 == 0).
+TEXT ·vecAddSub64(SB), NOSPLIT, $0-24
+	MOVD lo+0(FP), R0
+	MOVD hi+8(FP), R1
+	MOVD n+16(FP), R2
+
+addsub64_loop:
+	VLD1 (R0), [V0.D2]
+	VLD1 (R1), [V1.D2]
+	VFADD2D(1, 0, 2)            // V2 = lo + hi
+	VFSUB2D(1, 0, 3)            // V3 = lo - hi
+	VST1.P [V2.D2], 16(R0)
+	VST1.P [V3.D2], 16(R1)
+	SUBS $2, R2, R2
+	BNE  addsub64_loop
+	RET
+
+// func vecAddSub32(lo, hi *float32, n int)
+// Radix-2 over float32 streams (n % 4 == 0).
+TEXT ·vecAddSub32(SB), NOSPLIT, $0-24
+	MOVD lo+0(FP), R0
+	MOVD hi+8(FP), R1
+	MOVD n+16(FP), R2
+
+addsub32_loop:
+	VLD1 (R0), [V0.S4]
+	VLD1 (R1), [V1.S4]
+	VFADD4S(1, 0, 2)
+	VFSUB4S(1, 0, 3)
+	VST1.P [V2.S4], 16(R0)
+	VST1.P [V3.S4], 16(R1)
+	SUBS $4, R2, R2
+	BNE  addsub32_loop
+	RET
+
+// func vecBfly4x64(q0, q1, q2, q3 *float64, n int)
+// Radix-4: two butterfly levels over four float64 streams (n % 2 == 0),
+// matching GenericILFused's fused pass:
+//	e, f = q0+q1, q0-q1; g, h = q2+q3, q2-q3
+//	q0, q1, q2, q3 = e+g, f+h, e-g, f-h
+TEXT ·vecBfly4x64(SB), NOSPLIT, $0-40
+	MOVD q0+0(FP), R0
+	MOVD q1+8(FP), R1
+	MOVD q2+16(FP), R2
+	MOVD q3+24(FP), R3
+	MOVD n+32(FP), R4
+
+bfly4x64_loop:
+	VLD1 (R0), [V0.D2]
+	VLD1 (R1), [V1.D2]
+	VLD1 (R2), [V2.D2]
+	VLD1 (R3), [V3.D2]
+	VFADD2D(1, 0, 4)            // e = a+b
+	VFSUB2D(1, 0, 5)            // f = a-b
+	VFADD2D(3, 2, 6)            // g = c+d
+	VFSUB2D(3, 2, 7)            // h = c-d
+	VFADD2D(6, 4, 16)           // e+g
+	VFADD2D(7, 5, 17)           // f+h
+	VFSUB2D(6, 4, 18)           // e-g
+	VFSUB2D(7, 5, 19)           // f-h
+	VST1.P [V16.D2], 16(R0)
+	VST1.P [V17.D2], 16(R1)
+	VST1.P [V18.D2], 16(R2)
+	VST1.P [V19.D2], 16(R3)
+	SUBS $2, R4, R4
+	BNE  bfly4x64_loop
+	RET
+
+// func vecBfly4x32(q0, q1, q2, q3 *float32, n int)
+// Radix-4 over float32 streams (n % 4 == 0).
+TEXT ·vecBfly4x32(SB), NOSPLIT, $0-40
+	MOVD q0+0(FP), R0
+	MOVD q1+8(FP), R1
+	MOVD q2+16(FP), R2
+	MOVD q3+24(FP), R3
+	MOVD n+32(FP), R4
+
+bfly4x32_loop:
+	VLD1 (R0), [V0.S4]
+	VLD1 (R1), [V1.S4]
+	VLD1 (R2), [V2.S4]
+	VLD1 (R3), [V3.S4]
+	VFADD4S(1, 0, 4)
+	VFSUB4S(1, 0, 5)
+	VFADD4S(3, 2, 6)
+	VFSUB4S(3, 2, 7)
+	VFADD4S(6, 4, 16)
+	VFADD4S(7, 5, 17)
+	VFSUB4S(6, 4, 18)
+	VFSUB4S(7, 5, 19)
+	VST1.P [V16.S4], 16(R0)
+	VST1.P [V17.S4], 16(R1)
+	VST1.P [V18.S4], 16(R2)
+	VST1.P [V19.S4], 16(R3)
+	SUBS $4, R4, R4
+	BNE  bfly4x32_loop
+	RET
+
+// func vecBfly8x64(p0, p1, p2, p3, p4, p5, p6, p7 *float64, n int)
+// Radix-8: three butterfly levels over eight float64 streams
+// (n % 2 == 0), matching GenericILFusedRange's fused pass — level 1
+// pairs (p0,p1)(p2,p3)(p4,p5)(p6,p7), level 2 pairs b-values two
+// apart, level 3 pairs c-values four apart.
+TEXT ·vecBfly8x64(SB), NOSPLIT, $0-72
+	MOVD p0+0(FP), R0
+	MOVD p1+8(FP), R1
+	MOVD p2+16(FP), R2
+	MOVD p3+24(FP), R3
+	MOVD p4+32(FP), R4
+	MOVD p5+40(FP), R5
+	MOVD p6+48(FP), R6
+	MOVD p7+56(FP), R7
+	MOVD n+64(FP), R8
+
+bfly8x64_loop:
+	VLD1 (R0), [V0.D2]          // a0
+	VLD1 (R1), [V1.D2]          // a1
+	VLD1 (R2), [V2.D2]          // a2
+	VLD1 (R3), [V3.D2]          // a3
+	VLD1 (R4), [V4.D2]          // a4
+	VLD1 (R5), [V5.D2]          // a5
+	VLD1 (R6), [V6.D2]          // a6
+	VLD1 (R7), [V7.D2]          // a7
+	VFADD2D(1, 0, 16)           // b0 = a0+a1
+	VFSUB2D(1, 0, 17)           // b1 = a0-a1
+	VFADD2D(3, 2, 18)           // b2 = a2+a3
+	VFSUB2D(3, 2, 19)           // b3 = a2-a3
+	VFADD2D(5, 4, 20)           // b4 = a4+a5
+	VFSUB2D(5, 4, 21)           // b5 = a4-a5
+	VFADD2D(7, 6, 22)           // b6 = a6+a7
+	VFSUB2D(7, 6, 23)           // b7 = a6-a7
+	VFADD2D(18, 16, 0)          // c0 = b0+b2
+	VFSUB2D(18, 16, 2)          // c2 = b0-b2
+	VFADD2D(19, 17, 1)          // c1 = b1+b3
+	VFSUB2D(19, 17, 3)          // c3 = b1-b3
+	VFADD2D(22, 20, 4)          // c4 = b4+b6
+	VFSUB2D(22, 20, 6)          // c6 = b4-b6
+	VFADD2D(23, 21, 5)          // c5 = b5+b7
+	VFSUB2D(23, 21, 7)          // c7 = b5-b7
+	VFADD2D(4, 0, 16)           // c0+c4
+	VFSUB2D(4, 0, 20)           // c0-c4
+	VFADD2D(5, 1, 17)           // c1+c5
+	VFSUB2D(5, 1, 21)           // c1-c5
+	VFADD2D(6, 2, 18)           // c2+c6
+	VFSUB2D(6, 2, 22)           // c2-c6
+	VFADD2D(7, 3, 19)           // c3+c7
+	VFSUB2D(7, 3, 23)           // c3-c7
+	VST1.P [V16.D2], 16(R0)
+	VST1.P [V17.D2], 16(R1)
+	VST1.P [V18.D2], 16(R2)
+	VST1.P [V19.D2], 16(R3)
+	VST1.P [V20.D2], 16(R4)
+	VST1.P [V21.D2], 16(R5)
+	VST1.P [V22.D2], 16(R6)
+	VST1.P [V23.D2], 16(R7)
+	SUBS $2, R8, R8
+	BNE  bfly8x64_loop
+	RET
+
+// func vecBfly8x32(p0, p1, p2, p3, p4, p5, p6, p7 *float32, n int)
+// Radix-8 over float32 streams (n % 4 == 0).
+TEXT ·vecBfly8x32(SB), NOSPLIT, $0-72
+	MOVD p0+0(FP), R0
+	MOVD p1+8(FP), R1
+	MOVD p2+16(FP), R2
+	MOVD p3+24(FP), R3
+	MOVD p4+32(FP), R4
+	MOVD p5+40(FP), R5
+	MOVD p6+48(FP), R6
+	MOVD p7+56(FP), R7
+	MOVD n+64(FP), R8
+
+bfly8x32_loop:
+	VLD1 (R0), [V0.S4]
+	VLD1 (R1), [V1.S4]
+	VLD1 (R2), [V2.S4]
+	VLD1 (R3), [V3.S4]
+	VLD1 (R4), [V4.S4]
+	VLD1 (R5), [V5.S4]
+	VLD1 (R6), [V6.S4]
+	VLD1 (R7), [V7.S4]
+	VFADD4S(1, 0, 16)
+	VFSUB4S(1, 0, 17)
+	VFADD4S(3, 2, 18)
+	VFSUB4S(3, 2, 19)
+	VFADD4S(5, 4, 20)
+	VFSUB4S(5, 4, 21)
+	VFADD4S(7, 6, 22)
+	VFSUB4S(7, 6, 23)
+	VFADD4S(18, 16, 0)
+	VFSUB4S(18, 16, 2)
+	VFADD4S(19, 17, 1)
+	VFSUB4S(19, 17, 3)
+	VFADD4S(22, 20, 4)
+	VFSUB4S(22, 20, 6)
+	VFADD4S(23, 21, 5)
+	VFSUB4S(23, 21, 7)
+	VFADD4S(4, 0, 16)
+	VFSUB4S(4, 0, 20)
+	VFADD4S(5, 1, 17)
+	VFSUB4S(5, 1, 21)
+	VFADD4S(6, 2, 18)
+	VFSUB4S(6, 2, 22)
+	VFADD4S(7, 3, 19)
+	VFSUB4S(7, 3, 23)
+	VST1.P [V16.S4], 16(R0)
+	VST1.P [V17.S4], 16(R1)
+	VST1.P [V18.S4], 16(R2)
+	VST1.P [V19.S4], 16(R3)
+	VST1.P [V20.S4], 16(R4)
+	VST1.P [V21.S4], 16(R5)
+	VST1.P [V22.S4], 16(R6)
+	VST1.P [V23.S4], 16(R7)
+	SUBS $4, R8, R8
+	BNE  bfly8x32_loop
+	RET

@@ -1,14 +1,22 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package codelet
 
-// Non-amd64 hosts have no vector kernel tier: EffectiveSIMD is
-// constant-false, so the executor never selects the SIMD* names.  They
-// delegate to the scalar generics anyway — the SIMD tier's contract is
-// bitwise equality with scalar, so the delegation is exact and keeps
-// every GOARCH compiling the same call sites.
+// Hosts outside amd64/arm64 have no vector kernel tier: EffectiveSIMD
+// is constant-false, so the executor never selects the SIMD* names.
+// They delegate to the scalar generics anyway — the SIMD tier's
+// contract is bitwise equality with scalar, so the delegation is exact
+// and keeps every GOARCH compiling the same call sites.
 
 const simdAvailable = false
+
+// SIMDWidth64 and SIMDWidth32 are 1 on scalar-only hosts; the
+// executor's strided-vectorization gate (S >= width) never fires
+// because the SIMD kernel bank is never selected here.
+const (
+	SIMDWidth64 = 1
+	SIMDWidth32 = 1
+)
 
 // SIMDIL delegates to GenericIL on hosts without the vector tier.
 func SIMDIL(x []float64, base, s, m int) { GenericIL(x, base, s, m) }
@@ -50,4 +58,32 @@ func SIMDSoA(x []float64, base, stride, lane, m int) {
 // SIMDSoA32 delegates to GenericSoA32.
 func SIMDSoA32(x []float32, base, stride, lane, m int) {
 	GenericSoA32(x, base, stride, lane, m)
+}
+
+// SIMDContig delegates to GenericContig.
+func SIMDContig(x []float64, base, m int) { GenericContig(x, base, m) }
+
+// SIMDContig32 delegates to GenericContig32.
+func SIMDContig32(x []float32, base, m int) { GenericContig32(x, base, m) }
+
+// SIMDStrided delegates to the scalar fused streaming kernel over the
+// full row — bitwise-equal to per-(j,k) strided calls.
+func SIMDStrided(x []float64, base, s, m int) {
+	GenericILFusedRange(x, base, s, 0, s, m)
+}
+
+// SIMDStrided32 is the float32 delegation.
+func SIMDStrided32(x []float32, base, s, m int) {
+	GenericILFusedRange32(x, base, s, 0, s, m)
+}
+
+// SIMDStridedRange delegates to the scalar fused streaming kernel over
+// the column sub-range.
+func SIMDStridedRange(x []float64, base, s, kLo, kHi, m int) {
+	GenericILFusedRange(x, base, s, kLo, kHi, m)
+}
+
+// SIMDStridedRange32 is the float32 delegation.
+func SIMDStridedRange32(x []float32, base, s, kLo, kHi, m int) {
+	GenericILFusedRange32(x, base, s, kLo, kHi, m)
 }

@@ -157,6 +157,155 @@ func TestSIMDKernelsBitwise32(t *testing.T) {
 	}
 }
 
+// TestSIMDContigStridedBitwise pins the vectorized contiguous and
+// strided tiers: SIMDContig against the scalar contiguous kernel, and
+// SIMDStrided / SIMDStridedRange against the per-(j,k) scalar strided
+// kernel calls they replace — the engine-level claim, since the
+// executor routes whole rows of strided-variant stages through them.
+// Column widths sweep below, at, and off the vector width so the
+// sub-width fallback, the chunk seams, and the scalar tails all run.
+func TestSIMDContigStridedBitwise(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("SIMD tier unavailable on this host; delegation is identity")
+	}
+	r := rand.New(rand.NewSource(13))
+	base := 3
+	for m := 1; m <= 10; m++ {
+		n := 1 << uint(m)
+
+		ref := make([]float64, base+n+5)
+		got := make([]float64, len(ref))
+		fillPattern(ref, r)
+		copy(got, ref)
+		GenericContig(ref, base, m)
+		SIMDContig(got, base, m)
+		equalBits(t, "Contig", ref, got)
+
+		for _, s := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33, 1024} {
+			ref := make([]float64, base+n*s+5)
+			got := make([]float64, len(ref))
+			fillPattern(ref, r)
+			copy(got, ref)
+			for k := 0; k < s; k++ {
+				Generic(ref, base+k, s, m)
+			}
+			SIMDStrided(got, base, s, m)
+			equalBits(t, "Strided", ref, got)
+
+			for _, kr := range [][2]int{{0, min(5, s)}, {s / 3, s}, {s / 2, s/2 + min(6, s-s/2)}} {
+				kLo, kHi := kr[0], kr[1]
+				if kLo >= kHi {
+					continue
+				}
+				fillPattern(ref, r)
+				copy(got, ref)
+				for k := kLo; k < kHi; k++ {
+					Generic(ref, base+k, s, m)
+				}
+				SIMDStridedRange(got, base, s, kLo, kHi, m)
+				equalBits(t, "StridedRange", ref, got)
+			}
+		}
+	}
+}
+
+// TestSIMDContigStridedBitwise32 is the float32 grid.
+func TestSIMDContigStridedBitwise32(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("SIMD tier unavailable on this host; delegation is identity")
+	}
+	r := rand.New(rand.NewSource(17))
+	base := 5
+	for m := 1; m <= 9; m++ {
+		n := 1 << uint(m)
+
+		ref := make([]float32, base+n+3)
+		got := make([]float32, len(ref))
+		fillPattern32(ref, r)
+		copy(got, ref)
+		GenericContig32(ref, base, m)
+		SIMDContig32(got, base, m)
+		equalBits32(t, "Contig32", ref, got)
+
+		for _, s := range []int{1, 3, 4, 7, 8, 9, 16, 33} {
+			ref := make([]float32, base+n*s+3)
+			got := make([]float32, len(ref))
+			fillPattern32(ref, r)
+			copy(got, ref)
+			for k := 0; k < s; k++ {
+				Generic32(ref, base+k, s, m)
+			}
+			SIMDStrided32(got, base, s, m)
+			equalBits32(t, "Strided32", ref, got)
+
+			for _, kr := range [][2]int{{0, min(7, s)}, {s / 3, s}} {
+				kLo, kHi := kr[0], kr[1]
+				if kLo >= kHi {
+					continue
+				}
+				fillPattern32(ref, r)
+				copy(got, ref)
+				for k := kLo; k < kHi; k++ {
+					Generic32(ref, base+k, s, m)
+				}
+				SIMDStridedRange32(got, base, s, kLo, kHi, m)
+				equalBits32(t, "StridedRange32", ref, got)
+			}
+		}
+	}
+}
+
+// TestBackendResolution pins the requested-vs-effective reporting the
+// CLIs warn with: auto requests resolve through the process override
+// before being reported, and Degraded fires exactly for an explicit
+// SIMD request on a host (or under an availability state) that runs
+// scalar.
+func TestBackendResolution(t *testing.T) {
+	defer SetBackend(AutoBackend)
+	avail := SIMDAvailable()
+
+	SetBackend(AutoBackend)
+	r := Resolve(ScalarBackend)
+	if r.Requested != ScalarBackend || r.Effective != ScalarBackend || r.Degraded() {
+		t.Fatalf("Resolve(scalar) = %+v", r)
+	}
+	r = Resolve(SIMDBackend)
+	if r.Requested != SIMDBackend {
+		t.Fatalf("Resolve(simd).Requested = %v", r.Requested)
+	}
+	if avail {
+		if r.Effective != SIMDBackend || r.Degraded() {
+			t.Fatalf("Resolve(simd) on a SIMD host = %+v", r)
+		}
+		if r.String() != "simd" {
+			t.Fatalf("Resolve(simd).String() = %q", r.String())
+		}
+	} else {
+		if r.Effective != ScalarBackend || !r.Degraded() {
+			t.Fatalf("Resolve(simd) on a scalar host = %+v", r)
+		}
+		if r.String() != "simd -> scalar" {
+			t.Fatalf("Resolve(simd).String() = %q", r.String())
+		}
+	}
+
+	// An auto request reports what the override resolved it to, and an
+	// auto-to-scalar resolution is never degradation.
+	SetBackend(ScalarBackend)
+	r = Resolve(AutoBackend)
+	if r.Requested != ScalarBackend || r.Effective != ScalarBackend || r.Degraded() {
+		t.Fatalf("Resolve(auto) under scalar override = %+v", r)
+	}
+	SetBackend(SIMDBackend)
+	r = Resolve(AutoBackend)
+	if r.Requested != SIMDBackend {
+		t.Fatalf("Resolve(auto) under simd override: Requested = %v", r.Requested)
+	}
+	if r.Degraded() != !avail {
+		t.Fatalf("Resolve(auto) under simd override: Degraded = %v, avail = %v", r.Degraded(), avail)
+	}
+}
+
 // TestBackendParseRoundTrip pins the wisdom-file spellings and the
 // WHT_SIMD aliases.
 func TestBackendParseRoundTrip(t *testing.T) {

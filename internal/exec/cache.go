@@ -184,20 +184,26 @@ var defaultCache = NewScheduleCache(32)
 // — a tuned size stays tuned for the life of the process (or until
 // ResetTunedPlans).
 type tunedEntry struct {
-	plan    *plan.Node
-	policy  codelet.Policy
-	soaMin  int          // batch-width crossover for the SoA tier (see SetSoAMinBatch)
-	parMode ParallelMode // parallel executor tier (see SetParallelMode)
+	plan     *plan.Node
+	policy   codelet.Policy
+	soaMin   int               // batch-width crossover for the SoA tier (see SetSoAMinBatch)
+	parMode  ParallelMode      // parallel executor tier (see SetParallelMode)
+	backends []codelet.Backend // per-stage backend pins (see SetStageBackends), nil: policy backend
 }
 
 // TunedConfig carries every per-size decision a tuner registers alongside
 // its winning plan: the variant policy the plan was measured under, the
-// SoA batch crossover, and the parallel executor tier.  The zero value is
-// the untuned default for every field.
+// SoA batch crossover, the parallel executor tier, and the per-stage
+// backend pins.  The zero value is the untuned default for every field.
 type TunedConfig struct {
 	Policy       codelet.Policy
 	SoAMinBatch  int
 	ParallelMode ParallelMode
+	// StageBackends, when non-nil, pins each compiled stage's codelet
+	// backend (length must match the compiled stage count — compilation
+	// is deterministic, so a tuner's recorded vector always does).  Nil
+	// leaves every stage on the policy backend.
+	StageBackends []codelet.Backend
 }
 
 var (
@@ -243,6 +249,16 @@ func UseTunedPlanWith(p *plan.Node, cfg TunedConfig) error {
 	}
 	s.SetSoAMinBatch(cfg.SoAMinBatch)
 	s.SetParallelMode(cfg.ParallelMode)
+	var backends []codelet.Backend
+	if len(cfg.StageBackends) > 0 {
+		// Validated before anything is published: a stage-count mismatch
+		// or an unknown backend rejects the registration outright rather
+		// than serving a half-applied tuning.
+		if err := s.SetStageBackends(cfg.StageBackends); err != nil {
+			return err
+		}
+		backends = append([]codelet.Backend(nil), cfg.StageBackends...)
+	}
 	// Warm validates the (size, schedule) pair before anything is
 	// published; a mismatch must not leave a tuned plan registered either.
 	if err := defaultCache.Warm(s.Log2Size(), s); err != nil {
@@ -251,6 +267,7 @@ func UseTunedPlanWith(p *plan.Node, cfg TunedConfig) error {
 	tunedMu.Lock()
 	tunedPlans[s.Log2Size()] = tunedEntry{
 		plan: p, policy: cfg.Policy, soaMin: cfg.SoAMinBatch, parMode: cfg.ParallelMode,
+		backends: backends,
 	}
 	tunedMu.Unlock()
 	return nil
@@ -279,7 +296,11 @@ func TunedConfigFor(n int) (TunedConfig, bool) {
 	tunedMu.RLock()
 	defer tunedMu.RUnlock()
 	e, ok := tunedPlans[n]
-	return TunedConfig{Policy: e.policy, SoAMinBatch: e.soaMin, ParallelMode: e.parMode}, ok
+	cfg := TunedConfig{Policy: e.policy, SoAMinBatch: e.soaMin, ParallelMode: e.parMode}
+	if len(e.backends) > 0 {
+		cfg.StageBackends = append([]codelet.Backend(nil), e.backends...)
+	}
+	return cfg, ok
 }
 
 // ResetTunedPlans drops every registered tuned plan and purges the
@@ -311,6 +332,14 @@ func ForSize(n int) *Schedule {
 			s := CompileWith(e.plan, e.policy)
 			s.SetSoAMinBatch(e.soaMin)
 			s.SetParallelMode(e.parMode)
+			if len(e.backends) > 0 {
+				// Compilation is deterministic and the vector was validated
+				// against this plan+policy at registration, so re-applying
+				// after an LRU eviction cannot fail.
+				if err := s.SetStageBackends(e.backends); err != nil {
+					panic(err)
+				}
+			}
 			return s
 		}
 		return Compile(plan.Balanced(n, plan.MaxLeafLog))

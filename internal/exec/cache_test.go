@@ -254,3 +254,46 @@ func TestUseTunedPlanRejectsInvalid(t *testing.T) {
 		t.Fatal("invalid plan accepted")
 	}
 }
+
+// TestUseTunedPlanWithStageBackends pins the per-stage backend half of
+// the registration: the pins land on the warmed schedule, survive a
+// post-eviction recompile, round-trip through TunedConfigFor, and a
+// malformed vector rejects the registration without publishing anything.
+func TestUseTunedPlanWithStageBackends(t *testing.T) {
+	ResetTunedPlans()
+	defer ResetTunedPlans()
+	p := plan.MustParse("split[small[6],small[8]]")
+	pins := []codelet.Backend{codelet.ScalarBackend, codelet.SIMDBackend}
+	if err := UseTunedPlanWith(p, TunedConfig{StageBackends: pins}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(when string) {
+		got := ForSize(14).StageBackends()
+		if len(got) != len(pins) {
+			t.Fatalf("%s: stage backends %v, want %v", when, got, pins)
+		}
+		for i := range pins {
+			if got[i] != pins[i] {
+				t.Fatalf("%s: stage backends %v, want %v", when, got, pins)
+			}
+		}
+	}
+	check("warmed")
+	defaultCache.Purge()
+	check("recompiled")
+	if cfg, ok := TunedConfigFor(14); !ok || len(cfg.StageBackends) != 2 ||
+		cfg.StageBackends[0] != codelet.ScalarBackend || cfg.StageBackends[1] != codelet.SIMDBackend {
+		t.Fatalf("TunedConfigFor = %+v, %v", cfg, ok)
+	}
+
+	// Wrong length and out-of-range values must reject before publication.
+	if err := UseTunedPlanWith(p, TunedConfig{StageBackends: pins[:1]}); err == nil {
+		t.Fatal("stage-count mismatch accepted")
+	}
+	if err := UseTunedPlanWith(p, TunedConfig{
+		StageBackends: []codelet.Backend{codelet.Backend(99), codelet.ScalarBackend},
+	}); err == nil {
+		t.Fatal("out-of-range backend accepted")
+	}
+	check("after rejected registrations")
+}

@@ -73,6 +73,14 @@ type Stage struct {
 	// rows run the radix-4 fused streaming kernel (two butterfly levels
 	// per pass, bitwise-equal to the single-level kernel).
 	Fused bool
+	// Backend pins the kernel backend this stage executes with.  Compile
+	// initializes it from the policy's Backend; SetStageBackends overrides
+	// it per stage — the tuner's backend sweep uses that to mix a SIMD
+	// streaming stage with a scalar strided one in a single schedule.
+	// Every backend computes bitwise-identical results, so the field is
+	// purely a performance choice; it resolves against the process
+	// override and host availability at run time (codelet.EffectiveSIMD).
+	Backend codelet.Backend
 }
 
 // Calls returns the number of kernel invocations in the stage (R*S).
@@ -125,16 +133,62 @@ func (s *Schedule) NumStages() int { return len(s.stages) }
 // under.
 func (s *Schedule) Policy() codelet.Policy { return s.policy }
 
-// SIMDEnabled reports whether this schedule's executors run the vector
-// backend for their streaming kernels, resolving the policy's Backend
-// against the process override and host availability at call time (see
-// codelet.EffectiveSIMD).  Either way the computed results are bitwise
-// identical; only throughput changes.
-func (s *Schedule) SIMDEnabled() bool { return codelet.EffectiveSIMD(s.policy.Backend) }
+// SIMDEnabled reports whether any stage of this schedule resolves to the
+// vector backend right now, resolving each stage's Backend against the
+// process override and host availability at call time (see
+// codelet.EffectiveSIMD).  Schedules compiled under a uniform policy have
+// every stage on the policy's backend, so this degenerates to the old
+// per-schedule answer; mixed-pin schedules (SetStageBackends) report
+// true when at least one stage runs vectorized.  Either way the computed
+// results are bitwise identical; only throughput changes.
+func (s *Schedule) SIMDEnabled() bool {
+	for i := range s.stages {
+		if codelet.EffectiveSIMD(s.stages[i].Backend) {
+			return true
+		}
+	}
+	return false
+}
+
+// StageBackends returns a copy of the per-stage backend vector, one
+// entry per stage in schedule order.
+func (s *Schedule) StageBackends() []codelet.Backend {
+	out := make([]codelet.Backend, len(s.stages))
+	for i := range s.stages {
+		out[i] = s.stages[i].Backend
+	}
+	return out
+}
+
+// SetStageBackends pins each stage's kernel backend, overriding the
+// uniform assignment Compile made from the policy.  The vector must have
+// exactly one entry per stage (NumStages).  Schedules are otherwise
+// immutable and shared without synchronization, so like SetSoAMinBatch
+// this must be called before the schedule is published to other
+// goroutines — and before the first batch use derives the SoA stage
+// expansion, which propagates each block stage's backend to its parts.
+// The tuner's per-stage backend sweep records its winning vector through
+// this; every mix computes bitwise-identical results.
+func (s *Schedule) SetStageBackends(bs []codelet.Backend) error {
+	if len(bs) != len(s.stages) {
+		return fmt.Errorf("exec: %d stage backends for %d stages", len(bs), len(s.stages))
+	}
+	for i, b := range bs {
+		switch b {
+		case codelet.AutoBackend, codelet.ScalarBackend, codelet.SIMDBackend:
+		default:
+			return fmt.Errorf("exec: stage %d: unknown backend %v", i, b)
+		}
+		s.stages[i].Backend = b
+	}
+	return nil
+}
 
 // String renders the schedule as its stage sequence with the selected
 // kernel variant per stage (fused interleaved stages as "il+f"), e.g.
-// "[I1 x W2^2 x I4 strided] [I4 x W2^2 x I1 contig]".
+// "[I1 x W2^2 x I4 strided] [I4 x W2^2 x I1 contig]".  Stages whose
+// backend was pinned away from the compile policy's (SetStageBackends)
+// carry an "@backend" suffix, so mixed-pin schedules print their pins.
 func (s *Schedule) String() string {
 	out := ""
 	for i, st := range s.stages {
@@ -144,6 +198,9 @@ func (s *Schedule) String() string {
 		v := st.V.String()
 		if st.Fused {
 			v += "+f"
+		}
+		if st.Backend != s.policy.Backend {
+			v += "@" + st.Backend.String()
 		}
 		out += fmt.Sprintf("[I%d x W2^%d x I%d %s]", st.R, st.M, st.S, v)
 	}
@@ -208,13 +265,14 @@ func flatten(p *plan.Node, r, s int, pol codelet.Policy, out *[]Stage) {
 		m := p.Log2Size()
 		v := pol.Select(m, s)
 		*out = append(*out, Stage{
-			M:     m,
-			R:     r,
-			S:     s,
-			SLog:  log2(s),
-			Blk:   s << uint(m),
-			V:     v,
-			Fused: pol.ILFuse && v == codelet.Interleaved && m >= 2,
+			M:       m,
+			R:       r,
+			S:       s,
+			SLog:    log2(s),
+			Blk:     s << uint(m),
+			V:       v,
+			Fused:   pol.ILFuse && v == codelet.Interleaved && m >= 2,
+			Backend: pol.Backend,
 		})
 		return
 	}
@@ -241,6 +299,14 @@ func log2(v int) int {
 // plus the range form of the interleaved kernel the parallel executor
 // needs when a worker's share covers only part of a j-row, and the SoA
 // lane kernel the batch tier runs.
+//
+// The stridedVec slots are the vector backend's gather-free strided
+// tier: a full j-row of a strided stage — all S kernel calls — is the
+// interleaved memory layout, so the row runs as chunked unit-stride
+// fused streaming passes when S reaches the vector width
+// (stridedVecMinS).  They are populated only in the SIMD bank of the
+// unrolled tier; rows narrower than the width, non-unit outer strides,
+// and the block tier keep the per-call scalar strided kernel.
 type kernelSet[T Float] struct {
 	strided      func(x []T, base, stride int)
 	contig       func(x []T, base int)
@@ -249,6 +315,10 @@ type kernelSet[T Float] struct {
 	ilRange      func(x []T, base, s, kLo, kHi int)
 	ilFusedRange func(x []T, base, s, kLo, kHi int)
 	soa          func(x []T, base, stride, lane int)
+
+	stridedVec      func(x []T, base, s int)
+	stridedVecRange func(x []T, base, s, kLo, kHi int)
+	stridedVecMinS  int
 }
 
 // kernelsFor resolves the kernel set for log-size m: the unrolled codelets
@@ -260,10 +330,14 @@ type kernelSet[T Float] struct {
 // simd selects the vector backend for the streaming slots (il, ilFused,
 // ilRange, ilFusedRange, soa) on both tiers — exactly the kernels whose
 // unit-stride inner sweeps the vector unit consumes, and bitwise-equal
-// to their scalar forms by the codelet package's contract.  The
-// strided/contig slots are always scalar: the unrolled single-assignment
-// codelets have no inner loop to vectorize, and the block kernels are
-// built from them.
+// to their scalar forms by the codelet package's contract.  On the
+// unrolled tier it additionally populates the stridedVec slots (wide
+// strided rows stream gather-free, see kernelSet) and replaces the
+// contig slot with the vectorized contiguous kernel once the transform
+// spans enough vector levels to pay for the scalar head pass.  The
+// block-tier strided/contig slots are always scalar: the block kernels'
+// in-window cache-resident decomposition is the point, and streaming
+// them would forfeit it.
 //
 // Block sizes carry no interleaved form (Policy.Select never picks it for
 // them), but the il/ilFused/ilRange slots are still populated with the
@@ -329,6 +403,19 @@ func kernelsFor[T Float](m int, simd bool) kernelSet[T] {
 		if ks.contig == nil {
 			ks.contig = func(x []float64, base int) { codelet.GenericContig(x, base, m) }
 		}
+		if simd {
+			ks.stridedVec = func(x []float64, base, s int) { codelet.SIMDStrided(x, base, s, m) }
+			ks.stridedVecRange = func(x []float64, base, s, kLo, kHi int) {
+				codelet.SIMDStridedRange(x, base, s, kLo, kHi, m)
+			}
+			ks.stridedVecMinS = codelet.SIMDWidth64
+			if 1<<uint(m) >= 4*codelet.SIMDWidth64 {
+				// At least two vector butterfly levels above the scalar
+				// head pass; smaller kernels keep the unrolled scalar
+				// contiguous codelet, which has nothing left to amortize.
+				ks.contig = func(x []float64, base int) { codelet.SIMDContig(x, base, m) }
+			}
+		}
 		return any(ks).(kernelSet[T])
 	default:
 		var ks kernelSet[float32]
@@ -388,36 +475,66 @@ func kernelsFor[T Float](m int, simd bool) kernelSet[T] {
 		if ks.contig == nil {
 			ks.contig = func(x []float32, base int) { codelet.GenericContig32(x, base, m) }
 		}
+		if simd {
+			ks.stridedVec = func(x []float32, base, s int) { codelet.SIMDStrided32(x, base, s, m) }
+			ks.stridedVecRange = func(x []float32, base, s, kLo, kHi int) {
+				codelet.SIMDStridedRange32(x, base, s, kLo, kHi, m)
+			}
+			ks.stridedVecMinS = codelet.SIMDWidth32
+			if 1<<uint(m) >= 4*codelet.SIMDWidth32 {
+				ks.contig = func(x []float32, base int) { codelet.SIMDContig32(x, base, m) }
+			}
+		}
 		return any(ks).(kernelSet[T])
 	}
 }
 
 // kernelTable resolves the kernel sets a schedule needs, one lookup per
-// distinct leaf size.  The table is cheap enough to rebuild per Run call;
-// batch and parallel executors build it once and share it.  simd routes
-// the streaming slots to the vector backend; executors construct tables
-// with newKernelTable so the flag follows the schedule's policy (the
-// zero value is the scalar table — what Interpret's strided-only walker
-// uses).
+// distinct (leaf size, backend) pair: bank 0 holds the scalar sets,
+// bank 1 the vector sets, and get resolves each stage's pinned Backend
+// to a bank at lookup time — so a mixed-pin schedule runs both tiers
+// from one table.  The table is cheap enough to rebuild per Run call;
+// batch and parallel executors build it once and share it.  Executors
+// construct tables with newKernelTable so AutoBackend stages follow
+// SetBackend / WHT_SIMD changes between runs; the zero value resolves
+// every backend to the scalar bank — what Interpret's strided-only
+// walker uses.
 type kernelTable[T Float] struct {
-	simd bool
-	sets [plan.BlockLeafMax + 1]kernelSet[T]
+	// auto is the bank AutoBackend stages resolve to, computed once per
+	// table from the process override and host availability.
+	auto bool
+	sets [2][plan.BlockLeafMax + 1]kernelSet[T]
 }
 
 // newKernelTable returns the kernel table for a schedule, resolving the
-// policy's backend against the process override and host availability at
+// AutoBackend tier against the process override and host availability at
 // run time — so one compiled schedule follows SetBackend / WHT_SIMD
-// changes between runs.
+// changes between runs.  (The schedule argument documents intent — every
+// executor builds exactly one table per schedule run — and keeps the
+// construction site uniform; the resolution itself is process-global.)
 func newKernelTable[T Float](s *Schedule) kernelTable[T] {
-	return kernelTable[T]{simd: s.SIMDEnabled()}
+	return kernelTable[T]{auto: codelet.EffectiveSIMD(codelet.AutoBackend)}
 }
 
-func (kt *kernelTable[T]) get(m int) *kernelSet[T] {
+func (kt *kernelTable[T]) get(m int, b codelet.Backend) *kernelSet[T] {
 	// Validated plans bound leaf sizes to [1, BlockLeafMax], so m always
 	// indexes the table.
-	ks := &kt.sets[m]
+	simd := false
+	switch b {
+	case codelet.AutoBackend:
+		simd = kt.auto
+	case codelet.SIMDBackend:
+		// An explicit SIMD pin degrades to scalar on hosts without the
+		// vector tier — bitwise-identical either way.
+		simd = codelet.SIMDAvailable()
+	}
+	bank := 0
+	if simd {
+		bank = 1
+	}
+	ks := &kt.sets[bank][m]
 	if ks.strided == nil {
-		*ks = kernelsFor[T](m, kt.simd)
+		*ks = kernelsFor[T](m, simd)
 	}
 	return ks
 }

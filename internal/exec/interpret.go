@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/codelet"
 	"repro/internal/plan"
 )
 
@@ -50,7 +51,7 @@ func interpretRec[T Float](p *plan.Node, kt *kernelTable[T], x []T, base, stride
 		// to be bitwise-equal against.  (The strided codelet itself is
 		// shared with compiled execution; its independent oracle is the
 		// codelet-level test against Generic and the matrix definition.)
-		kt.get(p.Log2Size()).strided(x, base, stride)
+		kt.get(p.Log2Size(), codelet.ScalarBackend).strided(x, base, stride)
 		return
 	}
 	kids := p.Children()

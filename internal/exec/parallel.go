@@ -91,7 +91,7 @@ func runBarrier[T Float](s *Schedule, x []T, workers int) {
 	kt := newKernelTable[T](s)
 	for i := range s.stages {
 		st := &s.stages[i]
-		ks := kt.get(st.M)
+		ks := kt.get(st.M, st.Backend)
 		total := st.R * st.S
 		minCalls := FanoutCalls
 		if st.M > plan.MaxLeafLog {

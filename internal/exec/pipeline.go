@@ -288,7 +288,7 @@ func runPipelined[T Float](s *Schedule, x []T, workers int) {
 	kt := newKernelTable[T](s)
 	sets := make([]*kernelSet[T], len(s.stages))
 	for i := range s.stages {
-		sets[i] = kt.get(s.stages[i].M)
+		sets[i] = kt.get(s.stages[i].M, s.stages[i].Backend)
 	}
 
 	deps := make([]atomic.Int32, pp.totalWins)

@@ -62,13 +62,13 @@ func runStages[T Float](s *Schedule, kt *kernelTable[T], x []T, base, stride int
 	if stride == 1 {
 		for i := range s.stages {
 			st := &s.stages[i]
-			runStageRange(st, kt.get(st.M), x, base, 0, st.R*st.S)
+			runStageRange(st, kt.get(st.M, st.Backend), x, base, 0, st.R*st.S)
 		}
 		return
 	}
 	for i := range s.stages {
 		st := &s.stages[i]
-		runStageRangeStrided(st, kt.get(st.M).strided, x, base, stride, 0, st.R*st.S)
+		runStageRangeStrided(st, kt.get(st.M, st.Backend).strided, x, base, stride, 0, st.R*st.S)
 	}
 }
 
@@ -110,7 +110,38 @@ func runStageRange[T Float](st *Stage, ks *kernelSet[T], x []T, base, lo, hi int
 			idx = end
 		}
 	default:
+		if ks.stridedVec != nil && st.S >= ks.stridedVecMinS {
+			runStageRangeStridedVec(st, ks, x, base, lo, hi)
+			return
+		}
 		runStageRangeStrided(st, ks.strided, x, base, 1, lo, hi)
+	}
+}
+
+// runStageRangeStridedVec executes the flattened call slice [lo, hi) of
+// a strided stage through the vector backend's row kernels: a full
+// j-row (all S columns) is the interleaved memory layout, so it streams
+// gather-free through chunked fused passes; partial rows at range seams
+// run the column sub-range form.  Flattened indices address (j, k)
+// kernel calls exactly as the scalar walk, so the parallel executor's
+// chunk boundaries land on the same columns — and both forms are
+// bitwise-equal to the per-call scalar strided kernel, so full and
+// partial rows mix freely.
+func runStageRangeStridedVec[T Float](st *Stage, ks *kernelSet[T], x []T, base, lo, hi int) {
+	for idx := lo; idx < hi; {
+		j := idx >> uint(st.SLog)
+		k := idx & (st.S - 1)
+		end := idx + st.S - k
+		if end > hi {
+			end = hi
+		}
+		rowBase := base + j*st.Blk
+		if k == 0 && end-idx == st.S {
+			ks.stridedVec(x, rowBase, st.S)
+		} else {
+			ks.stridedVecRange(x, rowBase, st.S, k, k+(end-idx))
+		}
+		idx = end
 	}
 }
 

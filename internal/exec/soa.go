@@ -116,6 +116,10 @@ func (s *Schedule) SoAStages() []Stage {
 					M: m, R: st.R * rLoc, S: sSub,
 					SLog: log2(sSub), Blk: sSub << uint(m),
 					V: s.policy.Select(m, sSub),
+					// The parts inherit the block stage's pinned backend:
+					// a pin addresses the stage, however the tier executes
+					// it.
+					Backend: st.Backend,
 				})
 				sLoc <<= uint(m)
 			}
@@ -214,7 +218,7 @@ func soaRun[T Float](s *Schedule, kt *kernelTable[T], y []T, lane int) {
 		st := &s.soaStages[i]
 		sEff := st.S * ld
 		rowLen := st.Blk * ld
-		ks := kt.get(st.M)
+		ks := kt.get(st.M, st.Backend)
 		if useLane {
 			for j := 0; j < st.R; j++ {
 				rowBase := j * rowLen

@@ -10,6 +10,9 @@ func xgetbv() (eax, edx uint32)
 
 var hasAVX2 = detectAVX2()
 
+// NEON is an arm64-only tier; amd64 hosts never report it.
+const hasNEON = false
+
 // detectAVX2 follows the Intel-documented sequence: the CPU must report
 // OSXSAVE and AVX (CPUID.1:ECX), the OS must have enabled XMM and YMM
 // state saving (XCR0 bits 1-2 via XGETBV — a kernel that does not

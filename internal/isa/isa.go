@@ -1,12 +1,14 @@
 // Package isa detects the instruction-set features the SIMD codelet
 // backend can target on the running host.  Detection is performed once
 // at init via raw CPUID/XGETBV (amd64) so the library carries no
-// external dependency; other GOARCHes report no vector tier and the
-// backend dispatch falls back to the scalar kernels.
+// external dependency; arm64 hosts always report NEON (Advanced SIMD
+// is architecturally mandatory on ARMv8); other GOARCHes report no
+// vector tier and the backend dispatch falls back to the scalar
+// kernels.
 //
-// The package is deliberately tiny: it answers the two questions the
-// rest of the library asks — "may the AVX2 kernels run here?"
-// (HasAVX2) and "what feature string goes into a wisdom fingerprint?"
+// The package is deliberately tiny: it answers two questions for the
+// rest of the library — "may the vector kernels run here?" (HasAVX2 /
+// HasNEON) and "what feature string goes into a wisdom fingerprint?"
 // (Features) — and nothing else.
 package isa
 
@@ -15,14 +17,24 @@ package isa
 // whether the AVX2 codelet tier may execute.
 func HasAVX2() bool { return hasAVX2 }
 
+// HasNEON reports whether the running CPU supports the ARM Advanced
+// SIMD (NEON) instructions the arm64 codelet tier uses.  On arm64 this
+// is constant true — ASIMD with float64x2/float32x4 arithmetic is part
+// of the ARMv8-A baseline, so there is nothing to probe at runtime —
+// and constant false everywhere else.
+func HasNEON() bool { return hasNEON }
+
 // Features returns the feature string recorded in wisdom fingerprints:
 // the highest vector tier the codelet backend would use on this host
-// ("avx2"), or the empty string when the backend has no vector tier
-// here.  Tuned-plan files carry this string so measurements never
+// ("avx2", "neon"), or the empty string when the backend has no vector
+// tier here.  Tuned-plan files carry this string so measurements never
 // migrate across hosts with different vector units.
 func Features() string {
-	if hasAVX2 {
+	switch {
+	case hasAVX2:
 		return "avx2"
+	case hasNEON:
+		return "neon"
 	}
 	return ""
 }

@@ -1,0 +1,12 @@
+//go:build arm64
+
+package isa
+
+// Advanced SIMD (NEON) is architecturally mandatory on ARMv8-A: every
+// arm64 host Go targets has 128-bit vector registers with
+// float64x2/float32x4 add/sub, so there is no runtime probe — the
+// NEON codelet tier is always eligible here.
+const (
+	hasAVX2 = false
+	hasNEON = true
+)

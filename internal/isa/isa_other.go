@@ -1,7 +1,11 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package isa
 
-// Non-amd64 hosts have no AVX2 tier; the codelet backend dispatches to
-// the scalar kernels (NEON is a named follow-up in ROADMAP.md).
-const hasAVX2 = false
+// Hosts outside amd64/arm64 have no vector tier; the codelet backend
+// dispatches to the scalar kernels (AVX-512 is a named follow-up in
+// ROADMAP.md).
+const (
+	hasAVX2 = false
+	hasNEON = false
+)

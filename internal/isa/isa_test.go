@@ -6,14 +6,25 @@ import (
 )
 
 func TestFeaturesConsistent(t *testing.T) {
-	if HasAVX2() && Features() != "avx2" {
-		t.Fatalf("HasAVX2 true but Features() = %q", Features())
-	}
-	if !HasAVX2() && Features() != "" {
-		t.Fatalf("HasAVX2 false but Features() = %q", Features())
+	switch {
+	case HasAVX2():
+		if Features() != "avx2" {
+			t.Fatalf("HasAVX2 true but Features() = %q", Features())
+		}
+	case HasNEON():
+		if Features() != "neon" {
+			t.Fatalf("HasNEON true but Features() = %q", Features())
+		}
+	default:
+		if Features() != "" {
+			t.Fatalf("no vector tier but Features() = %q", Features())
+		}
 	}
 	if runtime.GOARCH != "amd64" && HasAVX2() {
 		t.Fatalf("HasAVX2 true on %s", runtime.GOARCH)
+	}
+	if runtime.GOARCH == "arm64" != HasNEON() {
+		t.Fatalf("HasNEON = %v on %s (NEON is exactly the arm64 baseline)", HasNEON(), runtime.GOARCH)
 	}
 }
 

@@ -356,10 +356,15 @@ func lane64(lane int) int64 {
 	return int64(lane)
 }
 
-// SIMDLanes returns the elements per vector instruction of the AVX2
-// backend for the given element size: 32-byte YMM registers carry 4
-// float64s or 8 float32s.  Element sizes that do not divide the
-// register width price as scalar (1).
+// SIMDLanes returns the elements per vector instruction the model
+// prices the vector backend at for the given element size: 32-byte YMM
+// registers carry 4 float64s or 8 float32s.  Element sizes that do not
+// divide the register width price as scalar (1).  The model is
+// calibrated to the AVX2 geometry on every host — NEON's quadword
+// registers carry half as many elements, but virtual-machine results
+// must not depend on where they are computed, and the measured tuner
+// corrects the constant; only the relative stage-shape landscape needs
+// to be right.
 func SIMDLanes(elemSize int) int {
 	if elemSize > 0 && 32%elemSize == 0 {
 		return 32 / elemSize
@@ -388,6 +393,62 @@ func (c CostModel) SIMDStageOps(ops OpCounts, lanes int) OpCounts {
 	ops.Store = (ops.Store + l - 1) / l
 	ops.Loop = (ops.Loop + l - 1) / l
 	return ops
+}
+
+// SIMDVectorizes reports whether the vector backend has a vectorized
+// form for a stage of the given shape — the model-side mirror of the
+// executor's kernel-bank eligibility.  Interleaved stages always
+// vectorize (the streaming kernels), strided stages vectorize when the
+// inner factor spans at least one vector (s >= lanes — the rows then
+// stream gather-free), and contiguous stages vectorize once the
+// transform spans at least two vector butterfly levels (2^m >= 4*lanes;
+// below that the scalar head pass is the whole kernel).  Block-tier
+// stages (m > codelet.GeneratedMaxLog) never do: their in-window
+// cache-resident decomposition stays scalar on every backend.
+func SIMDVectorizes(m, s int, v codelet.Variant, lanes int) bool {
+	if lanes <= 1 || m > codelet.GeneratedMaxLog {
+		return false
+	}
+	switch v {
+	case codelet.Interleaved:
+		return true
+	case codelet.Contiguous:
+		return 1<<uint(m) >= 4*lanes
+	default:
+		return s >= lanes
+	}
+}
+
+// SIMDStageOpsShaped prices one stage's backend flip by shape: stages
+// the vector backend has a kernel form for (SIMDVectorizes) reprice
+// through SIMDStageOps, the rest keep their scalar counts — so a
+// SIMD-pinned narrow strided stage or a block stage prices identically
+// to scalar, exactly as it executes.
+func (c CostModel) SIMDStageOpsShaped(ops OpCounts, lanes int, v codelet.Variant, m, s int) OpCounts {
+	if !SIMDVectorizes(m, s, v, lanes) {
+		return ops
+	}
+	return c.SIMDStageOps(ops, lanes)
+}
+
+// DecisiveBackendPreference returns the modeled backend preference for
+// one stage shape, and whether the model considers the choice decisive
+// enough to skip measuring it.  Shapes without a vector form are
+// decisively scalar — there is nothing to measure.  Shapes with one
+// always prefer SIMD in the model (the vector counts are strictly
+// smaller); the preference is decisive when the modeled instruction
+// saving clears a 20% margin, which the streaming and wide-strided
+// forms do comfortably while marginal shapes (tiny kernels where the
+// scalar tail dominates) are left for the tuner's greedy measured
+// flips.
+func (c CostModel) DecisiveBackendPreference(m, r, s int, v codelet.Variant, fused bool, lanes int) (simd, decisive bool) {
+	if !SIMDVectorizes(m, s, v, lanes) {
+		return false, true
+	}
+	ops := c.StageOpsFused(m, r, s, v, fused)
+	scalar := ops.Total()
+	vec := c.SIMDStageOps(ops, lanes).Total()
+	return true, vec*5 <= scalar*4
 }
 
 // StageLoopInstances returns the completed-loop count of one compiled

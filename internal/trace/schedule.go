@@ -24,14 +24,22 @@ import (
 // Model-guided search driven by these counters therefore sees the same
 // stage-shape landscape the measured coster does.
 //
-// Schedules whose policy pins the SIMD backend price their streaming
-// (interleaved) stages at vector throughput via SIMDStageOps; the
-// reference stream is unchanged — the vector kernels touch the same
-// addresses in the same order — so only the instruction classes shrink.
+// Stages pinned to the SIMD backend price at vector throughput through
+// SIMDStageOpsShaped — per stage, so a mixed-pin schedule
+// (exec.Schedule.SetStageBackends) prices each stage on its own
+// backend, and shape-aware, so a SIMD pin on a shape without a vector
+// form (narrow strided rows, tiny contiguous kernels, the block tier)
+// prices scalar exactly as it executes.  The reference stream is
+// unchanged either way — the vector kernels touch the same addresses in
+// the same order — so only the instruction classes shrink.  Pricing
+// keys on the requested backend, not the host's runtime resolution, so
+// virtual-machine results stay host-independent: an Auto stage prices
+// scalar — the conservative baseline the tuner's measured backend sweep
+// corrects.
 func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
 	t.hier.Reset()
 	t.counters = Counters{}
-	t.priceLanes = simdPricingLanes(s, t.mach)
+	t.priceLanes = machine.SIMDLanes(t.mach.ElemSize)
 	for _, st := range s.Stages() {
 		t.stage(st)
 	}
@@ -40,16 +48,12 @@ func (t *Tracer) RunSchedule(s *exec.Schedule) Counters {
 	return t.counters
 }
 
-// simdPricingLanes returns the vector lane count the instruction model
-// prices a schedule's streaming stages with: the machine's vector width
-// in elements when the schedule's policy explicitly pins the SIMD
-// backend, 1 (scalar) otherwise.  Pricing keys on the requested
-// backend, not the host's runtime resolution, so virtual-machine
-// results stay host-independent: an Auto policy prices scalar — the
-// conservative baseline the tuner's measured backend sweep corrects.
-func simdPricingLanes(s *exec.Schedule, m *machine.Machine) int {
-	if s.Policy().Backend == codelet.SIMDBackend {
-		return machine.SIMDLanes(m.ElemSize)
+// stageLanes returns the lane count one stage prices with: the
+// machine's vector width for an explicit SIMD pin, scalar otherwise
+// (see RunSchedule on why Auto prices scalar).
+func (t *Tracer) stageLanes(st exec.Stage) int {
+	if st.Backend == codelet.SIMDBackend {
+		return t.priceLanes
 	}
 	return 1
 }
@@ -61,12 +65,7 @@ func simdPricingLanes(s *exec.Schedule, m *machine.Machine) int {
 func (t *Tracer) stage(st exec.Stage) {
 	cost := &t.mach.Cost
 	ops := cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused)
-	if st.V == codelet.Interleaved {
-		// The streaming slots are the only forms the SIMD backend
-		// replaces; strided and contiguous stages stay scalar on every
-		// backend.
-		ops = cost.SIMDStageOps(ops, t.priceLanes)
-	}
+	ops = cost.SIMDStageOpsShaped(ops, t.stageLanes(st), st.V, st.M, st.S)
 	t.counters.Ops.Add(ops)
 	t.counters.LoopInstances += machineStageLoops(st)
 	size := 1 << uint(st.M)
@@ -154,7 +153,7 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 	}
 	t.hier.Reset()
 	t.counters = Counters{}
-	t.priceLanes = simdPricingLanes(s, t.mach)
+	t.priceLanes = machine.SIMDLanes(t.mach.ElemSize)
 	defer func() { t.priceLanes = 1 }()
 	cost := &t.mach.Cost
 	n := s.Log2Size()
@@ -175,9 +174,9 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 			// Lane-kernel mode (policies without interleaved forms): R*S
 			// calls, each making m read+write level sweeps over its 2^M
 			// lane-wide strided positions.  The lane runs are unit-stride
-			// streams, so SIMD-pinned schedules price them at vector
+			// streams, so SIMD-pinned stages price them at vector
 			// throughput like the interleaved forms.
-			t.counters.Ops.Add(cost.SIMDStageOps(cost.SoALaneStageOps(st.M, st.R, st.S, lane), t.priceLanes))
+			t.counters.Ops.Add(cost.SIMDStageOps(cost.SoALaneStageOps(st.M, st.R, st.S, lane), t.stageLanes(st)))
 			t.counters.LoopInstances += machine.SoALaneStageLoopInstances(st.M, st.R, st.S, lane)
 			sEff := st.S * ld
 			for j := 0; j < st.R; j++ {
@@ -191,7 +190,7 @@ func (t *Tracer) RunScheduleSoA(s *exec.Schedule, lane int) Counters {
 			}
 			continue
 		}
-		t.counters.Ops.Add(cost.SIMDStageOps(cost.SoAStageOps(st.M, st.R, st.S, lane), t.priceLanes))
+		t.counters.Ops.Add(cost.SIMDStageOps(cost.SoAStageOps(st.M, st.R, st.S, lane), t.stageLanes(st)))
 		t.counters.LoopInstances += machine.SoAStageLoopInstances(st.M, st.R, st.S, lane)
 		passes := (st.M + 1) / 2
 		for j := 0; j < st.R; j++ {

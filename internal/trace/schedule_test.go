@@ -82,11 +82,11 @@ func TestRunScheduleInstructionsMatchStageOps(t *testing.T) {
 	}
 }
 
-// SIMD-pinned schedules price their streaming stages at vector
-// throughput (SIMDStageOps over the interleaved stages, exactly), keep
-// per-call instruction classes and the whole reference stream
-// unchanged, and Auto-backend schedules price scalar regardless of the
-// host — virtual-machine results must not depend on where they run.
+// SIMD-pinned schedules price their vectorizable stages at vector
+// throughput (SIMDStageOpsShaped per stage, exactly), keep ineligible
+// shapes and the whole reference stream unchanged, and Auto-backend
+// schedules price scalar regardless of the host — virtual-machine
+// results must not depend on where they run.
 func TestRunScheduleSIMDPricing(t *testing.T) {
 	m := machine.VirtualOpteron224()
 	tr := New(m)
@@ -110,23 +110,55 @@ func TestRunScheduleSIMDPricing(t *testing.T) {
 		}
 		var want machine.OpCounts
 		sched := exec.CompileWith(p, simdPol)
-		hasIL := false
+		hasVec := false
 		for _, st := range sched.Stages() {
 			ops := m.Cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused)
-			if st.V == codelet.Interleaved {
-				ops = m.Cost.SIMDStageOps(ops, lanes)
-				hasIL = true
+			priced := m.Cost.SIMDStageOpsShaped(ops, lanes, st.V, st.M, st.S)
+			if priced != ops {
+				hasVec = true
 			}
-			want.Add(ops)
+			want.Add(priced)
 		}
 		if simd.Ops != want {
 			t.Fatalf("policy %+v: SIMD trace %+v, model says %+v", base, simd.Ops, want)
 		}
-		if hasIL && simd.Instructions() >= scalar.Instructions() {
+		if hasVec && simd.Instructions() >= scalar.Instructions() {
 			t.Fatalf("policy %+v: SIMD pricing %d not below scalar %d", base, simd.Instructions(), scalar.Instructions())
 		}
 		if simd.Mem != scalar.Mem {
 			t.Fatalf("policy %+v: SIMD pricing changed the reference stream: %+v != %+v", base, simd.Mem, scalar.Mem)
+		}
+	}
+
+	// Mixed per-stage pins price each stage on its own backend: the
+	// trace of a pinned schedule must equal the per-stage shaped model
+	// sum, and flipping one stage to SIMD moves only that stage's price.
+	{
+		pol := codelet.DefaultPolicy()
+		sched := exec.CompileWith(p, pol)
+		bs := make([]codelet.Backend, sched.NumStages())
+		for i := range bs {
+			bs[i] = codelet.ScalarBackend
+		}
+		bs[0] = codelet.SIMDBackend
+		if err := sched.SetStageBackends(bs); err != nil {
+			t.Fatal(err)
+		}
+		got := tr.RunSchedule(sched)
+		var want machine.OpCounts
+		for i, st := range sched.Stages() {
+			ops := m.Cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused)
+			if bs[i] == codelet.SIMDBackend {
+				ops = m.Cost.SIMDStageOpsShaped(ops, lanes, st.V, st.M, st.S)
+			}
+			want.Add(ops)
+		}
+		if got.Ops != want {
+			t.Fatalf("mixed pins: trace %+v, model says %+v", got.Ops, want)
+		}
+		scalarAll := tr.RunSchedule(exec.CompileWith(p, codelet.Policy{Backend: codelet.ScalarBackend}))
+		if got.Mem != scalarAll.Mem {
+			t.Fatal("mixed pins changed the reference stream")
 		}
 	}
 

@@ -45,9 +45,10 @@ type Tracer struct {
 	leafOps   [plan.BlockLeafMax + 1]machine.OpCounts
 
 	counters Counters
-	// priceLanes is the vector lane count the current RunSchedule*
-	// invocation prices streaming stages with (1 = scalar pricing); see
-	// simdPricingLanes.
+	// priceLanes is the machine's vector width in elements during a
+	// RunSchedule* invocation (1 between runs); stages pinned to the
+	// SIMD backend price with it, everything else prices scalar — see
+	// Tracer.stageLanes.
 	priceLanes int
 }
 

@@ -57,6 +57,14 @@ type Options struct {
 	BatchWidths  []int
 	NoBatchSweep bool
 
+	// NoBackendSweep skips the per-stage backend sweep: on hosts with a
+	// SIMD kernel tier, each stage of the winning schedule is pinned to
+	// the backend the machine model prefers when the margin is decisive
+	// (machine.DecisiveBackendPreference), and the remaining stages are
+	// settled by greedy measured flips.  A mixed vector only displaces
+	// the uniform-policy incumbent on a strictly faster measurement.
+	NoBackendSweep bool
+
 	// NoBlockPartsSweep skips the per-size block-factorization sweep:
 	// for each distinct block-leaf size in the winning plan, a small grid
 	// of in-window factorizations (the generated default first) is
@@ -131,6 +139,12 @@ type Result struct {
 	// the generated defaults for the winner's block leaves, keyed by
 	// block log-size; absent keys (and a nil map) keep the defaults.
 	BlockParts map[int][]int
+
+	// StageBackends is the measured per-stage backend vector registered
+	// for the winner, nil when the sweep was skipped, moot (no SIMD
+	// tier), or lost to the uniform policy backend.  Its length matches
+	// the winner's compiled stage count.
+	StageBackends []codelet.Backend
 
 	// ParallelMode is the measured multi-worker dispatch registered for
 	// the winner: "barrier" or "pipelined", "" when the sweep was
@@ -289,6 +303,27 @@ func Tune(n int, opt Options) (Result, error) {
 		res.Measured = measured
 	}
 
+	// Phase 4b: per-stage backend sweep — the axis per-stage pinning
+	// opened.  The winner's stages rarely share a shape: a wide strided
+	// stage may vectorize cleanly while a narrow contiguous one loses to
+	// its scalar form.  The machine model prices each stage's backend
+	// choice separately (DecisiveBackendPreference); decisive stages are
+	// pinned to the model's pick without spending a measurement, and the
+	// contested stages are settled by greedy measured flips.  The mixed
+	// vector only displaces the uniform-policy incumbent on a strictly
+	// faster run, so serving never churns onto a noise-level win.
+	if !opt.NoBackendSweep && codelet.SIMDAvailable() {
+		bs, ns, timed, err := sweepStageBackends(res, mach, rematchTiming(opt.Timing))
+		if err != nil {
+			return Result{}, fmt.Errorf("tune: %w", err)
+		}
+		measured += timed
+		if bs != nil && ns < res.NsPerRun {
+			res.StageBackends, res.NsPerRun = bs, ns
+		}
+		res.Measured = measured
+	}
+
 	// Phase 5: block-parts sweep — the in-window factorization axis of
 	// the block tier.  For each distinct block-leaf size of the winner,
 	// the generated default and a small grid of alternative
@@ -312,7 +347,7 @@ func Tune(n int, opt Options) (Result, error) {
 					} else if err := codelet.SetBlockParts(m, parts); err != nil {
 						return Result{}, fmt.Errorf("tune: %w", err)
 					}
-					s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+					s, err := tunedSchedule(res)
 					if err != nil {
 						return Result{}, fmt.Errorf("tune: %w", err)
 					}
@@ -350,7 +385,7 @@ func Tune(n int, opt Options) (Result, error) {
 		if len(widths) == 0 {
 			widths = DefaultBatchWidths()
 		}
-		sched, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		sched, err := tunedSchedule(res)
 		if err != nil {
 			return Result{}, fmt.Errorf("tune: %w", err)
 		}
@@ -382,7 +417,7 @@ func Tune(n int, opt Options) (Result, error) {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		s, err := tunedSchedule(res)
 		if err != nil {
 			return Result{}, fmt.Errorf("tune: %w", err)
 		}
@@ -432,6 +467,7 @@ func Tune(n int, opt Options) (Result, error) {
 	}
 	if err := exec.UseTunedPlanWith(res.Plan, exec.TunedConfig{
 		Policy: res.Policy, SoAMinBatch: res.SoAMinBatch, ParallelMode: parMode,
+		StageBackends: res.StageBackends,
 	}); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
 	}
@@ -439,6 +475,7 @@ func Tune(n int, opt Options) (Result, error) {
 	tuned := wisdom.Tuned{
 		Policy: res.Policy, SoAMinBatch: res.SoAMinBatch,
 		ParallelMode: res.ParallelMode, BlockParts: res.BlockParts,
+		StageBackends: res.StageBackends,
 	}
 	if _, err := store.RecordFull(wisdom.Float64, res.Plan, tuned, res.NsPerRun); err != nil {
 		return Result{}, fmt.Errorf("tune: %w", err)
@@ -473,6 +510,90 @@ func backendAxis(policies []codelet.Policy) []codelet.Policy {
 		}
 	}
 	return out
+}
+
+// tunedSchedule compiles the result's winning plan under its winning
+// policy and re-applies the measured per-stage backend pins, so every
+// later sweep times the configuration the registration will serve.
+func tunedSchedule(res Result) (*exec.Schedule, error) {
+	s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if res.StageBackends != nil {
+		if err := s.SetStageBackends(res.StageBackends); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sweepStageBackends measures a mixed per-stage backend vector for the
+// incumbent (plan, policy) pair.  The machine model prices each stage
+// shape's scalar and vector forms (DecisiveBackendPreference): stages
+// with a decisive margin are pinned to the model's pick without
+// spending a measurement, and each contested stage is settled by a
+// greedy measured flip from the model's starting point.  Returns the
+// best vector and its latency (nil when the schedule has fewer than two
+// stages — a uniform pin, which the policy sweep's backendAxis already
+// measured) plus the number of timings spent.  The caller compares the
+// returned latency against the incumbent's and keeps the faster.
+func sweepStageBackends(res Result, mach *machine.Machine, timing exec.TimingOptions) ([]codelet.Backend, float64, int, error) {
+	s, err := exec.NewScheduleWith(res.Plan, res.Policy)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	stages := s.Stages()
+	if len(stages) < 2 {
+		return nil, 0, 0, nil
+	}
+	lanes := machine.SIMDLanes(mach.ElemSize)
+	bs := make([]codelet.Backend, len(stages))
+	var open []int // stages the model's margin did not settle
+	for i, st := range stages {
+		simd, decisive := mach.Cost.DecisiveBackendPreference(st.M, st.R, st.S, st.V, st.Fused, lanes)
+		bs[i] = codelet.ScalarBackend
+		if simd {
+			bs[i] = codelet.SIMDBackend
+		}
+		if !decisive {
+			open = append(open, i)
+		}
+	}
+	timed := 0
+	time := func(v []codelet.Backend) (float64, error) {
+		sched, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		if err != nil {
+			return 0, err
+		}
+		if err := sched.SetStageBackends(v); err != nil {
+			return 0, err
+		}
+		timed++
+		return exec.TimeSchedule(sched, timing), nil
+	}
+	bestNs, err := time(bs)
+	if err != nil {
+		return nil, 0, timed, err
+	}
+	for _, i := range open {
+		flipped := codelet.ScalarBackend
+		if bs[i] == codelet.ScalarBackend {
+			flipped = codelet.SIMDBackend
+		}
+		prev := bs[i]
+		bs[i] = flipped
+		ns, err := time(bs)
+		if err != nil {
+			return nil, 0, timed, err
+		}
+		if ns < bestNs {
+			bestNs = ns
+		} else {
+			bs[i] = prev
+		}
+	}
+	return bs, bestNs, timed, nil
 }
 
 // blockLeafSizes returns the distinct block-tier leaf log-sizes of p,
@@ -620,6 +741,7 @@ func LoadWisdom(path string) error {
 		}
 		if err := exec.UseTunedPlanWith(plan.MustParse(e.Plan), exec.TunedConfig{
 			Policy: tc.Policy, SoAMinBatch: tc.SoAMinBatch, ParallelMode: mode,
+			StageBackends: tc.StageBackends,
 		}); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}

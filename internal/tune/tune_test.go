@@ -492,6 +492,25 @@ func TestTuneBackendSweepRoundTrip(t *testing.T) {
 	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {
 		t.Fatalf("serving policy = (%+v, %v), want %+v", pol, ok, res.Policy)
 	}
+	// A measured per-stage vector, when one won, must be well-formed and
+	// registered behind the serving path.
+	if res.StageBackends != nil {
+		sched, err := exec.NewScheduleWith(res.Plan, res.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.StageBackends) != len(sched.Stages()) {
+			t.Fatalf("stage backend vector length %d for %d stages", len(res.StageBackends), len(sched.Stages()))
+		}
+		for i, b := range res.StageBackends {
+			if b != codelet.ScalarBackend && b != codelet.SIMDBackend {
+				t.Fatalf("stage %d swept to backend %v", i, b)
+			}
+		}
+		if cfg, ok := exec.TunedConfigFor(n); !ok || !backendsEqual(cfg.StageBackends, res.StageBackends) {
+			t.Fatalf("serving stage backends = (%v, %v), want %v", cfg.StageBackends, ok, res.StageBackends)
+		}
+	}
 	path := filepath.Join(t.TempDir(), "wisdom.json")
 	if err := SaveWisdom(path); err != nil {
 		t.Fatal(err)
@@ -506,6 +525,21 @@ func TestTuneBackendSweepRoundTrip(t *testing.T) {
 	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {
 		t.Fatalf("reloaded serving policy = (%+v, %v), want %+v", pol, ok, res.Policy)
 	}
+	if cfg, ok := exec.TunedConfigFor(n); !ok || !backendsEqual(cfg.StageBackends, res.StageBackends) {
+		t.Fatalf("reloaded stage backends = (%v, %v), want %v", cfg.StageBackends, ok, res.StageBackends)
+	}
+}
+
+func backendsEqual(a, b []codelet.Backend) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // The phase-7 prefilter must agree with the model it consults: Result

@@ -30,19 +30,31 @@
 // factorizations for block leaves, keyed by decimal log-size).  All are
 // omitted when untuned, so older version-1 files keep loading.
 //
+// The optional "stage_backends" field records the tuner's per-stage
+// backend pins (exec.Schedule.SetStageBackends): one spelling per
+// compiled stage of the entry's plan, in schedule order.  Absent (the
+// common case) means the uniform "backend" field governs every stage.
+//
 // The fingerprint carries an optional "isa" field naming the vector
 // extensions the measuring process detected (codelet backend dispatch;
-// empty on scalar-only hosts and omitted from the JSON).  A SIMD-tuned
-// file therefore refuses to load on a host whose ISA differs — backend
-// choices measured with AVX2 live do not transfer to a machine without
-// it — while pre-SIMD files (no "isa" key) keep loading on scalar hosts,
-// where the absent field matches the empty feature string.
+// "avx2", "neon", or "" on scalar-only hosts and omitted from the
+// JSON).  Backend choices measured with a vector tier live do not
+// transfer to a machine without it, but that is a per-entry property,
+// not a per-file one: LoadFor on a host whose ISA differs from the
+// file's keeps the scalar-pinned entries (their kernels are identical
+// everywhere) and drops every entry whose backend — uniform or
+// per-stage — could resolve to the vector tier.  A file from a
+// different architecture altogether loads as an empty store: no
+// measured timing transfers across instruction sets, but the file is
+// not an error — retuning simply starts fresh.  Pre-SIMD files (no
+// "isa" key) keep loading unchanged on scalar hosts, where the absent
+// field matches the empty feature string.
 //
 // Every plan string must parse in the WHT package grammar, validate, and
 // match its entry's log-size; Load rejects files that fail any of these
 // checks, carry an unknown version, or were measured under a different
-// fingerprint (measured timings do not transfer across machines or
-// GOMAXPROCS settings).
+// OS or GOMAXPROCS shape (measured timings do not transfer across
+// machines or worker counts).
 package wisdom
 
 import (
@@ -118,6 +130,12 @@ type Entry struct {
 	// codelet.ParseBackend's.
 	Backend string `json:"backend,omitempty"`
 
+	// StageBackends records per-stage backend pins: one spelling per
+	// compiled stage of the plan (in schedule order, under this entry's
+	// policy), applied through exec.Schedule.SetStageBackends.  Absent
+	// means every stage runs the uniform Backend field.
+	StageBackends []string `json:"stage_backends,omitempty"`
+
 	// SoAMinBatch is the measured batch-width crossover of the SoA batch
 	// tier for this plan: 0 (absent) keeps the default heuristic, -1
 	// records that the per-vector path won at every swept width, k >= 1
@@ -148,25 +166,28 @@ func (e Entry) Policy() codelet.Policy {
 
 // Tuned returns every tuning knob recorded with the entry as a Tuned
 // carrier.  Entries are validated on the way in (Record* and LoadFor),
-// so the block-parts keys decode without error.
+// so the block-parts keys and backend spellings decode without error.
 func (e Entry) Tuned() Tuned {
 	return Tuned{
-		Policy:       e.Policy(),
-		SoAMinBatch:  e.SoAMinBatch,
-		ParallelMode: e.ParallelMode,
-		BlockParts:   decodeBlockParts(e.BlockParts),
+		Policy:        e.Policy(),
+		SoAMinBatch:   e.SoAMinBatch,
+		ParallelMode:  e.ParallelMode,
+		BlockParts:    decodeBlockParts(e.BlockParts),
+		StageBackends: decodeStageBackends(e.StageBackends),
 	}
 }
 
 // Tuned bundles the tuning knobs beyond the plan itself that a
 // measurement was taken under: the kernel-variant policy, the SoA batch
 // crossover (Entry.SoAMinBatch), the parallel dispatch mode
-// (Entry.ParallelMode), and any measured block-leaf factorizations.
+// (Entry.ParallelMode), any measured block-leaf factorizations, and the
+// per-stage backend pins (nil when the uniform policy backend governs).
 type Tuned struct {
-	Policy       codelet.Policy
-	SoAMinBatch  int
-	ParallelMode string
-	BlockParts   map[int][]int
+	Policy        codelet.Policy
+	SoAMinBatch   int
+	ParallelMode  string
+	BlockParts    map[int][]int
+	StageBackends []codelet.Backend
 }
 
 // encodeBlockParts converts a block-parts override map to the
@@ -196,6 +217,44 @@ func decodeBlockParts(bp map[string][]int) map[int][]int {
 		out[m] = append([]int(nil), parts...)
 	}
 	return out
+}
+
+// encodeStageBackends serializes a per-stage backend vector.  Every
+// spelling is explicit (including "auto") so a recorded vector always
+// has one readable entry per stage; nil/empty encodes to nil so untuned
+// entries omit the field.
+func encodeStageBackends(bs []codelet.Backend) []string {
+	if len(bs) == 0 {
+		return nil
+	}
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.String()
+	}
+	return out
+}
+
+// decodeStageBackends converts the serialized spellings back to
+// backends.  Spellings must already be validated (validStageBackends).
+func decodeStageBackends(ss []string) []codelet.Backend {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]codelet.Backend, len(ss))
+	for i, s := range ss {
+		out[i], _ = codelet.ParseBackend(s)
+	}
+	return out
+}
+
+// validStageBackends accepts vectors whose every spelling parses.
+func validStageBackends(ss []string) error {
+	for i, s := range ss {
+		if _, ok := codelet.ParseBackend(s); !ok {
+			return fmt.Errorf("wisdom: stage backend %d: unknown backend %q", i, s)
+		}
+	}
+	return nil
 }
 
 // encodeBackend serializes a policy backend, omitting the default:
@@ -324,13 +383,18 @@ func (w *Wisdom) RecordFull(typ string, p *plan.Node, tc Tuned, nsPerRun float64
 	if err := validBlockParts(bp); err != nil {
 		return false, fmt.Errorf("wisdom: %w", err)
 	}
+	sb := encodeStageBackends(tc.StageBackends)
+	if err := validStageBackends(sb); err != nil {
+		return false, err
+	}
 	e := Entry{
 		N: p.Log2Size(), Type: typ, Plan: p.String(), NsPerRun: nsPerRun,
 		ILMinS: tc.Policy.ILMinS, StridedOnly: tc.Policy.StridedOnly, ILFuse: tc.Policy.ILFuse,
-		Backend:      encodeBackend(tc.Policy.Backend),
-		SoAMinBatch:  tc.SoAMinBatch,
-		ParallelMode: tc.ParallelMode,
-		BlockParts:   bp,
+		Backend:       encodeBackend(tc.Policy.Backend),
+		SoAMinBatch:   tc.SoAMinBatch,
+		ParallelMode:  tc.ParallelMode,
+		BlockParts:    bp,
+		StageBackends: sb,
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -452,10 +516,22 @@ func Load(path string) (*Wisdom, error) {
 }
 
 // LoadFor reads and validates a wisdom file, rejecting unknown versions,
-// fingerprints other than fp, and any structurally invalid entry (a plan
-// that fails to parse or validate, a size mismatch, an unknown element
-// type, or a non-positive measurement).  Duplicate keys in the file fold
-// to the faster entry.
+// files measured under a different OS or GOMAXPROCS shape, and any
+// structurally invalid entry (a plan that fails to parse or validate, a
+// size mismatch, an unknown element type, a bad backend spelling, or a
+// non-positive measurement).  Duplicate keys in the file fold to the
+// faster entry.
+//
+// ISA and architecture differences are per-entry, not per-file: on a
+// host whose vector ISA differs from the file's, entries that are
+// scalar-pinned everywhere (uniform backend "scalar" and, if present,
+// every per-stage backend "scalar") still load — the scalar kernels are
+// identical on every host — while entries whose backend could resolve
+// to the measuring host's vector tier are silently dropped.  A file
+// from a different architecture loads as an empty store: no timing
+// transfers across instruction sets, so every entry is dropped, but
+// structural validation still runs — a corrupt file is an error, a
+// foreign one is merely useless.
 func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -468,9 +544,11 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("wisdom: %s has format version %d, want %d", path, f.Version, FormatVersion)
 	}
-	if f.Fingerprint != fp {
+	if f.Fingerprint.OS != fp.OS || f.Fingerprint.MaxProcs != fp.MaxProcs {
 		return nil, fmt.Errorf("wisdom: %s was measured on %+v, this process is %+v", path, f.Fingerprint, fp)
 	}
+	sameArch := f.Fingerprint.Arch == fp.Arch
+	sameISA := sameArch && f.Fingerprint.ISA == fp.ISA
 	w := NewFor(fp)
 	for i, e := range f.Entries {
 		if err := validType(e.Type); err != nil {
@@ -496,14 +574,39 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 		if err := validBackend(e.Backend); err != nil {
 			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
 		}
+		if err := validStageBackends(e.StageBackends); err != nil {
+			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
 		if err := validBlockParts(e.BlockParts); err != nil {
 			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+		}
+		if !sameArch || (!sameISA && !entryScalarPinned(e)) {
+			// Per-entry ISA rejection: the entry is structurally fine but
+			// its timing (cross-arch) or its backend choice (vector tier
+			// the host lacks, or lacks identically) does not transfer.
+			continue
 		}
 		w.mu.Lock()
 		w.keepFaster(e)
 		w.mu.Unlock()
 	}
 	return w, nil
+}
+
+// entryScalarPinned reports whether every backend the entry records —
+// the uniform policy field and any per-stage pins — is explicitly
+// scalar, making its measurement ISA-independent.  Auto counts as not
+// pinned: an auto entry measured on a vector host ran the vector tier.
+func entryScalarPinned(e Entry) bool {
+	if b, _ := codelet.ParseBackend(e.Backend); b != codelet.ScalarBackend {
+		return false
+	}
+	for _, s := range e.StageBackends {
+		if b, _ := codelet.ParseBackend(s); b != codelet.ScalarBackend {
+			return false
+		}
+	}
+	return true
 }
 
 func validType(typ string) error {

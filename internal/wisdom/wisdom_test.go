@@ -438,15 +438,20 @@ func TestBackendPolicyRoundTrip(t *testing.T) {
 	}
 }
 
-// The fingerprint's ISA field is part of the identity LoadFor matches:
-// SIMD-tuned files do not load on hosts with a different vector ISA,
-// while pre-SIMD files (no "isa" key) still load on scalar-only hosts.
+// The fingerprint's ISA field gates entries, not files: LoadFor on a
+// host with a different vector ISA succeeds but keeps only entries
+// whose timing cannot depend on the ISA — backend pinned to scalar at
+// both the schedule and the stage level.  OS and MaxProcs mismatches
+// still reject the whole file.
 func TestFingerprintISACompat(t *testing.T) {
 	dir := t.TempDir()
-	write := func(name, fpJSON string) string {
+	write := func(name, fpJSON string, entries ...string) string {
 		path := filepath.Join(dir, name)
+		if entries == nil {
+			entries = []string{`{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100}`}
+		}
 		content := `{"version":1,"fingerprint":` + fpJSON +
-			`,"entries":[{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100}]}`
+			`,"entries":[` + strings.Join(entries, ",") + `]}`
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -454,32 +459,139 @@ func TestFingerprintISACompat(t *testing.T) {
 	}
 	scalarFP := Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4}
 	avx2FP := Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4, ISA: "avx2"}
+	neonFP := Fingerprint{OS: "linux", Arch: "arm64", MaxProcs: 4, ISA: "neon"}
 
-	// A pre-SIMD file (no isa key) is a scalar-host file: it loads under
-	// the matching ISA-less fingerprint and nowhere else.
+	// A pre-SIMD file (no isa key, auto-backend entry) loads everywhere
+	// on the same machine, but the auto entry — which would have run
+	// vectorized on a vector host — only survives where the ISA matches.
 	old := write("old.json", `{"os":"linux","arch":"amd64","maxprocs":4}`)
-	if _, err := LoadFor(old, scalarFP); err != nil {
-		t.Fatalf("pre-SIMD file rejected on a scalar host: %v", err)
+	if w, err := LoadFor(old, scalarFP); err != nil || w.Len() != 1 {
+		t.Fatalf("pre-SIMD file on a scalar host: err=%v len=%d, want 1 entry", err, lenOf(w))
 	}
-	if _, err := LoadFor(old, avx2FP); err == nil {
-		t.Fatal("pre-SIMD file accepted on an AVX2 host")
+	if w, err := LoadFor(old, avx2FP); err != nil || w.Len() != 0 {
+		t.Fatalf("pre-SIMD file on an AVX2 host: err=%v len=%d, want 0 entries", err, lenOf(w))
 	}
 
-	// A SIMD-tuned file only loads where the ISA matches.
+	// Same the other way: a SIMD-tuned file keeps its auto entry only
+	// where the ISA matches.
 	tuned := write("avx2.json", `{"os":"linux","arch":"amd64","maxprocs":4,"isa":"avx2"}`)
-	if _, err := LoadFor(tuned, avx2FP); err != nil {
-		t.Fatalf("AVX2 file rejected on a matching host: %v", err)
+	if w, err := LoadFor(tuned, avx2FP); err != nil || w.Len() != 1 {
+		t.Fatalf("AVX2 file on a matching host: err=%v len=%d, want 1 entry", err, lenOf(w))
 	}
-	if _, err := LoadFor(tuned, scalarFP); err == nil {
-		t.Fatal("AVX2 file accepted on a scalar host")
+	if w, err := LoadFor(tuned, scalarFP); err != nil || w.Len() != 0 {
+		t.Fatalf("AVX2 file on a scalar host: err=%v len=%d, want 0 entries", err, lenOf(w))
+	}
+
+	// Scalar-pinned entries are ISA-independent and survive the
+	// mismatch; an explicit simd pin and a mixed stage vector do not.
+	mixed := write("mixed.json", `{"os":"linux","arch":"amd64","maxprocs":4,"isa":"avx2"}`,
+		`{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100,"backend":"scalar"}`,
+		`{"n":9,"type":"float64","plan":"split[small[4],small[5]]","ns_per_run":110,"backend":"scalar","stage_backends":["scalar","scalar"]}`,
+		`{"n":10,"type":"float64","plan":"split[small[5],small[5]]","ns_per_run":120,"backend":"simd"}`,
+		`{"n":11,"type":"float64","plan":"split[small[5],small[6]]","ns_per_run":130,"backend":"scalar","stage_backends":["scalar","simd"]}`)
+	w, err := LoadFor(mixed, scalarFP)
+	if err != nil {
+		t.Fatalf("mixed file rejected on a scalar host: %v", err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("mixed file on a scalar host kept %d entries, want the 2 scalar-pinned ones", w.Len())
+	}
+	if _, _, ok := w.Lookup(8, Float64); !ok {
+		t.Fatal("scalar-pinned entry dropped under ISA mismatch")
+	}
+	if _, _, ok := w.Lookup(9, Float64); !ok {
+		t.Fatal("scalar-stage-pinned entry dropped under ISA mismatch")
+	}
+	if _, _, ok := w.Lookup(10, Float64); ok {
+		t.Fatal("simd-pinned entry survived an ISA mismatch")
+	}
+	if _, _, ok := w.Lookup(11, Float64); ok {
+		t.Fatal("mixed-stage entry survived an ISA mismatch")
+	}
+	// On the matching host everything loads.
+	if w, err := LoadFor(mixed, avx2FP); err != nil || w.Len() != 4 {
+		t.Fatalf("mixed file on its own host: err=%v len=%d, want 4 entries", err, lenOf(w))
+	}
+
+	// Across architectures even scalar pins are meaningless timings:
+	// the file loads (it is structurally valid) but empty, both ways.
+	if w, err := LoadFor(mixed, neonFP); err != nil || w.Len() != 0 {
+		t.Fatalf("amd64 file on an arm64 host: err=%v len=%d, want 0 entries", err, lenOf(w))
+	}
+	neon := write("neon.json", `{"os":"linux","arch":"arm64","maxprocs":4,"isa":"neon"}`,
+		`{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100,"backend":"scalar"}`)
+	if w, err := LoadFor(neon, avx2FP); err != nil || w.Len() != 0 {
+		t.Fatalf("arm64 file on an amd64 host: err=%v len=%d, want 0 entries", err, lenOf(w))
+	}
+
+	// OS or MaxProcs mismatches are a different machine outright: the
+	// whole file still refuses to load.
+	if _, err := LoadFor(old, Fingerprint{OS: "darwin", Arch: "amd64", MaxProcs: 4}); err == nil {
+		t.Fatal("file accepted across an OS mismatch")
+	}
+	if _, err := LoadFor(old, Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 8}); err == nil {
+		t.Fatal("file accepted across a MaxProcs mismatch")
+	}
+
+	// Structural validation is not relaxed by the leniency: a bad
+	// stage-backend spelling fails the load even under an ISA mismatch.
+	bad := write("bad.json", `{"os":"linux","arch":"amd64","maxprocs":4,"isa":"avx2"}`,
+		`{"n":8,"type":"float64","plan":"split[small[4],small[4]]","ns_per_run":100,"backend":"scalar","stage_backends":["scalar","vliw"]}`)
+	if _, err := LoadFor(bad, scalarFP); err == nil {
+		t.Fatal("bad stage_backends spelling accepted under ISA mismatch")
+	}
+	if _, err := LoadFor(bad, avx2FP); err == nil {
+		t.Fatal("bad stage_backends spelling accepted on the matching host")
 	}
 
 	// Saved files carry the current ISA and load back on the same host.
-	w := NewFor(avx2FP)
-	if _, err := w.Record(Float64, plan.MustParse("split[small[4],small[4]]"), 100); err != nil {
+	saved := NewFor(avx2FP)
+	if _, err := saved.Record(Float64, plan.MustParse("split[small[4],small[4]]"), 100); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "saved.json")
+	savedPath := filepath.Join(dir, "saved.json")
+	if err := saved.Save(savedPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(savedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"isa": "avx2"`) {
+		t.Fatalf("saved file lost the ISA field:\n%s", data)
+	}
+	if _, err := LoadFor(savedPath, avx2FP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lenOf reads a store's length for error messages without tripping on a
+// nil store from a failed load.
+func lenOf(w *Wisdom) int {
+	if w == nil {
+		return -1
+	}
+	return w.Len()
+}
+
+// Per-stage backend pins must survive a save/load cycle with their
+// explicit spellings, and entries without them must come back with a
+// nil stage vector.
+func TestStageBackendsRoundTrip(t *testing.T) {
+	p := plan.MustParse("split[small[4],small[8]]")
+	w := New()
+	tc := Tuned{
+		Policy:        codelet.Policy{ILMinS: 2},
+		StageBackends: []codelet.Backend{codelet.SIMDBackend, codelet.ScalarBackend},
+	}
+	if _, err := w.RecordFull(Float64, p, tc, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RecordFull(Float32, p, Tuned{}, 900); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "w.json")
 	if err := w.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -487,10 +599,38 @@ func TestFingerprintISACompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"isa": "avx2"`) {
-		t.Fatalf("saved file lost the ISA field:\n%s", data)
+	if !strings.Contains(string(data), `"stage_backends"`) {
+		t.Fatalf("saved file lost the stage backends:\n%s", data)
 	}
-	if _, err := LoadFor(path, avx2FP); err != nil {
+
+	loaded, err := Load(path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, e := range loaded.Entries() {
+		got := e.Tuned()
+		switch e.Type {
+		case Float64:
+			want := []codelet.Backend{codelet.SIMDBackend, codelet.ScalarBackend}
+			if len(got.StageBackends) != len(want) {
+				t.Fatalf("stage backends came back as %v, want %v", got.StageBackends, want)
+			}
+			for i := range want {
+				if got.StageBackends[i] != want[i] {
+					t.Fatalf("stage backends came back as %v, want %v", got.StageBackends, want)
+				}
+			}
+		case Float32:
+			if got.StageBackends != nil {
+				t.Fatalf("pin-free entry decoded stage backends %v", got.StageBackends)
+			}
+		}
+	}
+
+	// An out-of-range stage backend has no spelling and must be
+	// rejected at record time like the policy backend is.
+	badTC := Tuned{StageBackends: []codelet.Backend{codelet.Backend(99)}}
+	if _, err := w.RecordFull(Float64, plan.MustParse("split[small[2],small[2]]"), badTC, 50); err == nil {
+		t.Fatal("RecordFull accepted an out-of-range stage backend")
 	}
 }
