@@ -54,7 +54,33 @@
 // the paper's conclusion that search must be driven by measurements,
 // closed end to end.  Its timing loop reinitializes its
 // scratch between chunks, so arbitrarily long measurements of the
-// unnormalized (data-doubling) transform stay finite.  The root package
-// exists to host the paper-figure and engine benchmark harness
-// (bench_test.go).  See README.md for the quickstart and package map.
+// unnormalized (data-doubling) transform stay finite.
+//
+// For serving, every executor has a context-aware form
+// (wht.RunCtx/RunParallelCtx/RunBatchCtx and friends, wht.TransformCtx
+// and ApplyBatchCtx at the facade): ctx is polled between bounded
+// chunks of kernel calls — window/chunk granularity on the parallel
+// tiers, sub-lanes on the SoA tier — so cancellation takes effect
+// within one chunk and returns ctx.Err(); a nil ctx costs nothing over
+// the plain form.  The same entry points contain kernel panics: every
+// worker-pool goroutine recovers, the first failure aborts the run and
+// comes back as a *exec.PanicError (matching wht.ErrKernelPanic) with
+// stage/window attribution, and the pools stay reusable.  Damaged
+// wisdom files fail typed too — wht.ErrCorruptWisdom matches truncated,
+// scrambled, trailing-garbage, and structurally invalid files, while
+// intact files from other machines or format versions return ordinary
+// errors — and LoadWisdom is all-or-nothing: a file with any
+// unregistrable entry registers nothing.  On top of these sit
+// repro/internal/serve and cmd/whtserved, the batch-serving daemon:
+// length-prefixed request/response frames over TCP or unix sockets,
+// same-size coalescing into SoA batches under a tunable window/lane
+// admission policy, bounded queues that reject with retry-after
+// hints, per-request deadlines, a per-size degradation ladder for
+// repeated contained faults, quarantine-and-continue boot for corrupt
+// wisdom, and a closed-loop load generator (whtserved -loadgen /
+// -selfserve) reporting p50/p99 latency vs offered load.  The
+// fault-injection harness driving the robustness suite is
+// repro/internal/faultinject.  The root package exists to host the
+// paper-figure and engine benchmark harness (bench_test.go).  See
+// README.md for the quickstart and package map.
 package repro

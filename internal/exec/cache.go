@@ -259,17 +259,31 @@ func UseTunedPlanWith(p *plan.Node, cfg TunedConfig) error {
 		}
 		backends = append([]codelet.Backend(nil), cfg.StageBackends...)
 	}
-	// Warm validates the (size, schedule) pair before anything is
-	// published; a mismatch must not leave a tuned plan registered either.
-	if err := defaultCache.Warm(s.Log2Size(), s); err != nil {
-		return err
-	}
+	// Publish the registry entry BEFORE warming the cache.  In the other
+	// order there is a window where the warmed schedule has been inserted
+	// (and can immediately be evicted under LRU pressure) while the
+	// registry still holds the previous plan: a concurrent ForSize
+	// rebuilding in that window caches a stale schedule that then serves
+	// every call at this size until the next eviction.  Registry-first
+	// closes the window — a rebuild racing the Warm compiles from the new
+	// entry — and cannot publish a half-validated tuning, because every
+	// failure path (compile, backends) has already returned above and
+	// Warm with the schedule's own Log2Size cannot fail.
 	tunedMu.Lock()
 	tunedPlans[s.Log2Size()] = tunedEntry{
 		plan: p, policy: cfg.Policy, soaMin: cfg.SoAMinBatch, parMode: cfg.ParallelMode,
 		backends: backends,
 	}
 	tunedMu.Unlock()
+	if err := defaultCache.Warm(s.Log2Size(), s); err != nil {
+		// Unreachable (s is non-nil and keyed by its own size), but if it
+		// ever fires, withdraw the registration rather than leaving the
+		// registry and cache disagreeing.
+		tunedMu.Lock()
+		delete(tunedPlans, s.Log2Size())
+		tunedMu.Unlock()
+		return err
+	}
 	return nil
 }
 

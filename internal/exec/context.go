@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/codelet"
+	"repro/internal/faultinject"
+)
+
+// Context-aware execution.
+//
+// The serving path (internal/serve) needs two properties the raw
+// executors were never asked for: a request must be cancellable without
+// abandoning the goroutine that runs it, and a poisoned request must
+// not take the worker pool or the process with it.  Both are threaded
+// through here as one mechanism: every entry point gains a *Ctx variant
+// that polls ctx at work-chunk granularity, and every execution chunk —
+// on every tier — runs inside a recover that converts a kernel panic to
+// a *PanicError with stage/window attribution (see errors.go).
+//
+// Cancellation granularity is one chunk of work per tier: the
+// sequential tier checks between chunks of at most seqCancelElems
+// elements (one interleaved row when rows are larger), the barrier tier
+// between stages and per worker chunk, the pipelined tier before every
+// window chunk, and the SoA tier between sub-lanes, stage passes, and
+// j-rows.  A single kernel call is never interrupted, so a cancelled
+// call returns after at most one chunk of residual work.  On a nil ctx
+// the polls compile to a pointer test and the chunking degenerates to
+// one chunk per stage, so the non-cancellable entry points keep their
+// exact former execution shape.
+//
+// On any error return the vector contents are unspecified (some stages
+// may have run), but schedules, caches, and pools all remain valid:
+// re-running the same schedule on fresh data must succeed — the
+// property the fault-injection suite pins.
+
+// seqCancelElems bounds the number of vector elements one cancellation
+// check covers on the sequential tier (and on inline small stages of
+// the barrier tier).  2^14 elements is a few microseconds of butterfly
+// work — far below any plausible request deadline — while the check
+// itself (one atomic load inside ctx.Err) stays amortized over
+// thousands of kernel calls.
+const seqCancelElems = 1 << 14
+
+// ctxErr polls a nilable context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// cancelChunkCalls returns the flattened-call chunk one cancellation
+// check covers for the stage: seqCancelElems worth of kernel calls,
+// row-aligned for interleaved stages (splitting below one row would
+// trade the unrolled whole-row kernel for the slower range form on
+// every chunk seam; a row that is itself larger than the bound becomes
+// the chunk).
+func cancelChunkCalls(st *Stage) int {
+	chunk := seqCancelElems >> uint(st.M)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if st.V == codelet.Interleaved {
+		if chunk < st.S {
+			chunk = st.S
+		} else {
+			chunk = chunk / st.S * st.S
+		}
+	}
+	return chunk
+}
+
+// runStageChunkRecover executes calls [lo, hi) of stage i with panic
+// containment: a panic anywhere below — kernel, dispatch, or an armed
+// fault-injection hook — returns as a *PanicError attributed to the
+// stage.  It is the single contained execution chunk of the sequential
+// and barrier tiers.
+func runStageChunkRecover[T Float](st *Stage, stage int, ks *kernelSet[T], x []T, base, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(stage, -1, r)
+		}
+	}()
+	faultinject.Fire(faultinject.ExecChunk)
+	runStageRange(st, ks, x, base, lo, hi)
+	return nil
+}
+
+// runStagesCtx is the sequential contained executor behind RunCtx and
+// the batch executors' per-vector path: stages in schedule order,
+// cancellation checked every cancel chunk, panics recovered per chunk.
+func runStagesCtx[T Float](ctx context.Context, s *Schedule, kt *kernelTable[T], x []T) error {
+	for i := range s.stages {
+		st := &s.stages[i]
+		ks := kt.get(st.M, st.Backend)
+		total := st.R * st.S
+		chunk := total
+		if ctx != nil {
+			chunk = cancelChunkCalls(st)
+		}
+		for lo := 0; lo < total; lo += chunk {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			if err := runStageChunkRecover(st, i, ks, x, 0, lo, hi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runVectorCtx transforms one unit-stride vector through the contained
+// sequential executor, firing the batch-vector fault point inside the
+// containment.
+func runVectorCtx[T Float](ctx context.Context, s *Schedule, kt *kernelTable[T], x []T) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(-1, -1, r)
+		}
+	}()
+	faultinject.Fire(faultinject.ExecBatchVector)
+	return runStagesCtx(ctx, s, kt, x)
+}
+
+// RunCtx is Run with cancellation and fault containment: it polls ctx
+// between work chunks (returning ctx.Err() within one chunk of a
+// cancellation) and converts a kernel panic to a *PanicError instead of
+// unwinding into the caller.  A nil ctx disables the polling but keeps
+// the containment.  On error the contents of x are unspecified; x, the
+// schedule, and all caches remain reusable.
+func RunCtx[T Float](ctx context.Context, s *Schedule, x []T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	if len(x) != s.size {
+		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	kt := newKernelTable[T](s)
+	return runStagesCtx(ctx, s, &kt, x)
+}
+
+// RunParallelCtx is RunParallel with cancellation and fault
+// containment; the executor tier is the schedule's ParallelMode, as in
+// RunParallel.  Cancellation is honored at chunk granularity on both
+// tiers and every worker recovers panics, so a poisoned run returns a
+// *PanicError with the pool fully drained and reusable.
+func RunParallelCtx[T Float](ctx context.Context, s *Schedule, x []T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	return RunParallelModeCtx(ctx, s, x, workers, s.ParallelMode())
+}
+
+// RunParallelModeCtx is RunParallelMode with cancellation and fault
+// containment (see RunParallelCtx).
+func RunParallelModeCtx[T Float](ctx context.Context, s *Schedule, x []T, workers int, mode ParallelMode) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	if len(x) != s.size {
+		return fmt.Errorf("exec: vector length %d does not match schedule size %d", len(x), s.size)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if mode == AutoParallel {
+		mode = pickParallelMode(s, workers)
+	}
+	if mode == PipelinedParallel {
+		return runPipelined(ctx, s, x, workers)
+	}
+	return runBarrier(ctx, s, x, workers)
+}
+
+// RunBatchCtx is RunBatch with cancellation and fault containment: the
+// SoA tier is auto-selected exactly as in RunBatch, cancellation is
+// polled between chunks/lanes, and kernel panics return as *PanicError.
+// On error some vectors may be transformed and others not (or half);
+// the batch memory, schedule, and scratch pools remain reusable.
+func RunBatchCtx[T Float](ctx context.Context, s *Schedule, xs [][]T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	kt := newKernelTable[T](s)
+	if s.soaSelect(len(xs)) {
+		return runBatchSoA(ctx, s, &kt, xs)
+	}
+	for _, x := range xs {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if err := runVectorCtx(ctx, s, &kt, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBatchParallelCtx is RunBatchParallel with cancellation and fault
+// containment (see RunBatchCtx); workers <= 0 selects GOMAXPROCS.
+func RunBatchParallelCtx[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return runBatchParallel(ctx, s, xs, workers)
+}
+
+// RunBatchSoACtx is RunBatchSoA with cancellation and fault containment
+// (see RunBatchCtx).
+func RunBatchSoACtx[T Float](ctx context.Context, s *Schedule, xs [][]T) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	kt := newKernelTable[T](s)
+	return runBatchSoA(ctx, s, &kt, xs)
+}
+
+// RunBatchSoAParallelCtx is RunBatchSoAParallel with cancellation and
+// fault containment (see RunBatchCtx); workers <= 0 selects GOMAXPROCS.
+func RunBatchSoAParallelCtx[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
+	if s == nil {
+		return fmt.Errorf("exec: nil schedule")
+	}
+	for i, x := range xs {
+		if len(x) != s.size {
+			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return runBatchSoAParallel(ctx, s, xs, workers)
+}

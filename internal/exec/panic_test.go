@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// The panic-isolation suite: a panic in any kernel chunk — injected
+// through the fault harness at the exact points real kernel faults
+// would surface — must come back as a *PanicError (matching
+// ErrKernelPanic through errors.Is) instead of unwinding a pool
+// goroutine, and the pool must be fully drained and reusable for the
+// next call on every tier.
+
+func TestPanicSequential(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 16
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecChunk, faultinject.PanicAfter(2, "injected kernel fault"))
+	x := ctxInput(n, 1)
+	err := RunCtx(context.Background(), s, x)
+	assertPanicError(t, err, "sequential")
+	faultinject.Reset()
+	rerunClean(t, s, n, func(y []float64) error { return RunCtx(context.Background(), s, y) })
+}
+
+func TestPanicBarrier(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 16
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecChunk, faultinject.PanicAfter(3, "injected kernel fault"))
+	x := ctxInput(n, 2)
+	err := RunParallelModeCtx(context.Background(), s, x, 4, BarrierParallel)
+	assertPanicError(t, err, "barrier")
+	faultinject.Reset()
+	rerunClean(t, s, n, func(y []float64) error {
+		return RunParallelModeCtx(context.Background(), s, y, 4, BarrierParallel)
+	})
+}
+
+// The non-ctx RunParallel path must contain panics too — the satellite
+// bugfix this suite pins: before containment, this call killed the
+// process.
+func TestPanicBarrierNonCtx(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 16
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecChunk, faultinject.PanicAfter(1, "injected kernel fault"))
+	x := ctxInput(n, 8)
+	err := RunParallelMode(s, x, 4, BarrierParallel)
+	assertPanicError(t, err, "barrier non-ctx")
+}
+
+func TestPanicPipelined(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 16
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecChunk, faultinject.PanicAfter(4, "injected kernel fault"))
+	x := ctxInput(n, 3)
+	err := RunParallelModeCtx(context.Background(), s, x, 4, PipelinedParallel)
+	assertPanicError(t, err, "pipelined")
+	var pe *PanicError
+	if errors.As(err, &pe) && pe.Window < 0 && len(s.Stages()) >= 2 {
+		t.Errorf("pipelined panic carries no window attribution: %+v", pe)
+	}
+	faultinject.Reset()
+	rerunClean(t, s, n, func(y []float64) error {
+		return RunParallelModeCtx(context.Background(), s, y, 4, PipelinedParallel)
+	})
+}
+
+func TestPanicBatchVector(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 14
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecBatchVector, faultinject.PanicAfter(5, "injected kernel fault"))
+	xs := ctxBatch(n)
+	err := RunBatchParallelCtx(context.Background(), s, xs, 4)
+	assertPanicError(t, err, "batch")
+	faultinject.Reset()
+	xs2 := ctxBatch(n)
+	want := ctxRef(t, s, xs2[5])
+	if err := RunBatchParallelCtx(context.Background(), s, xs2, 4); err != nil {
+		t.Fatalf("batch rerun after panic: %v", err)
+	}
+	for i, v := range want {
+		if xs2[5][i] != v {
+			t.Fatalf("batch rerun: vector 5 wrong at %d", i)
+		}
+	}
+}
+
+func TestPanicSoALane(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 14
+	s := ctxSched(t, n)
+	faultinject.Set(faultinject.ExecSoALane, faultinject.PanicAfter(1, "injected kernel fault"))
+	xs := ctxBatch(n)
+	err := RunBatchSoACtx(context.Background(), s, xs)
+	assertPanicError(t, err, "soa")
+	faultinject.Reset()
+	xs2 := ctxBatch(n)
+	want := ctxRef(t, s, xs2[0])
+	if err := RunBatchSoAParallelCtx(context.Background(), s, xs2, 4); err != nil {
+		t.Fatalf("soa rerun after panic: %v", err)
+	}
+	for i, v := range want {
+		if xs2[0][i] != v {
+			t.Fatalf("soa rerun: vector 0 wrong at %d", i)
+		}
+	}
+}
+
+// A panic on one tier must not leak an abort signal or poisoned scratch
+// into the next call: alternate faulting and clean calls.
+func TestPanicPoolReusableInterleaved(t *testing.T) {
+	defer faultinject.Reset()
+	const n = 16
+	s := ctxSched(t, n)
+	x := ctxInput(n, 11)
+	want := ctxRef(t, s, x)
+	for round := 0; round < 3; round++ {
+		faultinject.Set(faultinject.ExecChunk, faultinject.PanicAfter(2, round))
+		y := ctxInput(n, 50)
+		if err := RunParallelCtx(context.Background(), s, y, 4); !errors.Is(err, ErrKernelPanic) {
+			t.Fatalf("round %d: faulting call: err = %v", round, err)
+		}
+		faultinject.Reset()
+		z := append([]float64(nil), x...)
+		if err := RunParallelCtx(context.Background(), s, z, 4); err != nil {
+			t.Fatalf("round %d: clean call: %v", round, err)
+		}
+		for i, v := range want {
+			if z[i] != v {
+				t.Fatalf("round %d: clean call wrong at %d", round, i)
+			}
+		}
+	}
+}
+
+func TestPanicErrorShape(t *testing.T) {
+	pe := newPanicError(3, 7, "boom")
+	if !errors.Is(pe, ErrKernelPanic) {
+		t.Fatal("PanicError does not match ErrKernelPanic")
+	}
+	if pe.Stage != 3 || pe.Window != 7 || pe.Value != "boom" {
+		t.Fatalf("attribution lost: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "stage 3") || !strings.Contains(msg, "window 7") || !strings.Contains(msg, "boom") {
+		t.Fatalf("error message lacks attribution: %q", msg)
+	}
+	// Nested recovery must pass the original through un-rewrapped.
+	if again := newPanicError(9, 9, pe); again != pe {
+		t.Fatal("nested recovery re-wrapped the PanicError")
+	}
+}
+
+func assertPanicError(t *testing.T, err error, tier string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: injected panic returned nil error", tier)
+	}
+	if !errors.Is(err, ErrKernelPanic) {
+		t.Fatalf("%s: err = %v, does not match ErrKernelPanic", tier, err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("%s: err = %T, want *PanicError", tier, err)
+	}
+	if pe.Value != "injected kernel fault" && pe.Value == nil {
+		t.Fatalf("%s: panic value lost: %+v", tier, pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatalf("%s: no stack captured", tier)
+	}
+}
+
+// rerunClean verifies the tier computes the exact reference transform
+// immediately after a faulted call.
+func rerunClean(t *testing.T, s *Schedule, n int, run func([]float64) error) {
+	t.Helper()
+	x := ctxInput(n, 77)
+	want := ctxRef(t, s, x)
+	y := append([]float64(nil), x...)
+	if err := run(y); err != nil {
+		t.Fatalf("rerun after panic: %v", err)
+	}
+	for i, v := range want {
+		if y[i] != v {
+			t.Fatalf("rerun after panic: wrong at %d: %g != %g", i, y[i], v)
+		}
+	}
+}

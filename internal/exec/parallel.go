@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -78,18 +79,25 @@ func RunParallelMode[T Float](s *Schedule, x []T, workers int, mode ParallelMode
 		mode = pickParallelMode(s, workers)
 	}
 	if mode == PipelinedParallel {
-		runPipelined(s, x, workers)
-		return nil
+		return runPipelined(nil, s, x, workers)
 	}
-	runBarrier(s, x, workers)
-	return nil
+	return runBarrier(nil, s, x, workers)
 }
 
 // runBarrier is the barrier tier's body: per stage, fan the flattened
-// call range out over fresh goroutines and wait.
-func runBarrier[T Float](s *Schedule, x []T, workers int) {
+// call range out over fresh goroutines and wait.  Every goroutine —
+// and the inline small-stage path — runs its chunk inside a recover, so
+// a panicking kernel surfaces as the call's *PanicError after the
+// stage's pool has fully drained (wg.Wait always completes: recovery
+// happens inside the worker, before wg.Done).  A non-nil ctx is polled
+// between stages, per worker chunk, and at seqCancelElems granularity
+// on the inline path.
+func runBarrier[T Float](ctx context.Context, s *Schedule, x []T, workers int) error {
 	kt := newKernelTable[T](s)
 	for i := range s.stages {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		st := &s.stages[i]
 		ks := kt.get(st.M, st.Backend)
 		total := st.R * st.S
@@ -103,7 +111,22 @@ func runBarrier[T Float](s *Schedule, x []T, workers int) {
 		// int on 32-bit hosts for large stage shapes, and a wrapped gate
 		// would run a huge stage inline (or split a tiny one).
 		if workers == 1 || total < minCalls || int64(total)<<uint(st.M) < FanoutElems {
-			runStageRange(st, ks, x, 0, 0, total)
+			chunk := total
+			if ctx != nil {
+				chunk = cancelChunkCalls(st)
+			}
+			for lo := 0; lo < total; lo += chunk {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				if err := runStageChunkRecover(st, i, ks, x, 0, lo, hi); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		chunk := (total + workers - 1) / workers
@@ -114,6 +137,7 @@ func runBarrier[T Float](s *Schedule, x []T, workers int) {
 			// partial rows (ilRange) are the price of using all workers.
 			chunk = (st.R + workers - 1) / workers * st.S
 		}
+		fail := newFailure()
 		var wg sync.WaitGroup
 		for lo := 0; lo < total; lo += chunk {
 			hi := lo + chunk
@@ -123,11 +147,24 @@ func runBarrier[T Float](s *Schedule, x []T, workers int) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				runStageRange(st, ks, x, 0, lo, hi)
+				if fail.failed() {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					fail.set(err)
+					return
+				}
+				if err := runStageChunkRecover(st, i, ks, x, 0, lo, hi); err != nil {
+					fail.set(err)
+				}
 			}(lo, hi)
 		}
 		wg.Wait()
+		if err := fail.err(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // RunBatchParallel transforms a batch of vectors with one schedule,
@@ -145,6 +182,14 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 			return fmt.Errorf("exec: batch vector %d has length %d, want %d", i, len(x), s.size)
 		}
 	}
+	return runBatchParallel(nil, s, xs, workers)
+}
+
+// runBatchParallel is the shared body behind RunBatchParallel and
+// RunBatchParallelCtx: per-vector fan-out with an atomic work counter,
+// each worker containing its own panics (runVectorCtx) and the first
+// error aborting the remaining hand-outs.
+func runBatchParallel[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -152,12 +197,17 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		// The SoA tier's per-worker lanes serve the same fan-out shape
 		// (whole transforms per worker, no barriers) with each stage pass
 		// amortized across the worker's lane.
-		return RunBatchSoAParallel(s, xs, workers)
+		return runBatchSoAParallel(ctx, s, xs, workers)
 	}
 	if workers == 1 || len(xs) < 2 {
 		kt := newKernelTable[T](s)
 		for _, x := range xs {
-			runStages(s, &kt, x, 0, 1)
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			if err := runVectorCtx(ctx, s, &kt, x); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -165,6 +215,7 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		workers = len(xs)
 	}
 	var next atomic.Int64
+	fail := newFailure()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -172,14 +223,24 @@ func RunBatchParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 			defer wg.Done()
 			kt := newKernelTable[T](s)
 			for {
+				if fail.failed() {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					fail.set(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(xs) {
 					return
 				}
-				runStages(s, &kt, xs[i], 0, 1)
+				if err := runVectorCtx(ctx, s, &kt, xs[i]); err != nil {
+					fail.set(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return nil
+	return fail.err()
 }

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/codelet"
+	"repro/internal/faultinject"
 )
 
 // The window-pipelined parallel tier.
@@ -269,14 +271,38 @@ func runPipeChunk[T Float](st *Stage, ks *kernelSet[T], x []T, lo, hi int) {
 	runStageRange(st, ks, x, 0, lo, hi)
 }
 
+// runPipeChunkRecover is runPipeChunk with panic containment: a panic
+// in the chunk — kernel, dispatch, or an armed fault hook — returns as
+// a *PanicError attributed to (stage, window).
+func runPipeChunkRecover[T Float](st *Stage, stage, win int, ks *kernelSet[T], x []T, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(stage, win, r)
+		}
+	}()
+	faultinject.Fire(faultinject.ExecChunk)
+	runPipeChunk(st, ks, x, lo, hi)
+	return nil
+}
+
 // runPipelined executes the schedule through the window-pipelined tier;
 // see the package comment at the top of this file.  Falls back to the
 // barrier tier when the schedule has nothing to pipeline.
-func runPipelined[T Float](s *Schedule, x []T, workers int) {
+//
+// Failure handling must not deadlock the pool: on the first error (a
+// recovered chunk panic or a cancelled ctx) the failure's done channel
+// closes and every worker's select exits without draining or closing
+// the queue.  That is safe precisely because the queue is buffered to
+// hold every chunk of the run — no sender ever blocks, so abandoning
+// the queue strands no goroutine, and the garbage collector reclaims
+// it.  close(queue) happens only on the clean remaining==0 path.
+// Dependency bookkeeping after a failed chunk is skipped; downstream
+// windows simply never become ready, which is moot once the pool is
+// aborting.
+func runPipelined[T Float](ctx context.Context, s *Schedule, x []T, workers int) error {
 	pp := buildPipePlan(s, workers)
 	if pp == nil {
-		runBarrier(s, x, workers)
-		return
+		return runBarrier(ctx, s, x, workers)
 	}
 	if workers > pp.totalChunks {
 		workers = pp.totalChunks
@@ -314,35 +340,54 @@ func runPipelined[T Float](s *Schedule, x []T, workers int) {
 		queue <- int32(c)
 	}
 
+	fail := newFailure()
 	work := func() {
-		for id := range queue {
-			si := pp.stageOf(int(id))
-			ps := &pp.stages[si]
-			rel := int(id) - ps.firstChunk
-			win := rel / ps.chunksPerWin
-			winFirst := win * ps.winCalls
-			lo := winFirst + (rel%ps.chunksPerWin)*ps.chunkCalls
-			hi := lo + ps.chunkCalls
-			if end := winFirst + ps.winCalls; hi > end {
-				hi = end
-			}
-			runPipeChunk(&s.stages[si], sets[si], x, lo, hi)
+		for {
+			select {
+			case <-fail.done:
+				return
+			case id, ok := <-queue:
+				if !ok {
+					return
+				}
+				if fail.failed() {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					fail.set(err)
+					return
+				}
+				si := pp.stageOf(int(id))
+				ps := &pp.stages[si]
+				rel := int(id) - ps.firstChunk
+				win := rel / ps.chunksPerWin
+				winFirst := win * ps.winCalls
+				lo := winFirst + (rel%ps.chunksPerWin)*ps.chunkCalls
+				hi := lo + ps.chunkCalls
+				if end := winFirst + ps.winCalls; hi > end {
+					hi = end
+				}
+				if err := runPipeChunkRecover(&s.stages[si], si, win, sets[si], x, lo, hi); err != nil {
+					fail.set(err)
+					return
+				}
 
-			if left[ps.firstWin+win].Add(-1) == 0 && si+1 < len(pp.stages) {
-				// Window complete: the parent window in the next stage
-				// loses one outstanding child; its chunks become ready
-				// when the last child completes.
-				ns := &pp.stages[si+1]
-				parent := win >> ns.depShift
-				if deps[ns.firstWin+parent].Add(-1) == 0 {
-					base := int32(ns.firstChunk + parent*ns.chunksPerWin)
-					for c := int32(0); c < int32(ns.chunksPerWin); c++ {
-						queue <- base + c
+				if left[ps.firstWin+win].Add(-1) == 0 && si+1 < len(pp.stages) {
+					// Window complete: the parent window in the next stage
+					// loses one outstanding child; its chunks become ready
+					// when the last child completes.
+					ns := &pp.stages[si+1]
+					parent := win >> ns.depShift
+					if deps[ns.firstWin+parent].Add(-1) == 0 {
+						base := int32(ns.firstChunk + parent*ns.chunksPerWin)
+						for c := int32(0); c < int32(ns.chunksPerWin); c++ {
+							queue <- base + c
+						}
 					}
 				}
-			}
-			if remaining.Add(-1) == 0 {
-				close(queue)
+				if remaining.Add(-1) == 0 {
+					close(queue)
+				}
 			}
 		}
 	}
@@ -357,4 +402,5 @@ func runPipelined[T Float](s *Schedule, x []T, workers int) {
 	}
 	work() // the caller is a worker too
 	wg.Wait()
+	return fail.err()
 }

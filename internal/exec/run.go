@@ -189,8 +189,7 @@ func RunBatch[T Float](s *Schedule, xs [][]T) error {
 	}
 	kt := newKernelTable[T](s)
 	if s.soaSelect(len(xs)) {
-		runBatchSoA(s, &kt, xs)
-		return nil
+		return runBatchSoA(nil, s, &kt, xs)
 	}
 	for _, x := range xs {
 		runStages(s, &kt, x, 0, 1)

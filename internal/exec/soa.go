@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/codelet"
+	"repro/internal/faultinject"
 )
 
 // The SoA batch tier executes one schedule over a whole batch of vectors
@@ -211,27 +213,53 @@ func (s *Schedule) soaShapeFavors() bool {
 // ld — pads only ever pair with pads (kept zero by transposeIn, so the
 // extra arithmetic stays in fast finite range) and every real column
 // computes exactly the per-vector network.
-func soaRun[T Float](s *Schedule, kt *kernelTable[T], y []T, lane int) {
+func soaRun[T Float](ctx context.Context, s *Schedule, kt *kernelTable[T], y []T, lane int) error {
 	ld := SoALaneDim(lane)
 	useLane := s.SoAUsesLaneKernels()
 	for i := range s.SoAStages() {
-		st := &s.soaStages[i]
-		sEff := st.S * ld
-		rowLen := st.Blk * ld
-		ks := kt.get(st.M, st.Backend)
-		if useLane {
-			for j := 0; j < st.R; j++ {
-				rowBase := j * rowLen
-				for k := 0; k < st.S; k++ {
-					ks.soa(y, rowBase+k*ld, sEff, lane)
-				}
-			}
-			continue
+		if err := ctxErr(ctx); err != nil {
+			return err
 		}
-		for j := 0; j < st.R; j++ {
-			ks.ilFused(y, j*rowLen, sEff)
+		st := &s.soaStages[i]
+		ks := kt.get(st.M, st.Backend)
+		if err := soaRunStage(ctx, st, i, ks, y, ld, lane, useLane); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// soaRunStage runs one SoA-expanded stage across the lane with panic
+// containment (attributed to the SoA stage index) and a cancellation
+// poll per j-row — each row is a contiguous Blk*ld-element pass, the
+// natural chunk of this tier.
+func soaRunStage[T Float](ctx context.Context, st *Stage, stage int, ks *kernelSet[T], y []T, ld, lane int, useLane bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(stage, -1, r)
+		}
+	}()
+	sEff := st.S * ld
+	rowLen := st.Blk * ld
+	if useLane {
+		for j := 0; j < st.R; j++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			rowBase := j * rowLen
+			for k := 0; k < st.S; k++ {
+				ks.soa(y, rowBase+k*ld, sEff, lane)
+			}
+		}
+		return nil
+	}
+	for j := 0; j < st.R; j++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		ks.ilFused(y, j*rowLen, sEff)
+	}
+	return nil
 }
 
 // SoATransposeTile is the transpose tile: tiles of this many vector
@@ -344,26 +372,47 @@ const SoAMaxLane = 64
 // in sub-lanes of at most SoAMaxLane vectors, each transposed into the
 // pooled scratch, run through every stage once, and transposed back.
 // Lane grouping never changes a vector's butterfly network, so the
-// split keeps results bitwise identical.
-func runBatchSoA[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
+// split keeps results bitwise identical.  ctx is polled between
+// sub-lanes (and within each lane per SoA stage row); panics anywhere
+// in a lane return as a *PanicError.
+func runBatchSoA[T Float](ctx context.Context, s *Schedule, kt *kernelTable[T], xs [][]T) error {
 	for lo := 0; lo < len(xs); lo += SoAMaxLane {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		hi := lo + SoAMaxLane
 		if hi > len(xs) {
 			hi = len(xs)
 		}
-		runBatchSoALane(s, kt, xs[lo:hi])
+		if err := runBatchSoALane(ctx, s, kt, xs[lo:hi]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// runBatchSoALane runs one bounded sub-lane through the SoA tier.
-func runBatchSoALane[T Float](s *Schedule, kt *kernelTable[T], xs [][]T) {
+// runBatchSoALane runs one bounded sub-lane through the SoA tier.  The
+// lane-level recover catches transpose panics and the armed SoA-lane
+// fault point (stage attribution -1); stage-attributed containment
+// lives in soaRunStage.  The deferred release keeps the scratch pool
+// intact on every exit path.
+func runBatchSoALane[T Float](ctx context.Context, s *Schedule, kt *kernelTable[T], xs [][]T) (err error) {
 	lane := len(xs)
 	p := soaScratch[T](s.size * SoALaneDim(lane))
+	defer soaRelease(p)
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(-1, -1, r)
+		}
+	}()
+	faultinject.Fire(faultinject.ExecSoALane)
 	y := *p
 	transposeIn(y, xs, s.size)
-	soaRun(s, kt, y, lane)
+	if err := soaRun(ctx, s, kt, y, lane); err != nil {
+		return err
+	}
 	transposeOut(xs, y, s.size)
-	soaRelease(p)
+	return nil
 }
 
 // RunBatchSoA executes one schedule over the whole batch in SoA form:
@@ -386,8 +435,7 @@ func RunBatchSoA[T Float](s *Schedule, xs [][]T) error {
 		return nil
 	}
 	kt := newKernelTable[T](s)
-	runBatchSoA(s, &kt, xs)
-	return nil
+	return runBatchSoA(nil, s, &kt, xs)
 }
 
 // RunBatchSoAParallel is RunBatchSoA with the batch split into
@@ -410,6 +458,16 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 	if len(xs) == 0 {
 		return nil
 	}
+	return runBatchSoAParallel(nil, s, xs, workers)
+}
+
+// runBatchSoAParallel is the shared body behind RunBatchSoAParallel and
+// its ctx form: contiguous per-worker lanes, each worker containing its
+// own panics, the first error winning.
+func runBatchSoAParallel[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
+	if len(xs) == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -423,10 +481,10 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 	}
 	if workers == 1 {
 		kt := newKernelTable[T](s)
-		runBatchSoA(s, &kt, xs)
-		return nil
+		return runBatchSoA(ctx, s, &kt, xs)
 	}
 	chunk := (len(xs) + workers - 1) / workers
+	fail := newFailure()
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(xs); lo += chunk {
 		hi := lo + chunk
@@ -436,10 +494,15 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 		wg.Add(1)
 		go func(sub [][]T) {
 			defer wg.Done()
+			if fail.failed() {
+				return
+			}
 			kt := newKernelTable[T](s)
-			runBatchSoA(s, &kt, sub)
+			if err := runBatchSoA(ctx, s, &kt, sub); err != nil {
+				fail.set(err)
+			}
 		}(xs[lo:hi])
 	}
 	wg.Wait()
-	return nil
+	return fail.err()
 }

@@ -184,7 +184,7 @@ func TimeBatch(s *Schedule, lane int, soa bool, opt TimingOptions) float64 {
 	run := func(k int) {
 		for i := 0; i < k; i++ {
 			if soa {
-				runBatchSoA(s, &kt, xs)
+				_ = runBatchSoA(nil, s, &kt, xs)
 			} else {
 				for _, x := range xs {
 					runStages(s, &kt, x, 0, 1)

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is one connection to a whtserved server.  It is safe for
+// concurrent use: requests are written under a lock and responses are
+// matched to callers by request id, so many goroutines can have
+// transforms in flight on one connection — the shape the server's
+// coalescing batcher is built to exploit.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan responseFrame
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a server on network ("tcp" or "unix") at addr.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 1<<16),
+		pending: make(map[uint32]chan responseFrame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight Transform calls return the
+// connection error.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	for {
+		hdr, payload, err := readFrame(c.r)
+		if err != nil {
+			c.failAll(fmt.Errorf("serve: connection lost: %w", err))
+			return
+		}
+		resp, err := decodeResponse(hdr, payload)
+		if err != nil {
+			c.failAll(err)
+			c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// failAll wakes every waiter with the terminal connection error.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint32]chan responseFrame)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Result is one completed transform request as the client sees it.
+type Result struct {
+	Status     Status
+	Data       []float64     // transformed vector, StatusOK only
+	RetryAfter time.Duration // backoff hint, StatusRejected only
+}
+
+// Transform sends one vector (len must be a power of two ≥ 2) with an
+// optional relative deadline (0 = none) and blocks for the response.
+// A non-OK status is NOT an error: rejection, deadline misses, and
+// contained faults are ordinary protocol outcomes the caller is
+// expected to handle.  The error return is for connection-level
+// failures only.
+func (c *Client) Transform(x []float64, deadline time.Duration) (Result, error) {
+	logN := 0
+	for 1<<uint(logN) < len(x) {
+		logN++
+	}
+	if len(x) != 1<<uint(logN) || logN < 1 || logN > MaxLogN {
+		return Result{}, fmt.Errorf("serve: vector length %d is not a power of two in [2, 2^%d]", len(x), MaxLogN)
+	}
+	var dl uint32
+	if deadline > 0 {
+		us := deadline / time.Microsecond
+		if us < 1 {
+			us = 1
+		}
+		dl = uint32(us)
+	}
+
+	ch := make(chan responseFrame, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		return Result{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf := encodeRequest(requestFrame{ID: id, LogN: logN, DeadlineUs: dl, Data: x})
+	c.wmu.Lock()
+	_, err := c.conn.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Result{}, fmt.Errorf("serve: write: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return Result{}, err
+	}
+	return Result{
+		Status:     resp.Status,
+		Data:       resp.Data,
+		RetryAfter: time.Duration(resp.RetryAfterUs) * time.Microsecond,
+	}, nil
+}

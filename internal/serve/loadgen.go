@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenConfig drives one load-generation sweep against a running
+// server.
+type LoadgenConfig struct {
+	Network string
+	Addr    string
+
+	// LogN is the transform size every request carries.
+	LogN int
+
+	// Concurrencies are the closed-loop worker counts to sweep (each
+	// level is one measurement point of latency vs offered load).
+	Concurrencies []int
+
+	// Duration is how long each level runs.
+	Duration time.Duration
+
+	// Deadline is the per-request deadline workers attach (0 = none).
+	Deadline time.Duration
+
+	// ConnsPerLevel is how many client connections the workers at one
+	// level share (default: one per 8 workers, min 1) — multiplexing
+	// several workers per connection is the realistic client shape.
+	ConnsPerLevel int
+}
+
+// LoadgenLevel is the measured outcome of one concurrency level.
+type LoadgenLevel struct {
+	Concurrency int     `json:"concurrency"`
+	OfferedRPS  float64 `json:"offered_rps"` // completed requests / wall time
+	OKRPS       float64 `json:"ok_rps"`      // StatusOK throughput
+	P50Us       float64 `json:"p50_us"`      // StatusOK latency percentiles
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	OK          uint64  `json:"ok"`
+	Rejected    uint64  `json:"rejected"`
+	Deadline    uint64  `json:"deadline_misses"`
+	Faults      uint64  `json:"faults"`
+	Other       uint64  `json:"other"`
+	Errors      uint64  `json:"errors"` // connection-level failures
+}
+
+// LoadgenReport is the full sweep, serialized to BENCH_serve.json.
+type LoadgenReport struct {
+	LogN       int            `json:"log_n"`
+	DurationMs int64          `json:"duration_ms_per_level"`
+	DeadlineUs int64          `json:"deadline_us"`
+	Levels     []LoadgenLevel `json:"levels"`
+}
+
+// RunLoadgen sweeps the configured concurrency levels against the
+// server, closed-loop (each worker issues its next request as soon as
+// the previous one completes, so offered load scales with concurrency).
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
+	if cfg.LogN < 1 || cfg.LogN > MaxLogN {
+		return nil, fmt.Errorf("serve: loadgen log-size %d out of range", cfg.LogN)
+	}
+	if len(cfg.Concurrencies) == 0 {
+		cfg.Concurrencies = []int{1, 4, 16, 64}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	rep := &LoadgenReport{
+		LogN:       cfg.LogN,
+		DurationMs: cfg.Duration.Milliseconds(),
+		DeadlineUs: int64(cfg.Deadline / time.Microsecond),
+	}
+	for _, conc := range cfg.Concurrencies {
+		lvl, err := runLevel(cfg, conc)
+		if err != nil {
+			return rep, err
+		}
+		rep.Levels = append(rep.Levels, *lvl)
+	}
+	return rep, nil
+}
+
+func runLevel(cfg LoadgenConfig, conc int) (*LoadgenLevel, error) {
+	nconns := cfg.ConnsPerLevel
+	if nconns <= 0 {
+		nconns = (conc + 7) / 8
+	}
+	if nconns > conc {
+		nconns = conc
+	}
+	clients := make([]*Client, nconns)
+	for i := range clients {
+		c, err := Dial(cfg.Network, cfg.Addr)
+		if err != nil {
+			for _, cl := range clients[:i] {
+				cl.Close()
+			}
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var (
+		stop                                  atomic.Bool
+		ok, rejected, deadline, faults, other atomic.Uint64
+		errs                                  atomic.Uint64
+		mu                                    sync.Mutex
+		latencies                             []time.Duration // StatusOK only
+	)
+	n := 1 << uint(cfg.LogN)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := clients[w%nconns]
+			rng := rand.New(rand.NewPCG(uint64(w), 0x9e3779b97f4a7c15))
+			x := make([]float64, n)
+			var local []time.Duration
+			for !stop.Load() {
+				for i := range x {
+					x[i] = rng.Float64() - 0.5
+				}
+				t0 := time.Now()
+				res, err := client.Transform(x, cfg.Deadline)
+				if err != nil {
+					errs.Add(1)
+					return // connection gone; this worker is done
+				}
+				switch res.Status {
+				case StatusOK:
+					ok.Add(1)
+					local = append(local, time.Since(t0))
+				case StatusRejected:
+					rejected.Add(1)
+					if res.RetryAfter > 0 {
+						time.Sleep(res.RetryAfter)
+					}
+				case StatusDeadline:
+					deadline.Add(1)
+				case StatusFault:
+					faults.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := ok.Load() + rejected.Load() + deadline.Load() + faults.Load() + other.Load()
+	lvl := &LoadgenLevel{
+		Concurrency: conc,
+		OfferedRPS:  float64(total) / elapsed.Seconds(),
+		OKRPS:       float64(ok.Load()) / elapsed.Seconds(),
+		OK:          ok.Load(),
+		Rejected:    rejected.Load(),
+		Deadline:    deadline.Load(),
+		Faults:      faults.Load(),
+		Other:       other.Load(),
+		Errors:      errs.Load(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		lvl.P50Us = us(percentile(latencies, 0.50))
+		lvl.P99Us = us(percentile(latencies, 0.99))
+		lvl.MaxUs = us(latencies[len(latencies)-1])
+	}
+	return lvl, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteJSON writes the report as BENCH_serve.json-style output.
+func (r *LoadgenReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteText renders the human table (BENCH_serve.txt).
+func (r *LoadgenReport) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "whtserved loadgen: n=2^%d, %d ms per level, deadline %d us\n",
+		r.LogN, r.DurationMs, r.DeadlineUs)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %10s %10s %9s %9s %7s\n",
+		"conc", "offered/s", "ok/s", "p50(us)", "p99(us)", "max(us)", "rejected", "deadline", "faults")
+	for _, l := range r.Levels {
+		fmt.Fprintf(&b, "%8d %12.0f %12.0f %10.0f %10.0f %10.0f %9d %9d %7d\n",
+			l.Concurrency, l.OfferedRPS, l.OKRPS, l.P50Us, l.P99Us, l.MaxUs,
+			l.Rejected, l.Deadline, l.Faults)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -713,36 +713,72 @@ func SaveWisdom(path string) error {
 // as the plan the serving path uses for its size — the seed-from-wisdom
 // path: a fresh process that loads wisdom serves tuned plans from the
 // first Transform call on.
+//
+// Registration is all-or-nothing: every entry is validated and
+// dry-run-compiled first, and only a file whose every entry passes
+// publishes anything.  A file that fails mid-validation therefore never
+// partially populates the tuned-plan registry, the block-parts table,
+// or the process store — the rejecting error tells the caller the whole
+// file was ignored, not some prefix of it.
 func LoadWisdom(path string) error {
 	w, err := wisdom.Load(path)
 	if err != nil {
 		return err
 	}
-	if err := processWisdom().Merge(w); err != nil {
-		return err
+	// Phase 1: validate.  wisdom.Load has checked the file's structure,
+	// but registration has one failure surface Load cannot see: the
+	// stage-backends vector must match the entry's plan compiled under
+	// the entry's policy (a length or pin mismatch only surfaces at
+	// SetStageBackends).  Dry-run the exact compile UseTunedPlanWith
+	// performs before anything is published.
+	type registration struct {
+		p   *plan.Node
+		cfg exec.TunedConfig
+		bp  map[int][]int
 	}
+	var regs []registration
 	for _, e := range w.Entries() {
 		if e.Type != wisdom.Float64 {
 			continue
 		}
-		// Entries are validated by wisdom.Load, so the plan parses and
-		// the tuning knobs are well-formed; the recorded variant policy,
-		// batch crossover, parallel mode, and block factorizations all
-		// ride along into the serving path.
 		tc := e.Tuned()
-		for m, parts := range tc.BlockParts {
-			if err := codelet.SetBlockParts(m, parts); err != nil {
-				return fmt.Errorf("tune: %w", err)
-			}
-		}
 		mode, ok := exec.ParseParallelMode(tc.ParallelMode)
 		if !ok {
 			return fmt.Errorf("tune: unknown parallel mode %q", tc.ParallelMode)
 		}
-		if err := exec.UseTunedPlanWith(plan.MustParse(e.Plan), exec.TunedConfig{
+		p := plan.MustParse(e.Plan)
+		cfg := exec.TunedConfig{
 			Policy: tc.Policy, SoAMinBatch: tc.SoAMinBatch, ParallelMode: mode,
 			StageBackends: tc.StageBackends,
-		}); err != nil {
+		}
+		s, err := exec.NewScheduleWith(p, tc.Policy)
+		if err != nil {
+			return fmt.Errorf("tune: wisdom entry n=%d: %w", e.N, err)
+		}
+		if len(cfg.StageBackends) > 0 {
+			if err := s.SetStageBackends(cfg.StageBackends); err != nil {
+				return fmt.Errorf("tune: wisdom entry n=%d: %w", e.N, err)
+			}
+		}
+		for m, parts := range tc.BlockParts {
+			if err := codelet.ValidateBlockParts(m, parts); err != nil {
+				return fmt.Errorf("tune: wisdom entry n=%d: %w", e.N, err)
+			}
+		}
+		regs = append(regs, registration{p: p, cfg: cfg, bp: tc.BlockParts})
+	}
+	// Phase 2: publish.  Nothing below can fail — every input was
+	// validated above with the same checks the setters run.
+	if err := processWisdom().Merge(w); err != nil {
+		return err
+	}
+	for _, r := range regs {
+		for m, parts := range r.bp {
+			if err := codelet.SetBlockParts(m, parts); err != nil {
+				return fmt.Errorf("tune: %w", err)
+			}
+		}
+		if err := exec.UseTunedPlanWith(r.p, r.cfg); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
 	}

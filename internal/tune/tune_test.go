@@ -79,8 +79,15 @@ func TestTuneRegistersServingPlanAndWisdom(t *testing.T) {
 	if p, ok := exec.TunedPlan(n); !ok || !p.Equal(res.Plan) {
 		t.Fatalf("TunedPlan = (%v, %v), want the tuned plan", p, ok)
 	}
-	// ... compiled under the policy the sweep measured fastest ...
-	if got, want := exec.ForSize(n).String(), exec.CompileWith(res.Plan, res.Policy).String(); got != want {
+	// ... compiled under the policy the sweep measured fastest (with any
+	// per-stage backend pins the sweep registered alongside it) ...
+	ref := exec.CompileWith(res.Plan, res.Policy)
+	if res.StageBackends != nil {
+		if err := ref.SetStageBackends(res.StageBackends); err != nil {
+			t.Fatalf("reference SetStageBackends: %v", err)
+		}
+	}
+	if got, want := exec.ForSize(n).String(), ref.String(); got != want {
 		t.Fatalf("ForSize serves %s, want %s", got, want)
 	}
 	if pol, ok := exec.TunedPolicy(n); !ok || pol != res.Policy {

@@ -23,6 +23,7 @@
 package wht
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -76,6 +77,44 @@ func Transform(x []float64) error {
 		return err
 	}
 	return exec.Run(exec.ForSize(n), x)
+}
+
+// ApplyCtx is Apply with cooperative cancellation: the executor polls
+// ctx between bounded chunks of kernel calls, so cancellation takes
+// effect within one chunk of work and returns ctx.Err().  A kernel
+// panic comes back as an error matching exec.ErrKernelPanic instead of
+// crashing the caller.
+func ApplyCtx(ctx context.Context, p *plan.Node, x []float64) error {
+	sched, err := compileChecked(p, len(x))
+	if err != nil {
+		return err
+	}
+	return exec.RunCtx(ctx, sched, x)
+}
+
+// ApplyBatchCtx is ApplyBatch with cooperative cancellation and panic
+// containment (see ApplyCtx); cancellation is checked between vectors
+// and, on the SoA tier, between sub-lanes.
+func ApplyBatchCtx(ctx context.Context, p *plan.Node, xs [][]float64) error {
+	if p == nil {
+		return fmt.Errorf("wht: nil plan")
+	}
+	sched, err := exec.NewSchedule(p)
+	if err != nil {
+		return fmt.Errorf("wht: %w", err)
+	}
+	return exec.RunBatchCtx(ctx, sched, xs)
+}
+
+// TransformCtx is Transform with cooperative cancellation and panic
+// containment (see ApplyCtx), served from the same process-wide
+// schedule cache.
+func TransformCtx(ctx context.Context, x []float64) error {
+	n, err := log2Len(len(x))
+	if err != nil {
+		return err
+	}
+	return exec.RunCtx(ctx, exec.ForSize(n), x)
 }
 
 // compileChecked validates the plan/buffer pair with this package's error

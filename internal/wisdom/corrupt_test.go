@@ -1,0 +1,157 @@
+package wisdom
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+)
+
+// The corruption fixtures: every damage shape a wisdom file can arrive
+// in — truncated by an interrupted write, scrambled by bit rot,
+// trailed by garbage from a partial overwrite, or structurally invalid
+// content — must come back as a *CorruptError matching ErrCorrupt,
+// while intact-but-foreign files (wrong version, wrong fingerprint)
+// must NOT: the daemon quarantines on ErrCorrupt and leaves foreign
+// files alone.
+
+// writeValidWisdom saves a healthy one-entry store and returns its path.
+func writeValidWisdom(t *testing.T) string {
+	t.Helper()
+	w := New()
+	if _, err := w.Record(Float64, plan.Balanced(10, 8), 1000); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func assertCorrupt(t *testing.T, path, wantReason string) *CorruptError {
+	t.Helper()
+	_, err := Load(path)
+	if err == nil {
+		t.Fatalf("%s file loaded without error", wantReason)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s file: err = %v, does not match ErrCorrupt", wantReason, err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("%s file: err type %T, want *CorruptError", wantReason, err)
+	}
+	if !strings.Contains(ce.Reason, wantReason) {
+		t.Fatalf("reason = %q, want it to mention %q", ce.Reason, wantReason)
+	}
+	if ce.Path != path {
+		t.Fatalf("corrupt path = %q, want %q", ce.Path, path)
+	}
+	return ce
+}
+
+func TestLoadTruncated(t *testing.T) {
+	path := writeValidWisdom(t)
+	if err := faultinject.TruncateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	assertCorrupt(t, path, "truncated")
+}
+
+func TestLoadScrambled(t *testing.T) {
+	path := writeValidWisdom(t)
+	if err := faultinject.ScrambleFile(path); err != nil {
+		t.Fatal(err)
+	}
+	assertCorrupt(t, path, "malformed JSON")
+}
+
+func TestLoadTrailingGarbage(t *testing.T) {
+	path := writeValidWisdom(t)
+	if err := faultinject.AppendGarbage(path); err != nil {
+		t.Fatal(err)
+	}
+	assertCorrupt(t, path, "trailing garbage")
+}
+
+func TestLoadInvalidEntry(t *testing.T) {
+	// Parses as JSON, fails structural validation: the plan string is
+	// gibberish.  Written by hand because Save cannot produce it.
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	fp := CurrentFingerprint()
+	doc := `{"version":1,"fingerprint":{"os":"` + fp.OS + `","arch":"` + fp.Arch + `","maxprocs":` +
+		strconv.Itoa(fp.MaxProcs) + `,"isa":"` + fp.ISA + `"},"entries":[{"n":10,"type":"float64","plan":"not-a-plan","ns_per_run":1}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertCorrupt(t, path, "invalid entry")
+}
+
+func TestForeignFilesAreNotCorrupt(t *testing.T) {
+	// Wrong version: intact, just unreadable by this build.
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version mismatch: err = %v, want non-nil and not ErrCorrupt", err)
+	}
+
+	// Wrong fingerprint: measured elsewhere, equally intact.
+	w := NewFor(Fingerprint{OS: "plan9", Arch: "riscv64", MaxProcs: 3})
+	if _, err := w.Record(Float64, plan.Balanced(10, 8), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("fingerprint mismatch: err = %v, want non-nil and not ErrCorrupt", err)
+	}
+
+	// A missing file is an I/O condition, not corruption.
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing file: err = %v, want non-nil and not ErrCorrupt", err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	path := writeValidWisdom(t)
+	if err := faultinject.ScrambleFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != path+QuarantineSuffix {
+		t.Fatalf("quarantined to %q", q)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original still present: %v", err)
+	}
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The slot is reusable: a healthy Save at the original path loads.
+	w := New()
+	if _, err := w.Record(Float64, plan.Balanced(9, 8), 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Load(path); err != nil || got.Len() != 1 {
+		t.Fatalf("reload after quarantine: %v (len %d)", err, got.Len())
+	}
+	// Quarantining a missing file reports the rename failure.
+	if _, err := Quarantine(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("quarantining a missing file did not error")
+	}
+}

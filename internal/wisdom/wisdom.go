@@ -58,8 +58,11 @@
 package wisdom
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -75,6 +78,56 @@ import (
 // FormatVersion is the serialization version this package reads and
 // writes.
 const FormatVersion = 1
+
+// ErrCorrupt is the sentinel every *CorruptError matches through
+// errors.Is: the file's content is damaged — truncated JSON, malformed
+// bytes, garbage after the document, or a structurally invalid entry.
+// It deliberately excludes version and fingerprint mismatches: those
+// files are intact, just foreign, and a serving daemon should leave
+// them on disk (another build may want them) where a corrupt file is
+// quarantined.
+var ErrCorrupt = errors.New("wisdom: corrupt file")
+
+// CorruptError reports a damaged wisdom file with the corruption shape
+// spelled out, so operators (and the daemon's quarantine log line) can
+// tell an interrupted write from bit rot from a buggy editor.
+type CorruptError struct {
+	Path   string // the file
+	Reason string // "truncated", "malformed JSON", "trailing garbage", "invalid entry"
+	Err    error  // underlying decode or validation error, when one exists
+}
+
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("wisdom: corrupt file %s: %s", e.Path, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is matches ErrCorrupt, so errors.Is(err, ErrCorrupt) identifies every
+// corruption shape without destructuring.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// QuarantineSuffix is appended to a corrupt wisdom file's name by
+// Quarantine.
+const QuarantineSuffix = ".quarantined"
+
+// Quarantine renames a corrupt wisdom file out of the load path
+// (path -> path + ".quarantined", replacing any previous quarantine)
+// and returns the new name.  The daemon calls it when Load reports
+// ErrCorrupt, so the next boot does not trip over the same bytes while
+// the evidence stays on disk for inspection; retuning then starts
+// fresh and the next Save writes a clean file at the original path.
+func Quarantine(path string) (string, error) {
+	q := path + QuarantineSuffix
+	if err := os.Rename(path, q); err != nil {
+		return "", fmt.Errorf("wisdom: quarantine: %w", err)
+	}
+	return q, nil
+}
 
 // Element types an entry can be measured under.
 const (
@@ -522,6 +575,12 @@ func Load(path string) (*Wisdom, error) {
 // non-positive measurement).  Duplicate keys in the file fold to the
 // faster entry.
 //
+// Damage is typed: truncated documents, malformed JSON, bytes trailing
+// the document, and structurally invalid entries all return a
+// *CorruptError matching ErrCorrupt through errors.Is — the signal the
+// serving daemon quarantines on.  Version and fingerprint mismatches
+// return plain errors: those files are intact, merely foreign.
+//
 // ISA and architecture differences are per-entry, not per-file: on a
 // host whose vector ISA differs from the file's, entries that are
 // scalar-pinned everywhere (uniform backend "scalar" and, if present,
@@ -537,9 +596,27 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wisdom: %w", err)
 	}
+	// Decode through a Decoder rather than Unmarshal so the three
+	// corruption shapes come back distinguishable: a truncated document
+	// (interrupted write), malformed bytes (bit rot), and bytes after
+	// the document (a partial overwrite or concatenated writes — content
+	// Unmarshal would reject with the same opaque SyntaxError).
+	dec := json.NewDecoder(bytes.NewReader(data))
 	var f file
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("wisdom: corrupt file %s: %w", path, err)
+	if err := dec.Decode(&f); err != nil {
+		reason := "malformed JSON"
+		var syn *json.SyntaxError
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+			(errors.As(err, &syn) && syn.Offset >= int64(len(data))) {
+			reason = "truncated"
+		}
+		return nil, &CorruptError{Path: path, Reason: reason, Err: err}
+	}
+	if tok, terr := dec.Token(); terr != io.EOF {
+		if terr == nil {
+			terr = fmt.Errorf("unexpected %v after document", tok)
+		}
+		return nil, &CorruptError{Path: path, Reason: "trailing garbage", Err: terr}
 	}
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("wisdom: %s has format version %d, want %d", path, f.Version, FormatVersion)
@@ -552,33 +629,32 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 	w := NewFor(fp)
 	for i, e := range f.Entries {
 		if err := validType(e.Type); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if e.NsPerRun <= 0 {
-			return nil, fmt.Errorf("wisdom: %s entry %d: non-positive measurement %g", path, i, e.NsPerRun)
+			return nil, corruptEntry(path, i, fmt.Errorf("non-positive measurement %g", e.NsPerRun))
 		}
 		p, err := plan.Parse(e.Plan)
 		if err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if err := p.Validate(); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if p.Log2Size() != e.N {
-			return nil, fmt.Errorf("wisdom: %s entry %d: plan size 2^%d does not match n=%d",
-				path, i, p.Log2Size(), e.N)
+			return nil, corruptEntry(path, i, fmt.Errorf("plan size 2^%d does not match n=%d", p.Log2Size(), e.N))
 		}
 		if err := validParallelMode(e.ParallelMode); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if err := validBackend(e.Backend); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if err := validStageBackends(e.StageBackends); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if err := validBlockParts(e.BlockParts); err != nil {
-			return nil, fmt.Errorf("wisdom: %s entry %d: %w", path, i, err)
+			return nil, corruptEntry(path, i, err)
 		}
 		if !sameArch || (!sameISA && !entryScalarPinned(e)) {
 			// Per-entry ISA rejection: the entry is structurally fine but
@@ -591,6 +667,13 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 		w.mu.Unlock()
 	}
 	return w, nil
+}
+
+// corruptEntry wraps a structural per-entry failure as a CorruptError:
+// the document parsed but its content cannot have been written by a
+// healthy Save, so the daemon treats it like any other damaged file.
+func corruptEntry(path string, i int, err error) error {
+	return &CorruptError{Path: path, Reason: fmt.Sprintf("invalid entry %d", i), Err: err}
 }
 
 // entryScalarPinned reports whether every backend the entry records —

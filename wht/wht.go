@@ -71,6 +71,8 @@
 package wht
 
 import (
+	"context"
+
 	"repro/internal/codelet"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -83,6 +85,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tune"
 	"repro/internal/wht"
+	"repro/internal/wisdom"
 )
 
 // Plan is a node of a WHT algorithm tree ("small[k]" leaves and
@@ -227,6 +230,35 @@ func CompileWith(p *Plan, pol VariantPolicy) (*Schedule, error) {
 // evaluation code path behind every Apply* entry point.
 func Run[T Float](s *Schedule, x []T) error { return exec.Run(s, x) }
 
+// RunCtx is Run with cooperative cancellation and fault containment:
+// the executor polls ctx between bounded chunks of kernel calls (so
+// cancellation takes effect within one chunk, returning ctx.Err()) and
+// recovers kernel panics into an error matching ErrKernelPanic instead
+// of crashing the process.  A nil ctx runs the uninstrumented chunking
+// and costs nothing over Run.
+func RunCtx[T Float](ctx context.Context, s *Schedule, x []T) error {
+	return exec.RunCtx(ctx, s, x)
+}
+
+// ErrKernelPanic is the sentinel every contained kernel panic matches
+// (errors.Is).  The concrete error is a *PanicError carrying the stage
+// index, pipeline window (-1 outside the pipelined tier), the panic
+// value, and the goroutine stack — blast-radius attribution for one
+// poisoned request.
+var ErrKernelPanic = exec.ErrKernelPanic
+
+// PanicError is the typed error a recovered kernel panic returns.
+type PanicError = exec.PanicError
+
+// ErrCorruptWisdom is the sentinel a damaged wisdom file matches
+// (errors.Is): truncated, scrambled, trailing-garbage, or structurally
+// invalid content.  Intact files that merely mismatch this build's
+// version or machine fingerprint return ordinary errors instead — they
+// are somebody's valid wisdom, not corruption.  The concrete error is a
+// *wisdom.CorruptError naming the path and damage shape; the serving
+// daemon quarantines on exactly this match.
+var ErrCorruptWisdom = wisdom.ErrCorrupt
+
 // RunParallel is Run with the schedule's stages executed by a worker
 // pool (workers <= 0 selects GOMAXPROCS).  The parallel tier is chosen
 // by the schedule's ParallelMode: a tuned mode when wisdom recorded
@@ -260,6 +292,20 @@ func RunParallelMode[T Float](s *Schedule, x []T, workers int, mode ParallelMode
 	return exec.RunParallelMode(s, x, workers, mode)
 }
 
+// RunParallelCtx is RunParallel with cooperative cancellation and
+// per-worker panic containment: every pool goroutine (barrier and
+// pipelined tiers alike) recovers, the first failure aborts the rest of
+// the run, and the pool is reusable afterwards.
+func RunParallelCtx[T Float](ctx context.Context, s *Schedule, x []T, workers int) error {
+	return exec.RunParallelCtx(ctx, s, x, workers)
+}
+
+// RunParallelModeCtx is RunParallelMode with cancellation and panic
+// containment (see RunParallelCtx).
+func RunParallelModeCtx[T Float](ctx context.Context, s *Schedule, x []T, workers int, mode ParallelMode) error {
+	return exec.RunParallelModeCtx(ctx, s, x, workers, mode)
+}
+
 // RunBatch executes one schedule over many vectors in place.  When the
 // batch width and the schedule's shape favor it (see SoAMinBatch and
 // the tuner's batch sweep), the batch runs through the SoA tier — one
@@ -278,6 +324,32 @@ func RunBatchSoAParallel[T Float](s *Schedule, xs [][]T, workers int) error {
 	return exec.RunBatchSoAParallel(s, xs, workers)
 }
 
+// RunBatchCtx, RunBatchParallelCtx, RunBatchSoACtx, and
+// RunBatchSoAParallelCtx are the batch executors with cooperative
+// cancellation and panic containment: ctx is polled between vectors
+// and between SoA sub-lanes, and a kernel panic poisons only its batch
+// call, coming back as an error matching ErrKernelPanic.
+func RunBatchCtx[T Float](ctx context.Context, s *Schedule, xs [][]T) error {
+	return exec.RunBatchCtx(ctx, s, xs)
+}
+
+// RunBatchParallelCtx is RunBatchParallel with cancellation and
+// per-worker panic containment.
+func RunBatchParallelCtx[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
+	return exec.RunBatchParallelCtx(ctx, s, xs, workers)
+}
+
+// RunBatchSoACtx is RunBatchSoA with cancellation and panic containment.
+func RunBatchSoACtx[T Float](ctx context.Context, s *Schedule, xs [][]T) error {
+	return exec.RunBatchSoACtx(ctx, s, xs)
+}
+
+// RunBatchSoAParallelCtx is RunBatchSoAParallel with cancellation and
+// per-worker panic containment.
+func RunBatchSoAParallelCtx[T Float](ctx context.Context, s *Schedule, xs [][]T, workers int) error {
+	return exec.RunBatchSoAParallelCtx(ctx, s, xs, workers)
+}
+
 // DefaultSoAMinBatch is the batch width at which the batch executors
 // switch to the SoA tier by default when the schedule's shape favors it;
 // Schedule.SetSoAMinBatch (or a tuned wisdom entry) overrides the
@@ -291,6 +363,15 @@ const DefaultSoAMinBatch = exec.DefaultSoAMinBatch
 var (
 	ApplyBatch   = wht.ApplyBatch
 	ApplyBatch32 = wht.ApplyBatch32
+)
+
+// TransformCtx, ApplyCtx, and ApplyBatchCtx are the cancellable,
+// fault-contained forms of Transform, Apply, and ApplyBatch — the
+// entry points the serving daemon (cmd/whtserved) builds on.
+var (
+	TransformCtx  = wht.TransformCtx
+	ApplyCtx      = wht.ApplyCtx
+	ApplyBatchCtx = wht.ApplyBatchCtx
 )
 
 // ApplyBatchSoA and ApplyBatchSoA32 force the batch through the SoA
