@@ -10,13 +10,22 @@
 //	whtserved [-network unix|tcp] [-addr /run/wht.sock]
 //	          [-wisdom wht-wisdom.json] [-warm 8,10,12]
 //	          [-window 200us] [-lane 64] [-queue 256]
-//	          [-deadline 0] [-trips 2]
+//	          [-deadline 0] [-trips 2] [-probe 1m]
+//	          [-metrics 127.0.0.1:9090]
+//
+// -metrics exposes a Prometheus-text /metrics endpoint (stdlib only):
+// global and per-size-class request counters, degradation-ladder
+// levels, and schedule-cache traffic.
 //
 // Load generation (measures p50/p99 latency vs offered load against a
-// running server, writing BENCH_serve.json and a human table):
+// running server, writing BENCH_serve.json and a human table).  -conc
+// sweeps closed-loop worker counts; -rate switches to open loop — a
+// fixed arrival rate that keeps offering load past saturation, the
+// shape that finds the latency knee:
 //
 //	whtserved -loadgen -addr /run/wht.sock [-n 10] [-conc 1,4,16,64]
-//	          [-duration 3s] [-reqdeadline 0] [-out BENCH_serve]
+//	          [-rate 200,400,800] [-duration 3s] [-reqdeadline 0]
+//	          [-out BENCH_serve]
 //
 // Self-contained soak (boots an in-process server on a private unix
 // socket, runs the load sweep against it, then shuts down — the CI
@@ -26,9 +35,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,11 +64,14 @@ func main() {
 	queue := flag.Int("queue", 0, "per-size admission queue depth (0 = 4x lane)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline for requests carrying none (0 = none)")
 	trips := flag.Int("trips", 2, "consecutive contained faults before a size class degrades")
+	probe := flag.Duration("probe", 0, "canary re-escalation probe interval for degraded classes (0 = 1m, negative disables)")
+	metricsAddr := flag.String("metrics", "", "host:port to serve the Prometheus-text /metrics endpoint on (empty = off)")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator against -addr instead of serving")
 	selfserve := flag.Bool("selfserve", false, "boot an in-process server and run the load generator against it")
 	logN := flag.Int("n", 10, "loadgen transform log-size")
-	conc := flag.String("conc", "1,4,16,64", "loadgen concurrency sweep")
+	conc := flag.String("conc", "1,4,16,64", "loadgen closed-loop concurrency sweep")
+	rate := flag.String("rate", "", "loadgen open-loop offered rates in req/s (comma-separated; overrides -conc)")
 	duration := flag.Duration("duration", 3*time.Second, "loadgen duration per concurrency level")
 	reqDeadline := flag.Duration("reqdeadline", 0, "loadgen per-request deadline (0 = none)")
 	out := flag.String("out", "BENCH_serve", "loadgen output basename (.json and .txt are appended)")
@@ -70,6 +84,7 @@ func main() {
 		DefaultDeadline:  *deadline,
 		WisdomPath:       *wisdomPath,
 		FaultLadderTrips: *trips,
+		ProbeInterval:    *probe,
 	}
 	if *warm != "" {
 		sizes, err := parseInts(*warm)
@@ -95,7 +110,9 @@ func main() {
 		if err := waitDialable(sock, 2*time.Second); err != nil {
 			log.Fatal(err)
 		}
-		runLoadgen("unix", sock, *logN, *conc, *duration, *reqDeadline, *out)
+		stopMetrics := startMetrics(*metricsAddr, srv)
+		runLoadgen("unix", sock, *logN, *conc, *rate, *duration, *reqDeadline, *out)
+		stopMetrics()
 		if err := srv.Close(); err != nil {
 			log.Fatal(err)
 		}
@@ -114,13 +131,15 @@ func main() {
 		if *addr == "" {
 			log.Fatal("-loadgen needs -addr")
 		}
-		runLoadgen(*network, *addr, *logN, *conc, *duration, *reqDeadline, *out)
+		runLoadgen(*network, *addr, *logN, *conc, *rate, *duration, *reqDeadline, *out)
 
 	default:
 		if *addr == "" {
 			log.Fatal("need -addr (or -selfserve / -loadgen)")
 		}
 		srv := serve.NewServer(cfg)
+		stopMetrics := startMetrics(*metricsAddr, srv)
+		defer stopMetrics()
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
@@ -138,19 +157,28 @@ func main() {
 	}
 }
 
-func runLoadgen(network, addr string, logN int, conc string, dur, reqDeadline time.Duration, out string) {
-	levels, err := parseInts(conc)
-	if err != nil {
-		log.Fatalf("-conc: %v", err)
+func runLoadgen(network, addr string, logN int, conc, rate string, dur, reqDeadline time.Duration, out string) {
+	lcfg := serve.LoadgenConfig{
+		Network:  network,
+		Addr:     addr,
+		LogN:     logN,
+		Duration: dur,
+		Deadline: reqDeadline,
 	}
-	rep, err := serve.RunLoadgen(serve.LoadgenConfig{
-		Network:       network,
-		Addr:          addr,
-		LogN:          logN,
-		Concurrencies: levels,
-		Duration:      dur,
-		Deadline:      reqDeadline,
-	})
+	if rate != "" {
+		rates, err := parseFloats(rate)
+		if err != nil {
+			log.Fatalf("-rate: %v", err)
+		}
+		lcfg.RatesRPS = rates
+	} else {
+		levels, err := parseInts(conc)
+		if err != nil {
+			log.Fatalf("-conc: %v", err)
+		}
+		lcfg.Concurrencies = levels
+	}
+	rep, err := serve.RunLoadgen(lcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -173,6 +201,44 @@ func runLoadgen(network, addr string, logN int, conc string, dur, reqDeadline ti
 		}
 		log.Printf("wrote %s.json and %s.txt", out, out)
 	}
+}
+
+// startMetrics exposes the server's Prometheus-text /metrics endpoint
+// on its own HTTP listener (empty addr: no-op).  The returned function
+// stops the listener.
+func startMetrics(addr string, srv *serve.Server) func() {
+	if addr == "" {
+		return func() {}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	hs := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("metrics listener: %v", err)
+		}
+	}()
+	log.Printf("metrics on http://%s/metrics", addr)
+	return func() { hs.Close() }
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,263 @@
+// whtshard runs out-of-core WHT transforms: the vector lives in the
+// striped, checksummed shard store on disk and a segmented (two-phase)
+// schedule streams it through a bounded resident set, never holding
+// more than workers * 2^budget elements in RAM.  For each requested
+// size it times the shard-backed run against the same segmented
+// schedule over an in-RAM store and against the flat in-RAM engine,
+// verifies the shard result bitwise against the flat reference, seals
+// the store, and reopens it (exercising the checksum path end to end).
+//
+// Usage:
+//
+//	whtshard [-n 16,18] [-budget 0] [-workers 0] [-stripelog 0]
+//	         [-dir ""] [-runs 3] [-verify] [-keep] [-out BENCH_oocore]
+//
+// -budget 0 selects n-2 per size (a quarter of the vector resident per
+// window); CI passes an artificially small budget to prove the
+// transform completes with the resident set far under the vector.
+// The report is written to stdout and to -out{.txt,.json}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/wht"
+)
+
+type sizeReport struct {
+	N           int     `json:"n"`
+	Budget      int     `json:"resident_log"`
+	Workers     int     `json:"workers"`
+	Segments    int     `json:"segments"`
+	Form        string  `json:"form"`
+	StripeLog   int     `json:"stripe_log"`
+	Stripes     int     `json:"stripes_per_plane"`
+	ShardNs     float64 `json:"shard_ns_per_run"`
+	RAMSegNs    float64 `json:"ram_segmented_ns_per_run"`
+	FlatNs      float64 `json:"flat_ns_per_run"`
+	ShardOverFl float64 `json:"shard_over_flat"`
+	Verified    bool    `json:"verified"`
+}
+
+type report struct {
+	GOOS     string       `json:"goos"`
+	GOARCH   string       `json:"goarch"`
+	MaxProcs int          `json:"maxprocs"`
+	Sizes    []sizeReport `json:"sizes"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whtshard: ")
+	sizes := flag.String("n", "16,18", "comma-separated log2 transform sizes")
+	budget := flag.Int("budget", 0, "log2 resident-window budget (0 selects n-2 per size)")
+	workers := flag.Int("workers", 0, "streaming workers (0 selects GOMAXPROCS)")
+	stripeLog := flag.Int("stripelog", 0, "log2 shard stripe size in bytes (0 selects the store default)")
+	dir := flag.String("dir", "", "shard directory root (default: a temp directory)")
+	runs := flag.Int("runs", 3, "timed runs per configuration (median reported)")
+	verify := flag.Bool("verify", true, "verify the shard result bitwise against the flat in-RAM engine")
+	keep := flag.Bool("keep", false, "keep the sealed shard directories instead of removing them")
+	out := flag.String("out", "BENCH_oocore", "report basename (.json and .txt are appended; empty writes stdout only)")
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := *dir
+	if root == "" {
+		root, err = os.MkdirTemp("", "whtshard-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*keep {
+			defer os.RemoveAll(root)
+		}
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, n := range ns {
+		sr, err := runSize(n, *budget, *workers, *stripeLog, *runs, *verify, *keep, root)
+		if err != nil {
+			log.Fatalf("n=%d: %v", n, err)
+		}
+		rep.Sizes = append(rep.Sizes, sr)
+	}
+
+	writeText(os.Stdout, rep)
+	if *out != "" {
+		f, err := os.Create(*out + ".txt")
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeText(f, rep)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out+".json", append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s.txt and %s.json", *out, *out)
+	}
+}
+
+func runSize(n, budget, workers, stripeLog, runs int, verify, keep bool, root string) (sizeReport, error) {
+	if budget <= 0 {
+		budget = n - 2
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	leaf := wht.MaxLeafLog
+	if leaf > budget {
+		leaf = budget
+	}
+	g, err := wht.TwoPhase(wht.Balanced(n, leaf), budget)
+	if err != nil {
+		return sizeReport{}, err
+	}
+	s, err := wht.CompileSegmented(g)
+	if err != nil {
+		return sizeReport{}, err
+	}
+	segOpt := wht.SegOptions{Workers: workers, ResidentElems: workers << uint(budget)}
+	timing := wht.TimingOptions{Warmup: 1, Repeat: 3, MinDuration: 2 * time.Millisecond}
+
+	// Deterministic input and the flat in-RAM reference result.
+	size := 1 << uint(n)
+	x := make([]float64, size)
+	rng := rand.New(rand.NewSource(42))
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	var want []float64
+	if verify {
+		want = append([]float64(nil), x...)
+		if err := wht.Run(s, want); err != nil {
+			return sizeReport{}, err
+		}
+	}
+
+	// The shard-backed runs: refill, stream, repeat; median wall time.
+	sdir := filepath.Join(root, fmt.Sprintf("n%02d-b%02d", n, budget))
+	store, err := wht.CreateShardStore[float64](sdir, size, wht.ShardOptions{StripeLog: stripeLog})
+	if err != nil {
+		return sizeReport{}, err
+	}
+	samples := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		if err := store.Write(x, 0); err != nil {
+			return sizeReport{}, err
+		}
+		t0 := time.Now()
+		if err := wht.RunSegmented[float64](nil, s, store, segOpt); err != nil {
+			return sizeReport{}, err
+		}
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+	}
+
+	verified := false
+	if verify {
+		got := make([]float64, size)
+		if err := store.Read(got, 0); err != nil {
+			return sizeReport{}, err
+		}
+		verified = true
+		for i := range got {
+			if got[i] != want[i] {
+				return sizeReport{}, fmt.Errorf("shard result differs from flat reference at element %d: %g != %g", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Seal and reopen: the durability path a real out-of-core dataset
+	// takes between producing and consuming processes.
+	if err := store.Close(); err != nil {
+		return sizeReport{}, err
+	}
+	re, err := wht.OpenShardStore[float64](sdir)
+	if err != nil {
+		return sizeReport{}, fmt.Errorf("reopen after seal: %w", err)
+	}
+	stripes := re.Store().Stripes()
+	slog := re.Store().StripeLog()
+	if err := re.Close(); err != nil {
+		return sizeReport{}, err
+	}
+	if !keep {
+		if err := os.RemoveAll(sdir); err != nil {
+			return sizeReport{}, err
+		}
+	}
+
+	ramNs := wht.TimeSegmented(s, segOpt, timing)
+	flatNs := wht.TimeSchedule(s, timing)
+	shardNs := median(samples)
+	return sizeReport{
+		N: n, Budget: budget, Workers: workers,
+		Segments: len(s.Segments()), Form: g.String(),
+		StripeLog: slog, Stripes: stripes,
+		ShardNs: shardNs, RAMSegNs: ramNs, FlatNs: flatNs,
+		ShardOverFl: shardNs / flatNs, Verified: verified,
+	}, nil
+}
+
+func writeText(w *os.File, rep report) {
+	fmt.Fprintf(w, "out-of-core WHT over the shard store (%s/%s, GOMAXPROCS=%d)\n",
+		rep.GOOS, rep.GOARCH, rep.MaxProcs)
+	fmt.Fprintf(w, "%4s %7s %8s %5s %8s %14s %14s %14s %11s %9s\n",
+		"n", "budget", "workers", "segs", "stripes", "shard ns", "ram-seg ns", "flat ns", "shard/flat", "verified")
+	for _, s := range rep.Sizes {
+		v := "no"
+		if s.Verified {
+			v = "yes"
+		}
+		fmt.Fprintf(w, "%4d %7d %8d %5d %8d %14.0f %14.0f %14.0f %10.2fx %9s\n",
+			s.N, s.Budget, s.Workers, s.Segments, s.Stripes,
+			s.ShardNs, s.RAMSegNs, s.FlatNs, s.ShardOverFl, v)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 2 || v > 30 {
+			return nil, fmt.Errorf("bad size %q (want log2 sizes in 2..30)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	sort.Ints(out)
+	return out, nil
+}

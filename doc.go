@@ -78,9 +78,43 @@
 // hints, per-request deadlines, a per-size degradation ladder for
 // repeated contained faults, quarantine-and-continue boot for corrupt
 // wisdom, and a closed-loop load generator (whtserved -loadgen /
-// -selfserve) reporting p50/p99 latency vs offered load.  The
-// fault-injection harness driving the robustness suite is
-// repro/internal/faultinject.  The root package exists to host the
-// paper-figure and engine benchmark harness (bench_test.go).  See
-// README.md for the quickstart and package map.
+// -selfserve, plus an open-loop mode that holds a fixed offered rate
+// past saturation) reporting p50/p99 latency vs offered load; a
+// degraded size class earns its way back up the ladder through
+// periodic canary batches (server-owned vectors through the next tier
+// up — client traffic never rides an unproven tier), and the daemon
+// exports its counters in Prometheus text format (stdlib only) via
+// -metrics.  The fault-injection harness driving the robustness suite
+// is repro/internal/faultinject.
+//
+// Transforms larger than RAM run out of core over the same stage
+// algebra.  A plan whose vector exceeds the resident budget is
+// rewritten into the two-phase form (repro/internal/plan.TwoPhase):
+// WHT(2^(a+b)) = (WHT(2^a) ⊗ I_{2^b}) · (I_{2^a} ⊗ WHT(2^b)), i.e.
+// local stages over 2^b-element windows, a blocked transpose, local
+// stages again, and a transpose back — recursing into a phase whose
+// own vector still exceeds the budget.  exec.NewSegmentedSchedule
+// compiles that form into a segmented Schedule: an ordered list of
+// segments, each either a run of butterfly stages executed
+// window-by-window over a bounded resident set (the PR 6 window
+// scheduler lifted out of RAM) or an explicit blocked-transpose
+// segment that streams square tiles between the store's two planes.
+// A fully-local form compiles to exactly the flat stage list, so
+// in-RAM behavior is unchanged, and segmented execution is bitwise-
+// equal to flat by the regrouping lemma (property-tested across the
+// policy × backend × width × worker grid).  Storage is behind the
+// exec.BufStore interface: exec.SliceStore adapts an in-RAM slice
+// (slice-backed stores take a zero-copy direct path), and
+// repro/internal/shard provides a striped mmap-backed store with
+// crash-safe open semantics — per-stripe checksums over both planes,
+// an open/sealed manifest written atomically, and typed
+// *shard.CorruptError rejection of partial or damaged stores.  The
+// facade entry points are wht.TransformLarge/TransformLarge32 (form
+// and budget resolved from options, wisdom, or the balanced default),
+// the tuner sweeps split point and resident budget
+// (wht.TuneSegmented), wisdom persists the winning segment geometry,
+// and cmd/whtshard drives the end-to-end out-of-core benchmark
+// (BENCH_oocore).  The root package exists to host the paper-figure
+// and engine benchmark harness (bench_test.go).  See README.md for
+// the quickstart and package map.
 package repro

@@ -114,6 +114,16 @@ type Schedule struct {
 	// parts) is derived once on first batch use; see SoAStages.
 	soaOnce   sync.Once
 	soaStages []Stage
+
+	// Segmented (out-of-core) execution form, set only by
+	// NewSegmentedScheduleWith when the two-phase plan form actually
+	// splits: the ordered segment list, the compile-time resident
+	// budget exponent, and the source form.  All nil/zero for flat
+	// schedules, which therefore keep their exact pre-segmentation
+	// behavior on every code path (see segment.go).
+	segments    []Segment
+	residentLog int
+	segPlan     *plan.SegNode
 }
 
 // Log2Size returns n such that the schedule computes WHT(2^n).

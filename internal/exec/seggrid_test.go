@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// TestSegmentedEquivalenceGrid is the regrouping-lemma property grid:
+// for sizes below, at, and past the resident budget, every codelet
+// policy, backend pin, element width, and worker count must produce a
+// segmented result bitwise-equal to the flat schedule compiled under
+// the same policy — on both the direct (slice-backed) store path and
+// the copy path through resident window buffers.  Sizes at or under
+// the budget compile to flat schedules and exercise the fast paths;
+// sizes past it exercise the two-phase transpose segments.
+func TestSegmentedEquivalenceGrid(t *testing.T) {
+	const budget = 8
+	sizes := []int{6, 8, 9, 11, 13}
+	policies := []struct {
+		name string
+		pol  codelet.Policy
+	}{
+		{"default", codelet.DefaultPolicy()},
+		{"strided-only", codelet.Policy{StridedOnly: true}},
+		{"il-eager", codelet.Policy{ILMinS: 2}},
+	}
+	backends := []codelet.Backend{codelet.ScalarBackend, codelet.SIMDBackend}
+
+	for _, n := range sizes {
+		p := plan.Balanced(n, min(plan.MaxLeafLog, budget))
+		g, err := plan.TwoPhase(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range policies {
+			for _, be := range backends {
+				pol := pc.pol
+				pol.Backend = be
+				seg, err := NewSegmentedScheduleWith(g, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := n > budget; seg.IsSegmented() != want {
+					t.Fatalf("n=%d budget=%d: IsSegmented=%v, want %v", n, budget, seg.IsSegmented(), want)
+				}
+				flat, err := NewScheduleWith(p, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("n=%d/%s/%s/w=%d", n, pc.name, be, workers)
+					t.Run(name+"/f64", func(t *testing.T) {
+						gridCase[float64](t, seg, flat, n, budget, workers)
+					})
+					t.Run(name+"/f32", func(t *testing.T) {
+						gridCase[float32](t, seg, flat, n, budget, workers)
+					})
+				}
+			}
+		}
+	}
+}
+
+// gridCase runs one grid cell: the flat reference, then the segmented
+// executor over a slice-backed store (direct tier) and over a store
+// with no plane access (copy tier, resident cap applied when the
+// schedule actually segments), demanding bitwise equality throughout.
+func gridCase[T Float](t *testing.T, seg, flat *Schedule, n, budget, workers int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*1009 + int64(workers)))
+	in := make([]T, 1<<uint(n))
+	for i := range in {
+		in[i] = T(rng.Float64()*2 - 1)
+	}
+
+	want := append([]T(nil), in...)
+	var err error
+	if workers > 1 {
+		err = RunParallel(flat, want, workers)
+	} else {
+		err = Run(flat, want)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := append([]T(nil), in...)
+	if err := RunSegmented(context.Background(), seg, NewSliceStore(buf), SegOptions{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("direct path: mismatch at %d: %v vs %v", i, buf[i], want[i])
+		}
+	}
+
+	st := newMemStore(in)
+	opt := SegOptions{Workers: workers}
+	if seg.IsSegmented() {
+		opt.ResidentElems = workers << uint(budget)
+	}
+	if err := RunSegmented(context.Background(), seg, st, opt); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]T, len(in))
+	if err := st.Read(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("copy path: mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/codelet"
+	"repro/internal/plan"
+)
+
+// Segmented schedules.
+//
+// A flat schedule sweeps the whole 2^n vector once per stage.  A
+// segmented schedule regroups the same butterfly DAG into an ordered
+// list of segments, each replicated over every aligned 2^W window of
+// the vector: a StageRunSegment runs a window-local stage list (the
+// flat schedule of one phase of the plan's two-phase form), and a
+// TransposeSegment performs the explicit blocked transpose separating
+// phases, scattering each window — viewed as a 2^P x 2^Q row-major
+// matrix — into the store's auxiliary plane, followed by a plane flip.
+// Transposes come in pairs (out and back), so the result always ends in
+// the primary plane.
+//
+// The stage shapes inside a StageRunSegment are window-local: a stage
+// (M, R, S) with R*S*2^M == 2^W runs at base w<<W for every window w.
+// Summed over the 2^(n-W) windows this is exactly the flat stage
+// (M, R<<(n-W), S) of the in-RAM twin, so the butterfly work — kernel
+// calls, element pairs, add/sub order — is identical; only the layout
+// the high-phase stages see differs (transposed, hence contiguous),
+// and kernel variants are bitwise-equal by the codelet contract.
+// Segmented execution is therefore bitwise-equal to the flat schedule
+// of the source plan on every input.
+
+// SegmentKind discriminates the two segment forms.
+type SegmentKind uint8
+
+const (
+	// StageRunSegment runs a window-local stage list over every 2^W
+	// window of the vector (windows are independent; the resident
+	// working set is one window).
+	StageRunSegment SegmentKind = iota
+	// TransposeSegment transposes every 2^W window, viewed as a
+	// 2^P x 2^Q row-major matrix, into the auxiliary plane (tile by
+	// tile), after which the executor flips the planes.
+	TransposeSegment
+)
+
+// SegTransposeTile is the square tile edge (in elements) of the blocked
+// transpose: tiles are read as runs of whole rows and written as runs
+// of whole transposed rows, so both sides of the permutation move
+// contiguous spans — the shape that keeps an out-of-core store reading
+// and writing at stripe granularity instead of element granularity.
+// internal/machine mirrors this constant for transpose-segment pricing.
+const SegTransposeTile = 128
+
+// Segment is one op of a segmented schedule; see the package comment
+// above for the execution semantics of each kind.
+type Segment struct {
+	Kind SegmentKind
+
+	// W is the log2 window size: one instance of the segment covers an
+	// aligned 2^W-element window, replicated 2^(n-W) times across the
+	// vector.
+	W int
+
+	// Stages is the window-local stage list of a StageRunSegment
+	// (R*S*2^M == 2^W for every stage).  Nil for transposes.
+	Stages []Stage
+
+	// P and Q shape a TransposeSegment: each window is a 2^P x 2^Q
+	// row-major matrix, transposed to 2^Q x 2^P (P+Q == W).  Zero for
+	// stage runs.
+	P, Q int
+}
+
+// Calls returns the kernel calls of one window instance of a stage-run
+// segment (0 for transposes).
+func (sg Segment) Calls() int {
+	total := 0
+	for i := range sg.Stages {
+		total += sg.Stages[i].Calls()
+	}
+	return total
+}
+
+// Segments returns the compiled segment sequence, or nil for a flat
+// (single-segment) schedule — flat schedules carry no segment list at
+// all, so every pre-segmentation code path sees exactly the schedule it
+// always did.  The slice is owned by the schedule and must not be
+// modified.
+func (s *Schedule) Segments() []Segment { return s.segments }
+
+// IsSegmented reports whether the schedule carries a multi-segment
+// (out-of-core) execution form alongside its flat stage list.
+func (s *Schedule) IsSegmented() bool { return len(s.segments) > 0 }
+
+// ResidentLog returns the log2 of the largest window any segment keeps
+// resident (the compile-time budget), or the transform size for flat
+// schedules.
+func (s *Schedule) ResidentLog() int {
+	if !s.IsSegmented() {
+		return s.n
+	}
+	return s.residentLog
+}
+
+// SegPlan returns the two-phase plan form the schedule was compiled
+// from (nil for flat schedules).
+func (s *Schedule) SegPlan() *plan.SegNode { return s.segPlan }
+
+// CompileSegmented compiles a two-phase plan form under the default
+// variant policy, panicking on invalid input; see NewSegmentedSchedule.
+func CompileSegmented(g *plan.SegNode) *Schedule {
+	s, err := NewSegmentedSchedule(g)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSegmentedSchedule compiles a two-phase plan form (plan.TwoPhase /
+// plan.ParseSeg) into a segmented schedule under the default variant
+// policy.
+func NewSegmentedSchedule(g *plan.SegNode) (*Schedule, error) {
+	return NewSegmentedScheduleWith(g, codelet.DefaultPolicy())
+}
+
+// NewSegmentedScheduleWith compiles a two-phase plan form into a
+// segmented schedule, selecting each stage's kernel variant with pol
+// against its window-local shape.
+//
+// The schedule's flat stage list is compiled from the form's flattened
+// twin (SegNode.Flatten), so every in-RAM entry point — Run, the
+// parallel tiers, the batch executors — executes a segmented schedule
+// through its ordinary fast paths, bitwise-equal to the segmented
+// streaming path.  A fully-local form compiles to a single stage-run
+// segment and is returned as a plain flat schedule (Segments() == nil):
+// its stage list is byte-for-byte the one NewScheduleWith builds from
+// the same plan, so in-RAM behavior is unchanged by construction.
+func NewSegmentedScheduleWith(g *plan.SegNode, pol codelet.Policy) (*Schedule, error) {
+	if g == nil {
+		return nil, fmt.Errorf("exec: nil segmented plan")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	s, err := NewScheduleWith(g.Flatten(), pol)
+	if err != nil {
+		return nil, err
+	}
+	var segs []Segment
+	compileSeg(g, pol, &segs)
+	if len(segs) > 1 {
+		s.segments = segs
+		s.residentLog = g.MaxLocalLog()
+		s.segPlan = g
+	}
+	return s, nil
+}
+
+// compileSeg emits the segment sequence of one segment-tree node.  The
+// recursion is compositional because segments address aligned windows
+// of the full vector: a segment compiled for a 2^w subproblem applies
+// unchanged inside every enclosing context — its windows are simply
+// replicated across the larger vector — so phases nest without any
+// re-basing.  Execution order is lo phase, transpose out, hi phase
+// (on the transposed layout, where its strided accesses have become
+// contiguous), transpose back: exactly the factor order of
+// WHT(2^(a+b)) = (WHT(2^a) (x) I(2^b)) · (I(2^a) (x) WHT(2^b)).
+func compileSeg(g *plan.SegNode, pol codelet.Policy, out *[]Segment) {
+	if g.IsLocal() {
+		var stages []Stage
+		flatten(g.Local(), 1, 1, pol, &stages)
+		*out = append(*out, Segment{Kind: StageRunSegment, W: g.Log2Size(), Stages: stages})
+		return
+	}
+	a, b, w := g.Hi().Log2Size(), g.Lo().Log2Size(), g.Log2Size()
+	compileSeg(g.Lo(), pol, out)
+	*out = append(*out, Segment{Kind: TransposeSegment, W: w, P: a, Q: b})
+	compileSeg(g.Hi(), pol, out)
+	*out = append(*out, Segment{Kind: TransposeSegment, W: w, P: b, Q: a})
+}

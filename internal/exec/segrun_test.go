@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// memStore is a test BufStore with no direct-plane fast path, forcing
+// the copy path through resident buffers.
+type memStore[T Float] struct {
+	primary, aux []T
+}
+
+func newMemStore[T Float](x []T) *memStore[T] {
+	st := &memStore[T]{primary: make([]T, len(x)), aux: make([]T, len(x))}
+	copy(st.primary, x)
+	return st
+}
+
+func (st *memStore[T]) Len() int { return len(st.primary) }
+
+func (st *memStore[T]) Read(dst []T, off int) error {
+	copy(dst, st.primary[off:off+len(dst)])
+	return nil
+}
+
+func (st *memStore[T]) Write(src []T, off int) error {
+	copy(st.primary[off:off+len(src)], src)
+	return nil
+}
+
+func (st *memStore[T]) WriteAux(src []T, off int) error {
+	copy(st.aux[off:off+len(src)], src)
+	return nil
+}
+
+func (st *memStore[T]) Flip() error {
+	st.primary, st.aux = st.aux, st.primary
+	return nil
+}
+
+func (st *memStore[T]) Close() error { return nil }
+
+func segInput(n int) []float64 {
+	rng := rand.New(rand.NewSource(int64(n) + 7))
+	x := make([]float64, 1<<uint(n))
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func TestRunSegmentedMatchesFlat(t *testing.T) {
+	for _, tc := range []struct{ n, budget int }{
+		{10, 6}, {12, 8}, {13, 7}, {14, 6},
+	} {
+		p := plan.Balanced(tc.n, min(plan.MaxLeafLog, tc.budget))
+		g, err := plan.TwoPhase(p, tc.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSegmentedSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.IsSegmented() {
+			t.Fatalf("n=%d budget=%d: expected a segmented schedule", tc.n, tc.budget)
+		}
+		flat, err := NewSchedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := segInput(tc.n)
+
+		want := append([]float64(nil), in...)
+		if err := Run(flat, want); err != nil {
+			t.Fatal(err)
+		}
+
+		// Copy path (no direct planes), single worker.
+		st := newMemStore(in)
+		if err := RunSegmented(context.Background(), s, st, SegOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(in))
+		if err := st.Read(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d budget=%d copy path: mismatch at %d: %v vs %v", tc.n, tc.budget, i, got[i], want[i])
+			}
+		}
+
+		// Copy path, parallel with a tight resident cap.
+		st = newMemStore(in)
+		opt := SegOptions{Workers: 4, ResidentElems: 1 << uint(tc.budget)}
+		if err := RunSegmented(context.Background(), s, st, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Read(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d budget=%d capped parallel: mismatch at %d", tc.n, tc.budget, i)
+			}
+		}
+
+		// Direct path over the caller's slice.
+		buf := append([]float64(nil), in...)
+		ss := NewSliceStore(buf)
+		if err := RunSegmented(context.Background(), s, ss, SegOptions{Workers: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d budget=%d direct path: mismatch at %d", tc.n, tc.budget, i)
+			}
+		}
+	}
+}
+
+func TestRunSegmentedFlatFallback(t *testing.T) {
+	s := Compile(plan.Balanced(10, 5))
+	in := segInput(10)
+	want := append([]float64(nil), in...)
+	if err := Run(s, want); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := append([]float64(nil), in...)
+	if err := RunSegmented(context.Background(), s, NewSliceStore(buf), SegOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("direct flat fallback: mismatch at %d", i)
+		}
+	}
+
+	st := newMemStore(in)
+	if err := RunSegmented(context.Background(), s, st, SegOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(in))
+	st.Read(got, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("copy flat fallback: mismatch at %d", i)
+		}
+	}
+
+	// A flat schedule cannot honor a budget smaller than the vector.
+	err := RunSegmented(context.Background(), s, newMemStore(in), SegOptions{ResidentElems: 1 << 8})
+	if err == nil {
+		t.Fatal("flat schedule over budget must error on an external store")
+	}
+}
+
+func TestRunSegmentedCancel(t *testing.T) {
+	p := plan.Balanced(14, 6)
+	g, err := plan.TwoPhase(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSegmentedSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := segInput(14)
+	if err := RunSegmented(ctx, s, NewSliceStore(x), SegOptions{}); err == nil {
+		t.Fatal("cancelled context must abort the segmented run")
+	}
+}
+
+func TestSingleSegmentCompilesFlatStages(t *testing.T) {
+	p := plan.Balanced(12, 6)
+	g, err := plan.TwoPhase(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := NewSegmentedSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.IsSegmented() {
+		t.Fatal("a fully-local form must compile to a flat schedule")
+	}
+	flat, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seg.Stages(), flat.Stages()
+	if len(a) != len(b) {
+		t.Fatalf("stage count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stage %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"time"
 )
@@ -158,6 +159,27 @@ func TimeScheduleParallel(s *Schedule, workers int, mode ParallelMode, opt Timin
 	return timeChunked(opt, s.Log2Size(), func(k int) {
 		for i := 0; i < k; i++ {
 			if err := RunParallelMode(s, x, workers, mode); err != nil {
+				panic(err)
+			}
+		}
+	}, func() { seedScratch(x) })
+}
+
+// TimeSegmented measures the real per-run latency of a segmented
+// schedule streamed through an in-RAM store by the out-of-core
+// executor — the measurement primitive behind the tuner's resident
+// budget and phase-split sweep.  An in-RAM store prices the segment
+// structure itself (the extra transpose passes, the per-window dispatch)
+// without the noise of real disk I/O; the relative ordering of segment
+// shapes is what the sweep needs, and that is store-independent.  The
+// scratch discipline is TimeSchedule's.
+func TimeSegmented(s *Schedule, segOpt SegOptions, opt TimingOptions) float64 {
+	opt = opt.withDefaults()
+	x := make([]float64, s.Size())
+	store := NewSliceStore(x)
+	return timeChunked(opt, s.Log2Size(), func(k int) {
+		for i := 0; i < k; i++ {
+			if err := RunSegmented(context.Background(), s, store, segOpt); err != nil {
 				panic(err)
 			}
 		}

@@ -1,0 +1,56 @@
+package machine
+
+// Pricing for segmented (out-of-core) schedules.
+//
+// A stage-run segment replicates a window-local stage list over every
+// 2^W window, so its instruction classes are the ordinary StageOps of
+// each stage scaled by the window count — the segmented executor really
+// does run each stage's dispatch loop once per window, which is why the
+// per-window ChildSetup term multiplies too.  The only genuinely new
+// construct is the blocked transpose separating phases; it is priced
+// here and fed the same way into the trace simulator, preserving the
+// model==trace exactness the methodology rests on.
+
+// SegTransposeTile mirrors exec.SegTransposeTile (the equality is
+// asserted by tests): the square element tile of the blocked transpose
+// a TransposeSegment runs, reading and writing whole-row runs so both
+// sides of the permutation move contiguous spans.
+const SegTransposeTile = 128
+
+// segTile returns the tile edge of a 2^p x 2^q transpose.
+func segTile(p, q int) int64 {
+	t := int64(SegTransposeTile)
+	if rows := int64(1) << uint(p); t > rows {
+		t = rows
+	}
+	if cols := int64(1) << uint(q); t > cols {
+		t = cols
+	}
+	return t
+}
+
+// SegTransposeOps prices one transpose segment: numWin windows, each a
+// 2^p x 2^q row-major matrix moved tile by tile into the other plane —
+// one load, one store and one address update per element, plus the
+// tiled loop nest's bookkeeping (per tile, one row walk on each side of
+// the resident transpose and one inner iteration per element moved).
+func (c CostModel) SegTransposeOps(p, q, numWin int) OpCounts {
+	total := int64(numWin) << uint(p+q)
+	t := segTile(p, q)
+	tiles := int64(numWin) * (int64(1) << uint(p) / t) * (int64(1) << uint(q) / t)
+	return OpCounts{
+		Load:  total,
+		Store: total,
+		Addr:  total,
+		Loop:  c.ChildSetup + c.MidIter*tiles*2*t + c.InnerIter*total,
+	}
+}
+
+// SegTransposeLoopInstances is the completed-loop count of one
+// transpose segment (the branch-mispredict term): the tile loop plus
+// the 2t row loops of each tile.
+func SegTransposeLoopInstances(p, q, numWin int) int64 {
+	t := segTile(p, q)
+	tiles := int64(numWin) * (int64(1) << uint(p) / t) * (int64(1) << uint(q) / t)
+	return 1 + tiles*2*t
+}

@@ -26,6 +26,20 @@ type LoadgenConfig struct {
 	// level is one measurement point of latency vs offered load).
 	Concurrencies []int
 
+	// RatesRPS, when non-empty, switches the sweep to open loop: each
+	// level offers a fixed arrival rate (requests/second) regardless of
+	// completions, so offered load does not self-clock on server
+	// responses.  This is the shape that exposes the latency knee past
+	// saturation — a closed loop slows its own arrivals exactly when
+	// the server saturates and so never measures the overloaded region.
+	// When set, Concurrencies is ignored.
+	RatesRPS []float64
+
+	// MaxInFlight bounds the open-loop dispatcher's outstanding
+	// requests (default 1024).  Arrivals past the bound are counted as
+	// client-side drops instead of queuing unboundedly.
+	MaxInFlight int
+
 	// Duration is how long each level runs.
 	Duration time.Duration
 
@@ -33,17 +47,19 @@ type LoadgenConfig struct {
 	Deadline time.Duration
 
 	// ConnsPerLevel is how many client connections the workers at one
-	// level share (default: one per 8 workers, min 1) — multiplexing
-	// several workers per connection is the realistic client shape.
+	// level share (default: one per 8 workers, min 1, or 4 in open-loop
+	// mode) — multiplexing several workers per connection is the
+	// realistic client shape.
 	ConnsPerLevel int
 }
 
 // LoadgenLevel is the measured outcome of one concurrency level.
 type LoadgenLevel struct {
-	Concurrency int     `json:"concurrency"`
-	OfferedRPS  float64 `json:"offered_rps"` // completed requests / wall time
-	OKRPS       float64 `json:"ok_rps"`      // StatusOK throughput
-	P50Us       float64 `json:"p50_us"`      // StatusOK latency percentiles
+	Concurrency int     `json:"concurrency"`          // closed-loop worker count (0 in open loop)
+	TargetRPS   float64 `json:"target_rps,omitempty"` // open-loop offered rate (0 in closed loop)
+	OfferedRPS  float64 `json:"offered_rps"`          // dispatched requests / wall time
+	OKRPS       float64 `json:"ok_rps"`               // StatusOK throughput
+	P50Us       float64 `json:"p50_us"`               // StatusOK latency percentiles
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
 	OK          uint64  `json:"ok"`
@@ -51,7 +67,8 @@ type LoadgenLevel struct {
 	Deadline    uint64  `json:"deadline_misses"`
 	Faults      uint64  `json:"faults"`
 	Other       uint64  `json:"other"`
-	Errors      uint64  `json:"errors"` // connection-level failures
+	Errors      uint64  `json:"errors"`            // connection-level failures
+	Dropped     uint64  `json:"dropped,omitempty"` // open-loop client-side drops at MaxInFlight
 }
 
 // LoadgenReport is the full sweep, serialized to BENCH_serve.json.
@@ -80,6 +97,16 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		DurationMs: cfg.Duration.Milliseconds(),
 		DeadlineUs: int64(cfg.Deadline / time.Microsecond),
 	}
+	if len(cfg.RatesRPS) > 0 {
+		for _, rate := range cfg.RatesRPS {
+			lvl, err := runLevelOpen(cfg, rate)
+			if err != nil {
+				return rep, err
+			}
+			rep.Levels = append(rep.Levels, *lvl)
+		}
+		return rep, nil
+	}
 	for _, conc := range cfg.Concurrencies {
 		lvl, err := runLevel(cfg, conc)
 		if err != nil {
@@ -88,6 +115,126 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		rep.Levels = append(rep.Levels, *lvl)
 	}
 	return rep, nil
+}
+
+// runLevelOpen measures one open-loop level: a dispatcher fires a
+// request every 1/rate seconds into its own goroutine — arrivals never
+// wait for completions — so response latency keeps growing past the
+// saturation point instead of throttling the arrival process.
+func runLevelOpen(cfg LoadgenConfig, rate float64) (*LoadgenLevel, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("serve: open-loop rate %g req/s must be positive", rate)
+	}
+	nconns := cfg.ConnsPerLevel
+	if nconns <= 0 {
+		nconns = 4
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 1024
+	}
+	clients := make([]*Client, nconns)
+	for i := range clients {
+		c, err := Dial(cfg.Network, cfg.Addr)
+		if err != nil {
+			for _, cl := range clients[:i] {
+				cl.Close()
+			}
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var (
+		ok, rejected, deadline, faults, other atomic.Uint64
+		errs, dropped                         atomic.Uint64
+		inFlight                              atomic.Int64
+		mu                                    sync.Mutex
+		latencies                             []time.Duration // StatusOK only
+		wg                                    sync.WaitGroup
+	)
+	n := 1 << uint(cfg.LogN)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval < 50*time.Microsecond {
+		// The ticker floor: beyond ~20k req/s per process the arrival
+		// clock itself becomes the bottleneck.
+		interval = 50 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	start := time.Now()
+	stopAt := start.Add(cfg.Duration)
+	arrivals := 0
+	for now := range ticker.C {
+		if now.After(stopAt) {
+			break
+		}
+		arrivals++
+		if inFlight.Load() >= int64(maxInFlight) {
+			dropped.Add(1)
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			rng := rand.New(rand.NewPCG(uint64(seq), 0x9e3779b97f4a7c15))
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.Float64() - 0.5
+			}
+			t0 := time.Now()
+			res, err := clients[seq%len(clients)].Transform(x, cfg.Deadline)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			switch res.Status {
+			case StatusOK:
+				ok.Add(1)
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			case StatusRejected:
+				rejected.Add(1)
+			case StatusDeadline:
+				deadline.Add(1)
+			case StatusFault:
+				faults.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(arrivals)
+	}
+	wg.Wait() // drain: completions past the window still count
+	elapsed := time.Since(start)
+
+	lvl := &LoadgenLevel{
+		TargetRPS:  rate,
+		OfferedRPS: float64(arrivals) / elapsed.Seconds(),
+		OKRPS:      float64(ok.Load()) / elapsed.Seconds(),
+		OK:         ok.Load(),
+		Rejected:   rejected.Load(),
+		Deadline:   deadline.Load(),
+		Faults:     faults.Load(),
+		Other:      other.Load(),
+		Errors:     errs.Load(),
+		Dropped:    dropped.Load(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		lvl.P50Us = us(percentile(latencies, 0.50))
+		lvl.P99Us = us(percentile(latencies, 0.99))
+		lvl.MaxUs = us(latencies[len(latencies)-1])
+	}
+	return lvl, nil
 }
 
 func runLevel(cfg LoadgenConfig, conc int) (*LoadgenLevel, error) {
@@ -212,11 +359,15 @@ func (r *LoadgenReport) WriteText(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "whtserved loadgen: n=2^%d, %d ms per level, deadline %d us\n",
 		r.LogN, r.DurationMs, r.DeadlineUs)
-	fmt.Fprintf(&b, "%8s %12s %12s %10s %10s %10s %9s %9s %7s\n",
-		"conc", "offered/s", "ok/s", "p50(us)", "p99(us)", "max(us)", "rejected", "deadline", "faults")
+	fmt.Fprintf(&b, "%10s %12s %12s %10s %10s %10s %9s %9s %7s\n",
+		"load", "offered/s", "ok/s", "p50(us)", "p99(us)", "max(us)", "rejected", "deadline", "faults")
 	for _, l := range r.Levels {
-		fmt.Fprintf(&b, "%8d %12.0f %12.0f %10.0f %10.0f %10.0f %9d %9d %7d\n",
-			l.Concurrency, l.OfferedRPS, l.OKRPS, l.P50Us, l.P99Us, l.MaxUs,
+		label := fmt.Sprintf("%d", l.Concurrency)
+		if l.TargetRPS > 0 {
+			label = fmt.Sprintf("@%.0f/s", l.TargetRPS)
+		}
+		fmt.Fprintf(&b, "%10s %12.0f %12.0f %10.0f %10.0f %10.0f %9d %9d %7d\n",
+			label, l.OfferedRPS, l.OKRPS, l.P50Us, l.P99Us, l.MaxUs,
 			l.Rejected, l.Deadline, l.Faults)
 	}
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/exec"
+)
+
+// WriteMetrics writes a snapshot of the server's counters in the
+// Prometheus text exposition format (version 0.0.4): the global request
+// and batch counters, the per-size-class admission/response/rejection/
+// fault counters and ladder level, and the process-wide schedule-cache
+// traffic.  It needs no dependency beyond the standard library — the
+// format is plain text — and is the body of the /metrics endpoint
+// cmd/whtserved exposes.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	m := s.m.snapshot()
+	s.mu.Lock()
+	classes := make([]*sizeClass, 0, len(s.classes))
+	for _, sc := range s.classes {
+		classes = append(classes, sc)
+	}
+	s.mu.Unlock()
+	sort.Slice(classes, func(i, j int) bool { return classes[i].n < classes[j].n })
+
+	var b bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	perClass := func(name, help string, get func(sc *sizeClass) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, sc := range classes {
+			fmt.Fprintf(&b, "%s{n=\"%d\"} %d\n", name, sc.n, get(sc))
+		}
+	}
+
+	counter("wht_serve_accepted_total", "Requests decoded and admitted.", m.Accepted)
+	counter("wht_serve_responded_total", "Responses written (every status).", m.Responded)
+	counter("wht_serve_ok_total", "StatusOK responses.", m.OK)
+	counter("wht_serve_rejected_total", "Backpressure rejections.", m.Rejected)
+	counter("wht_serve_deadline_misses_total", "StatusDeadline responses.", m.DeadlineMisses)
+	counter("wht_serve_faults_total", "StatusFault responses.", m.Faults)
+	counter("wht_serve_bad_requests_total", "StatusBadRequest responses.", m.BadRequests)
+	counter("wht_serve_batches_total", "Coalesced batches executed.", m.Batches)
+	counter("wht_serve_batched_vectors_total", "Vectors carried by coalesced batches.", m.BatchedVecs)
+	counter("wht_serve_degradations_total", "Ladder step-downs across all size classes.", m.Degradations)
+	counter("wht_serve_reescalations_total", "Ladder step-ups earned by clean canary batches.", m.Reescalations)
+
+	perClass("wht_serve_class_accepted_total",
+		"Requests admitted to the size class's queue.",
+		func(sc *sizeClass) uint64 { return sc.accepted.Load() })
+	perClass("wht_serve_class_responded_total",
+		"Responses issued by the class's batcher and shutdown drain.",
+		func(sc *sizeClass) uint64 { return sc.responded.Load() })
+	perClass("wht_serve_class_rejected_total",
+		"Queue-full rejections for the size class.",
+		func(sc *sizeClass) uint64 { return sc.rejected.Load() })
+	perClass("wht_serve_class_faulted_total",
+		"StatusFault responses for the size class.",
+		func(sc *sizeClass) uint64 { return sc.faulted.Load() })
+
+	fmt.Fprintf(&b, "# HELP wht_serve_ladder_level Degradation ladder position (0=full, 1=scalar, 2=sequential).\n")
+	fmt.Fprintf(&b, "# TYPE wht_serve_ladder_level gauge\n")
+	for _, sc := range classes {
+		fmt.Fprintf(&b, "wht_serve_ladder_level{n=\"%d\"} %d\n", sc.n, sc.level.Load())
+	}
+
+	cs := exec.DefaultCacheStats()
+	counter("wht_schedule_cache_hits_total", "Schedule-cache lookups served from the cache.", cs.Hits)
+	counter("wht_schedule_cache_misses_total", "Schedule-cache lookups that had to build.", cs.Misses)
+	counter("wht_schedule_cache_evictions_total", "Schedule-cache entries dropped by the LRU bound.", cs.Evictions)
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// MetricsHandler serves WriteMetrics over HTTP — mount it at /metrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			// The scrape connection died mid-write; nothing to answer.
+			s.cfg.Logf("serve: metrics write: %v", err)
+		}
+	})
+}

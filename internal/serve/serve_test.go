@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"math/rand/v2"
 	"net"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -341,6 +344,69 @@ func TestServeDegradationLadder(t *testing.T) {
 	}
 }
 
+// TestServeLadderReescalation walks a class down the ladder under a
+// persistent fault, proves the canary probes cannot re-escalate it
+// while the fault lasts, then heals the fault and watches a clean
+// canary earn the level back.
+func TestServeLadderReescalation(t *testing.T) {
+	faultinject.Set(faultinject.ServeExec, faultinject.PanicFirst(1000, "persistent kernel fault"))
+	defer faultinject.Reset()
+	srv, addr := startServer(t, Config{
+		FaultLadderTrips: 2,
+		ProbeInterval:    10 * time.Millisecond,
+	})
+	c := dialT(t, addr)
+
+	const logN = 8
+	for i := 0; i < 2; i++ {
+		res, err := c.Transform(randVec(1<<logN, uint64(i)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusFault {
+			t.Fatalf("fault %d: status %v, want %v", i, res.Status, StatusFault)
+		}
+	}
+	if got := srv.LadderLevel(logN); got != "scalar" {
+		t.Fatalf("ladder level after 2 faults = %q, want %q", got, "scalar")
+	}
+
+	// Canaries run every 10ms but fault like everything else: several
+	// probe intervals later the class must still be down.
+	time.Sleep(60 * time.Millisecond)
+	if got := srv.LadderLevel(logN); got != "scalar" {
+		t.Fatalf("class re-escalated to %q while the fault persisted", got)
+	}
+	if got := srv.Metrics().Reescalations; got != 0 {
+		t.Fatalf("reescalations = %d while the fault persisted", got)
+	}
+
+	// Heal the fault: the next clean canary steps the class back up.
+	faultinject.Reset()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.LadderLevel(logN) != "full" {
+		if time.Now().After(deadline) {
+			t.Fatalf("class stuck at %q after the fault healed", srv.LadderLevel(logN))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Metrics().Reescalations; got == 0 {
+		t.Fatal("re-escalation not counted")
+	}
+
+	// The recovered tier serves correct transforms.
+	x := randVec(1<<logN, 99)
+	want := wantWHT(t, x)
+	res, err := c.Transform(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("recovered tier: status %v", res.Status)
+	}
+	assertVec(t, res.Data, want)
+}
+
 // TestServeBadRequest sends structurally invalid frames and expects
 // StatusBadRequest without losing the connection.
 func TestServeBadRequest(t *testing.T) {
@@ -614,5 +680,106 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if err := rep.WriteText(os.Stderr); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeMetrics drives a few requests through a size class and
+// checks the Prometheus-text snapshot: global counters, per-class
+// counters carrying the n label, the ladder gauge, and the
+// schedule-cache lines — then the HTTP handler's content type.
+func TestServeMetrics(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	x := randVec(1<<8, 7)
+	want := wantWHT(t, x)
+	for i := 0; i < 3; i++ {
+		res, err := c.Transform(x, 0)
+		if err != nil {
+			t.Fatalf("transform %d: %v", i, err)
+		}
+		if res.Status != StatusOK {
+			t.Fatalf("transform %d: status %v", i, res.Status)
+		}
+		assertVec(t, res.Data, want)
+	}
+
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, needle := range []string{
+		"# TYPE wht_serve_accepted_total counter",
+		"wht_serve_accepted_total 3",
+		"wht_serve_ok_total 3",
+		"wht_serve_reescalations_total 0",
+		`wht_serve_class_accepted_total{n="8"} 3`,
+		`wht_serve_class_responded_total{n="8"} 3`,
+		`wht_serve_class_faulted_total{n="8"} 0`,
+		"# TYPE wht_serve_ladder_level gauge",
+		`wht_serve_ladder_level{n="8"} 0`,
+		"# TYPE wht_schedule_cache_hits_total counter",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("metrics snapshot missing %q\n%s", needle, body)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "wht_serve_accepted_total") {
+		t.Fatalf("handler body missing counters:\n%s", rec.Body.String())
+	}
+}
+
+// TestLoadgenOpenLoop drives a fixed offered rate — the open-loop shape
+// that keeps arrivals coming regardless of completions — and checks the
+// level bookkeeping: the target rate is recorded, requests complete,
+// and the server answered everything it admitted.
+func TestLoadgenOpenLoop(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	rep, err := RunLoadgen(LoadgenConfig{
+		Network:  "unix",
+		Addr:     addr,
+		LogN:     8,
+		RatesRPS: []float64{500},
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 1 {
+		t.Fatalf("levels = %d", len(rep.Levels))
+	}
+	l := rep.Levels[0]
+	if l.TargetRPS != 500 {
+		t.Fatalf("target rate lost: %+v", l)
+	}
+	if l.Concurrency != 0 {
+		t.Fatalf("open-loop level reported a worker count: %+v", l)
+	}
+	if l.OK == 0 {
+		t.Fatalf("no requests completed: %+v", l)
+	}
+	if l.Errors != 0 {
+		t.Fatalf("connection errors: %d", l.Errors)
+	}
+	if l.P50Us <= 0 || l.P99Us < l.P50Us {
+		t.Fatalf("broken percentiles: p50=%v p99=%v", l.P50Us, l.P99Us)
+	}
+	if l.OfferedRPS <= 0 {
+		t.Fatalf("offered rate not measured: %+v", l)
+	}
+	// Everything dispatched was classified somewhere.
+	classified := l.OK + l.Rejected + l.Deadline + l.Faults + l.Other + l.Errors
+	if classified == 0 {
+		t.Fatalf("no request classified: %+v", l)
+	}
+	m := srv.Metrics()
+	if m.Responded != m.Accepted {
+		t.Fatalf("dropped without response: accepted %d responded %d", m.Accepted, m.Responded)
 	}
 }

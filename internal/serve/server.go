@@ -58,6 +58,13 @@ type Config struct {
 	// (default 2).
 	FaultLadderTrips int
 
+	// ProbeInterval is how often a degraded size class sends a
+	// synthetic canary batch through the next ladder tier up,
+	// re-escalating one level when the canary completes cleanly
+	// (default 1m; negative disables probing).  Canaries are
+	// server-owned vectors: a canary fault costs no client a response.
+	ProbeInterval time.Duration
+
 	// Logf receives operational log lines (default log.Printf; silence
 	// with func(string, ...any) {}).
 	Logf func(format string, args ...any)
@@ -75,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FaultLadderTrips <= 0 {
 		c.FaultLadderTrips = 2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Minute
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -94,11 +104,13 @@ type Metrics struct {
 	Batches        uint64 // coalesced batches executed
 	BatchedVecs    uint64 // vectors carried by those batches
 	Degradations   uint64 // ladder step-downs across all size classes
+	Reescalations  uint64 // ladder step-ups earned by clean canary batches
 }
 
 type metrics struct {
 	accepted, responded, ok, rejected, deadline,
-	faults, bad, batches, batchedVecs, degradations atomic.Uint64
+	faults, bad, batches, batchedVecs, degradations,
+	reescalations atomic.Uint64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -107,15 +119,18 @@ func (m *metrics) snapshot() Metrics {
 		Rejected: m.rejected.Load(), DeadlineMisses: m.deadline.Load(),
 		Faults: m.faults.Load(), BadRequests: m.bad.Load(),
 		Batches: m.batches.Load(), BatchedVecs: m.batchedVecs.Load(),
-		Degradations: m.degradations.Load(),
+		Degradations: m.degradations.Load(), Reescalations: m.reescalations.Load(),
 	}
 }
 
 // The degradation ladder.  A size class starts at ladderFull and steps
 // down after FaultLadderTrips consecutive contained faults at its
 // current level; any success resets the trip counter but not the level
-// (a class that faulted its way down stays down — kernels do not heal,
-// and re-escalating on the next lucky batch would oscillate).
+// (re-escalating on the next lucky client batch would oscillate).
+// Recovery is earned out of band instead: every ProbeInterval a
+// degraded class runs a synthetic canary batch through the tier one
+// level up, and steps back up only when the canary completes cleanly —
+// client traffic never rides an unproven tier.
 //
 //	ladderFull       — tuned schedule, auto backends, SoA batch + parallel tiers
 //	ladderScalar     — scalar-pinned schedule, batch + barrier tiers (sheds the
@@ -166,6 +181,21 @@ type sizeClass struct {
 
 	level atomic.Int32 // ladder level
 	trips atomic.Int32 // consecutive faults at the current level
+
+	// Per-class counters behind the /metrics endpoint: admissions to
+	// the queue, responses issued by the class machinery (batcher and
+	// shutdown drain), queue-full rejections, and fault responses.
+	accepted, responded, rejected, faulted atomic.Uint64
+}
+
+// respond answers one request on behalf of the class, keeping the
+// per-class books.
+func (sc *sizeClass) respond(r *request, resp responseFrame) {
+	sc.responded.Add(1)
+	if resp.Status == StatusFault {
+		sc.faulted.Add(1)
+	}
+	r.conn.respond(resp)
 }
 
 // Server is the daemon.  Construct with NewServer, start with Serve (or
@@ -442,10 +472,12 @@ func (c *serveConn) admit(rf requestFrame) {
 	}
 	select {
 	case sc.queue <- req:
+		sc.accepted.Add(1)
 	default:
 		// Bounded queue full: reject now with a hint sized to one batch
 		// window — the queue drains at batch cadence, so that is the
 		// natural earliest useful retry.
+		sc.rejected.Add(1)
 		c.respond(responseFrame{
 			ID: rf.ID, Status: StatusRejected,
 			RetryAfterUs: uint32(s.cfg.BatchWindow / time.Microsecond),
@@ -456,15 +488,26 @@ func (c *serveConn) admit(rf requestFrame) {
 // batcher drains one size class: it coalesces queued requests into
 // batches (up to MaxLane, waiting at most BatchWindow after the first
 // arrival), executes each batch at the class's ladder level, and
-// responds to every member.  On shutdown it answers everything still
-// queued with StatusShutdown before exiting.
+// responds to every member.  Between batches it fields the canary
+// ticker — a degraded class periodically proves the tier above itself
+// on synthetic vectors (probeClass).  On shutdown it answers everything
+// still queued with StatusShutdown before exiting.
 func (s *Server) batcher(sc *sizeClass) {
+	var probeC <-chan time.Time
+	if s.cfg.ProbeInterval > 0 {
+		ticker := time.NewTicker(s.cfg.ProbeInterval)
+		defer ticker.Stop()
+		probeC = ticker.C
+	}
 	for {
 		var first *request
 		select {
 		case <-s.baseCtx.Done():
 			s.drainShutdown(sc)
 			return
+		case <-probeC:
+			s.probeClass(sc)
+			continue
 		case first = <-sc.queue:
 		}
 		batch := []*request{first}
@@ -490,7 +533,7 @@ func (s *Server) drainShutdown(sc *sizeClass) {
 	for {
 		select {
 		case r := <-sc.queue:
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusShutdown})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusShutdown})
 		default:
 			return
 		}
@@ -506,7 +549,7 @@ func (s *Server) executeBatch(sc *sizeClass, batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
 		if r.expired(now) {
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusDeadline})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusDeadline})
 			continue
 		}
 		live = append(live, r)
@@ -547,38 +590,49 @@ func (s *Server) executeBatch(sc *sizeClass, batch []*request) {
 		sc.trips.Store(0)
 		for _, r := range live {
 			if r.expired(now) {
-				r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusDeadline})
+				sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusDeadline})
 				continue
 			}
-			r.conn.respond(responseFrame{
+			sc.respond(r, responseFrame{
 				ID: r.frame.ID, Status: StatusOK, LogN: r.frame.LogN, Data: r.frame.Data,
 			})
 		}
 	case errors.Is(err, exec.ErrKernelPanic):
 		s.noteFault(sc, level, err)
 		for _, r := range live {
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusFault})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusFault})
 		}
 	case errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil:
 		for _, r := range live {
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusShutdown})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusShutdown})
 		}
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		for _, r := range live {
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusDeadline})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusDeadline})
 		}
 	default:
 		// No other error shape escapes the executors, but if one ever
 		// does, it must still become responses, not silence.
 		s.cfg.Logf("serve: n=%d batch error: %v", sc.n, err)
 		for _, r := range live {
-			r.conn.respond(responseFrame{ID: r.frame.ID, Status: StatusFault})
+			sc.respond(r, responseFrame{ID: r.frame.ID, Status: StatusFault})
 		}
 	}
 }
 
 // runLadder executes the batch at the given degradation level.
-func (s *Server) runLadder(ctx context.Context, sc *sizeClass, level int32, live []*request) (err error) {
+func (s *Server) runLadder(ctx context.Context, sc *sizeClass, level int32, live []*request) error {
+	xs := make([][]float64, len(live))
+	for i, r := range live {
+		xs[i] = r.frame.Data
+	}
+	return s.runLevel(ctx, sc, level, xs)
+}
+
+// runLevel executes one lane of vectors at the given degradation level;
+// it is the single execution path for client batches and canary probes
+// alike, so both pass the same fault point and containment.
+func (s *Server) runLevel(ctx context.Context, sc *sizeClass, level int32, xs [][]float64) (err error) {
 	// A panic in this function itself (the ServeExec fault point, or a
 	// bug in batch assembly) must be contained exactly like a kernel
 	// panic below the executors.
@@ -588,10 +642,6 @@ func (s *Server) runLadder(ctx context.Context, sc *sizeClass, level int32, live
 		}
 	}()
 	faultinject.Fire(faultinject.ServeExec)
-	xs := make([][]float64, len(live))
-	for i, r := range live {
-		xs[i] = r.frame.Data
-	}
 	switch level {
 	case ladderFull:
 		return exec.RunBatchParallelCtx(ctx, sc.full, xs, 0)
@@ -604,6 +654,43 @@ func (s *Server) runLadder(ctx context.Context, sc *sizeClass, level int32, live
 			}
 		}
 		return nil
+	}
+}
+
+// canaryLane is the width of a re-escalation probe batch: wide enough
+// to exercise the batch path of the tier under test, narrow enough that
+// an idle degraded class probes cheaply.
+const canaryLane = 2
+
+// probeClass sends a synthetic canary batch through the tier one level
+// above the class's current position.  A clean canary re-escalates one
+// level — recovery is earned by evidence, never by a lucky client
+// batch — while a contained canary fault leaves the class where it is,
+// at the cost of no client response (the vectors are server-owned).
+func (s *Server) probeClass(sc *sizeClass) {
+	level := sc.level.Load()
+	if level <= ladderFull {
+		return
+	}
+	target := level - 1
+	xs := make([][]float64, canaryLane)
+	for i := range xs {
+		x := make([]float64, 1<<uint(sc.n))
+		for j := range x {
+			x[j] = float64((i+j)%16) - 8
+		}
+		xs[i] = x
+	}
+	if err := s.runLevel(s.baseCtx, sc, target, xs); err != nil {
+		s.cfg.Logf("serve: n=%d canary at %s failed (%v); staying at %s",
+			sc.n, ladderName(target), err, ladderName(level))
+		return
+	}
+	if sc.level.CompareAndSwap(level, target) {
+		sc.trips.Store(0)
+		s.m.reescalations.Add(1)
+		s.cfg.Logf("serve: n=%d re-escalated %s -> %s after a clean canary batch",
+			sc.n, ladderName(level), ladderName(target))
 	}
 }
 

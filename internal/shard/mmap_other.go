@@ -1,0 +1,13 @@
+//go:build !unix
+
+package shard
+
+import "os"
+
+// Non-unix fallback: no mapping, stripes go through ReadAt/WriteAt on
+// the file handle (stripe.m stays nil).
+func mapStripe(f *os.File, size int) ([]byte, error) { return nil, nil }
+
+func unmapStripe(m []byte) error { return nil }
+
+func flushStripe(m []byte) error { return nil }

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	// A tiny stripe so multi-stripe paths and boundary-straddling runs
+	// are exercised.
+	ts, err := CreateTyped[float64](dir, 1<<12, Options{StripeLog: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Store().Stripes(); got != 8 {
+		t.Fatalf("stripes = %d, want 8", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1<<12)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if err := ts.Write(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A read that straddles a stripe boundary (512 f64 per stripe).
+	frag := make([]float64, 100)
+	if err := ts.Read(frag, 470); err != nil {
+		t.Fatal(err)
+	}
+	for i := range frag {
+		if frag[i] != x[470+i] {
+			t.Fatalf("straddling read mismatch at %d", i)
+		}
+	}
+	// Aux writes land in the other plane; a flip surfaces them.
+	if err := ts.WriteAux(x[:256], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Flip(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Read(frag[:10], 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if frag[i] != x[i] {
+			t.Fatalf("aux plane mismatch at %d", i)
+		}
+	}
+	if err := ts.Flip(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenTyped[float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(x))
+	if err := reopened.Read(y, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("reopened data mismatch at %d", i)
+		}
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := View[float32](mustOpen(t, dir)); err == nil {
+		t.Fatal("f32 view of an f64 store must be rejected")
+	}
+
+	if err := ts.Read(frag, -1); err == nil {
+		t.Fatal("negative offset must be rejected")
+	}
+	if err := ts.Read(make([]float64, 1<<13), 0); err == nil {
+		t.Fatal("oversized read must be rejected")
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestCreateRefusesNonEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, 16, 8, Options{StripeLog: 12}); err == nil {
+		t.Fatal("Create must refuse a non-empty directory")
+	}
+}
+
+// sealedStore creates, fills, and seals a small store, returning its
+// directory and stripe paths.
+func sealedStore(t *testing.T) (dir string, stripes []string) {
+	t.Helper()
+	dir = filepath.Join(t.TempDir(), "store")
+	ts, err := CreateTyped[float64](dir, 1<<10, Options{StripeLog: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1<<10)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	if err := ts.Write(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".bin" {
+			stripes = append(stripes, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(stripes) == 0 {
+		t.Fatal("no stripe files found")
+	}
+	return dir, stripes
+}
+
+func wantCorrupt(t *testing.T, dir, what string) {
+	t.Helper()
+	st, err := Open(dir)
+	if err == nil {
+		st.Close()
+		t.Fatalf("%s: Open accepted a damaged store", what)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("%s: error %v is not a *CorruptError", what, err)
+	}
+}
+
+func TestOpenRejectsUnsealed(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	ts, err := CreateTyped[float64](dir, 1<<10, Options{StripeLog: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: release the files without sealing.
+	ts.Store().closeFiles()
+	wantCorrupt(t, dir, "unsealed store")
+}
+
+func TestOpenRejectsTruncatedStripe(t *testing.T) {
+	dir, stripes := sealedStore(t)
+	if err := faultinject.TruncateFile(stripes[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, dir, "truncated stripe")
+}
+
+func TestOpenRejectsGrownStripe(t *testing.T) {
+	dir, stripes := sealedStore(t)
+	if err := faultinject.AppendGarbage(stripes[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, dir, "grown stripe")
+}
+
+func TestOpenRejectsScrambledStripe(t *testing.T) {
+	dir, stripes := sealedStore(t)
+	if err := faultinject.ScrambleFile(stripes[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, dir, "scrambled stripe")
+}
+
+func TestOpenRejectsScrambledMeta(t *testing.T) {
+	dir, _ := sealedStore(t)
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, dir, "scrambled manifest")
+}
+
+func TestOpenRejectsMissingStripe(t *testing.T) {
+	dir, stripes := sealedStore(t)
+	if err := os.Remove(stripes[len(stripes)-1]); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, dir, "missing stripe")
+}
+
+// TestSegmentedTransformOverShards is the out-of-core acceptance check
+// at test scale: a transform whose resident budget (2^8 elements) is
+// far smaller than the vector (2^12), streamed through the disk store,
+// must be bitwise-equal to the flat in-RAM transform.
+func TestSegmentedTransformOverShards(t *testing.T) {
+	const n, budget = 12, 8
+	p := plan.Balanced(n, min(plan.MaxLeafLog, budget))
+	g, err := plan.TwoPhase(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exec.NewSegmentedSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsSegmented() {
+		t.Fatal("expected a segmented schedule")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := append([]float64(nil), x...)
+	if err := exec.Run(exec.Compile(p), want); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	ts, err := CreateTyped[float64](dir, 1<<n, Options{StripeLog: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Write(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.SegOptions{Workers: 4, ResidentElems: 1 << budget}
+	if err := exec.RunSegmented(context.Background(), s, ts, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenTyped[float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got := make([]float64, 1<<n)
+	if err := reopened.Read(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out-of-core transform mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/exec"
+)
+
+// Typed is the element-typed view of a Store, implementing
+// exec.BufStore[T] so segmented schedules stream through the disk
+// store exactly as they do through a SliceStore.  The element slices
+// on either side of every call are reinterpreted as bytes in place
+// (unsafe.Slice), so the adapter adds no copies of its own.
+type Typed[T exec.Float] struct {
+	st *Store
+}
+
+// View wraps st as an element-typed store, verifying the manifest's
+// element size matches T.
+func View[T exec.Float](st *Store) (*Typed[T], error) {
+	var zero T
+	if want := int(unsafe.Sizeof(zero)); st.ElemSize() != want {
+		return nil, fmt.Errorf("shard: store holds %d-byte elements, type wants %d", st.ElemSize(), want)
+	}
+	return &Typed[T]{st: st}, nil
+}
+
+// CreateTyped creates a store of n elements of T under dir; see Create.
+func CreateTyped[T exec.Float](dir string, n int, opts Options) (*Typed[T], error) {
+	var zero T
+	st, err := Create(dir, n, int(unsafe.Sizeof(zero)), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Typed[T]{st: st}, nil
+}
+
+// OpenTyped opens a sealed store as an element-typed view; see Open.
+func OpenTyped[T exec.Float](dir string) (*Typed[T], error) {
+	st, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	t, err := View[T](st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Store returns the underlying byte-level store.
+func (t *Typed[T]) Store() *Store { return t.st }
+
+func asBytes[T exec.Float](x []T) []byte {
+	if len(x) == 0 {
+		return nil
+	}
+	var zero T
+	return unsafe.Slice((*byte)(unsafe.Pointer(&x[0])), len(x)*int(unsafe.Sizeof(zero)))
+}
+
+// Len returns the logical vector length.
+func (t *Typed[T]) Len() int { return t.st.Len() }
+
+// Read copies from the primary plane.
+func (t *Typed[T]) Read(dst []T, off int) error { return t.st.ReadBytes(asBytes(dst), off) }
+
+// Write copies into the primary plane.
+func (t *Typed[T]) Write(src []T, off int) error { return t.st.WriteBytes(asBytes(src), off) }
+
+// WriteAux copies into the auxiliary plane.
+func (t *Typed[T]) WriteAux(src []T, off int) error { return t.st.WriteAuxBytes(asBytes(src), off) }
+
+// Flip exchanges the planes.
+func (t *Typed[T]) Flip() error { return t.st.Flip() }
+
+// Close seals the store; see Store.Close.
+func (t *Typed[T]) Close() error { return t.st.Close() }
+
+var _ exec.BufStore[float64] = (*Typed[float64])(nil)
+var _ exec.BufStore[float32] = (*Typed[float32])(nil)

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"repro/internal/exec"
+	"repro/internal/machine"
+)
+
+// RunScheduleSegmented simulates one segmented (out-of-core) execution
+// of the schedule on a cold hierarchy: every stage-run segment replays
+// its window-local stage list once per resident window, and every
+// transpose segment replays the blocked tile transpose between the two
+// store planes.  The address layout places the primary plane at
+// [0, 2^n) and the auxiliary plane behind it, with plane flips swapping
+// the bases after each transpose — the reference stream the streaming
+// executor issues against a RAM-resident store.  (An external shard
+// store pays real I/O the virtual hierarchy does not model; what the
+// simulation prices is the traffic shape — which segmented form moves
+// fewer lines — and that ordering is store-independent.)
+//
+// Instruction classes come from the same machine.StageOpsFused /
+// SegTransposeOps terms the closed-form model sums, so model and trace
+// agree exactly on segmented instruction counts, extending the
+// methodology's model==trace invariant to the out-of-core tier.  Flat
+// schedules fall back to RunSchedule.
+func (t *Tracer) RunScheduleSegmented(s *exec.Schedule) Counters {
+	if !s.IsSegmented() {
+		return t.RunSchedule(s)
+	}
+	t.hier.Reset()
+	t.counters = Counters{}
+	t.priceLanes = machine.SIMDLanes(t.mach.ElemSize)
+	defer func() { t.priceLanes = 1 }()
+	cost := &t.mach.Cost
+	n := s.Log2Size()
+	size := s.Size()
+	primBase, auxBase := 0, size
+	for _, seg := range s.Segments() {
+		numWin := 1 << uint(n-seg.W)
+		switch seg.Kind {
+		case exec.StageRunSegment:
+			for _, st := range seg.Stages {
+				t.stagePrice(st, int64(numWin))
+			}
+			for w := 0; w < numWin; w++ {
+				base := primBase + w<<uint(seg.W)
+				for _, st := range seg.Stages {
+					t.stageStream(st, base)
+				}
+			}
+		case exec.TransposeSegment:
+			t.counters.Ops.Add(cost.SegTransposeOps(seg.P, seg.Q, numWin))
+			t.counters.LoopInstances += machine.SegTransposeLoopInstances(seg.P, seg.Q, numWin)
+			t.segTransposeStream(seg, numWin, primBase, auxBase)
+			primBase, auxBase = auxBase, primBase
+		}
+	}
+	t.counters.Mem = t.hier.Counters()
+	return t.counters
+}
+
+// segTransposeStream feeds one transpose segment into the hierarchy in
+// the executor's tile order: per tile, the resident-row reads from the
+// primary plane and the transposed-row writes into the auxiliary plane,
+// every run contiguous.
+func (t *Tracer) segTransposeStream(seg exec.Segment, numWin, primBase, auxBase int) {
+	rows := 1 << uint(seg.P)
+	cols := 1 << uint(seg.Q)
+	tile := machine.SegTransposeTile
+	if tile > rows {
+		tile = rows
+	}
+	if tile > cols {
+		tile = cols
+	}
+	for w := 0; w < numWin; w++ {
+		winOff := w << uint(seg.W)
+		for tr := 0; tr < rows/tile; tr++ {
+			for tc := 0; tc < cols/tile; tc++ {
+				for r := 0; r < tile; r++ {
+					t.leafPass(primBase+winOff+(tr*tile+r)*cols+tc*tile, 1, tile)
+				}
+				for or := 0; or < tile; or++ {
+					t.leafPass(auxBase+winOff+(tc*tile+or)*rows+tr*tile, 1, tile)
+				}
+			}
+		}
+	}
+}

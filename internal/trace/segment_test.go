@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/plan"
+)
+
+func TestSegTransposeTileMirrorsExec(t *testing.T) {
+	if machine.SegTransposeTile != exec.SegTransposeTile {
+		t.Fatalf("machine.SegTransposeTile = %d, exec.SegTransposeTile = %d",
+			machine.SegTransposeTile, exec.SegTransposeTile)
+	}
+}
+
+// The out-of-core tier's model==trace exactness: the instruction
+// classes and loop instances a segmented trace accumulates must equal
+// the machine model's StageOpsFused summed over every window-replicated
+// stage plus SegTransposeOps over every transpose segment.
+func TestSegmentedModelMatchesTrace(t *testing.T) {
+	mach := machine.VirtualOpteron224()
+	cost := &mach.Cost
+	for _, tc := range []struct{ n, budget int }{
+		{12, 8}, {14, 7}, {16, 10},
+	} {
+		p := plan.Balanced(tc.n, min(plan.MaxLeafLog, tc.budget))
+		g, err := plan.TwoPhase(p, tc.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := exec.NewSegmentedSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.IsSegmented() {
+			t.Fatalf("n=%d budget=%d: expected a segmented schedule", tc.n, tc.budget)
+		}
+
+		var wantOps machine.OpCounts
+		var wantLoops int64
+		for _, seg := range s.Segments() {
+			numWin := int64(1) << uint(tc.n-seg.W)
+			switch seg.Kind {
+			case exec.StageRunSegment:
+				for _, st := range seg.Stages {
+					wantOps.Add(cost.StageOpsFused(st.M, st.R, st.S, st.V, st.Fused).Scale(numWin))
+					wantLoops += machine.StageLoopInstancesFused(st.M, st.R, st.S, st.V, st.Fused) * numWin
+				}
+			case exec.TransposeSegment:
+				wantOps.Add(cost.SegTransposeOps(seg.P, seg.Q, int(numWin)))
+				wantLoops += machine.SegTransposeLoopInstances(seg.P, seg.Q, int(numWin))
+			}
+		}
+
+		got := New(mach).RunScheduleSegmented(s)
+		if got.Ops != wantOps {
+			t.Fatalf("n=%d budget=%d: traced ops %+v, model says %+v", tc.n, tc.budget, got.Ops, wantOps)
+		}
+		if got.LoopInstances != wantLoops {
+			t.Fatalf("n=%d budget=%d: traced %d loop instances, model says %d",
+				tc.n, tc.budget, got.LoopInstances, wantLoops)
+		}
+	}
+}
+
+// A flat schedule routed through the segmented entry point must price
+// identically to RunSchedule — the single-segment compile-identity
+// invariant, seen from the virtual counters.
+func TestSegmentedTraceFlatFallback(t *testing.T) {
+	mach := machine.VirtualOpteron224()
+	p := plan.Balanced(12, 6)
+	s := exec.Compile(p)
+	a := New(mach).RunSchedule(s)
+	b := New(mach).RunScheduleSegmented(s)
+	if a != b {
+		t.Fatalf("flat fallback diverged:\n  RunSchedule          %+v\n  RunScheduleSegmented %+v", a, b)
+	}
+}
+
+// Segmenting must not change the butterfly work, only add the explicit
+// transpose traffic: arithmetic instruction counts agree between the
+// flat twin and the segmented form.
+func TestSegmentedArithMatchesFlat(t *testing.T) {
+	mach := machine.VirtualOpteron224()
+	p := plan.Balanced(14, 7)
+	g, err := plan.TwoPhase(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exec.NewSegmentedSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := New(mach).RunSchedule(s)
+	seg := New(mach).RunScheduleSegmented(s)
+	if flat.Ops.Arith != seg.Ops.Arith {
+		t.Fatalf("arith moved: flat %d, segmented %d", flat.Ops.Arith, seg.Ops.Arith)
+	}
+	if seg.Ops.Total() <= flat.Ops.Total() {
+		t.Fatalf("segmented form must pay for its transposes: %d <= %d",
+			seg.Ops.Total(), flat.Ops.Total())
+	}
+}

@@ -1,0 +1,81 @@
+package tune
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/wisdom"
+)
+
+func quickSegTiming() exec.TimingOptions {
+	return exec.TimingOptions{Warmup: 1, Repeat: 1, MinDuration: 200 * time.Microsecond}
+}
+
+func TestTuneSegmentedRecordsWinner(t *testing.T) {
+	Reset()
+	defer Reset()
+	res, err := TuneSegmented(14, SegmentedOptions{
+		Budgets: []int{8, 10},
+		Timing:  quickSegTiming(),
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seg == nil || res.Seg.IsLocal() {
+		t.Fatalf("winner is not a segmented form: %v", res.Seg)
+	}
+	if res.Seg.Log2Size() != 14 {
+		t.Fatalf("winner size 2^%d", res.Seg.Log2Size())
+	}
+	if res.ResidentLog != 8 && res.ResidentLog != 10 {
+		t.Fatalf("winner budget %d not in the swept set", res.ResidentLog)
+	}
+	if got := res.Seg.MaxLocalLog(); got > res.ResidentLog {
+		t.Fatalf("winner's working set 2^%d exceeds its budget 2^%d", got, res.ResidentLog)
+	}
+	if res.NsPerRun <= 0 || res.FlatNs <= 0 {
+		t.Fatalf("non-positive measurements: %g / %g", res.NsPerRun, res.FlatNs)
+	}
+	if res.Measured < 3 {
+		t.Fatalf("expected a real sweep, measured %d", res.Measured)
+	}
+
+	g, budget, ok := LookupSegments(14)
+	if !ok || budget != res.ResidentLog || !g.Equal(res.Seg) {
+		t.Fatalf("process wisdom did not record the winner: (%v, %d, %v)", g, budget, ok)
+	}
+
+	// The recorded form survives a save/load cycle and recompiles.
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := SaveWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := LoadWisdom(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, budget2, ok := LookupSegments(14)
+	if !ok || budget2 != res.ResidentLog || !g2.Equal(res.Seg) {
+		t.Fatal("segmented form lost across save/load")
+	}
+	s, err := exec.NewSegmentedSchedule(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsSegmented() {
+		t.Fatal("reloaded form compiled flat")
+	}
+}
+
+func TestTuneSegmentedRejectsDegenerate(t *testing.T) {
+	if _, err := TuneSegmented(1, SegmentedOptions{}); err == nil {
+		t.Fatal("n=1 must be rejected")
+	}
+	if _, err := TuneSegmented(10, SegmentedOptions{Budgets: []int{10, 12}}); err == nil {
+		t.Fatal("budgets at or above n leave nothing to sweep")
+	}
+	_ = wisdom.Float64
+}

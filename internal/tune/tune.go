@@ -765,6 +765,15 @@ func LoadWisdom(path string) error {
 				return fmt.Errorf("tune: wisdom entry n=%d: %w", e.N, err)
 			}
 		}
+		if e.Segments != "" {
+			// The recorded out-of-core form must compile (Load has already
+			// validated its grammar, size, and budget); TransformLarge
+			// consults it via LookupSegments, so a broken form must reject
+			// the file here, not at serve time.
+			if _, err := exec.NewSegmentedSchedule(plan.MustParseSeg(e.Segments)); err != nil {
+				return fmt.Errorf("tune: wisdom entry n=%d: %w", e.N, err)
+			}
+		}
 		regs = append(regs, registration{p: p, cfg: cfg, bp: tc.BlockParts})
 	}
 	// Phase 2: publish.  Nothing below can fail — every input was

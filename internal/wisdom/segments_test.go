@@ -1,0 +1,132 @@
+package wisdom
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func segForm(t *testing.T, n, budget int) *plan.SegNode {
+	t.Helper()
+	g, err := plan.TwoPhase(plan.Balanced(n, min(plan.MaxLeafLog, budget)), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRecordSegmentsRoundTrip(t *testing.T) {
+	w := NewFor(Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4})
+	g := segForm(t, 16, 8)
+
+	// Segments attach to an existing in-RAM entry without disturbing it.
+	p := plan.Balanced(16, 8)
+	if _, err := w.Record(Float64, p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordSegments(Float64, g, 8, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got, budget, ok := w.LookupSegments(16, Float64)
+	if !ok || budget != 8 || !got.Equal(g) {
+		t.Fatalf("LookupSegments = (%v, %d, %v)", got, budget, ok)
+	}
+	if q, ns, ok := w.Lookup(16, Float64); !ok || ns != 1000 || !q.Equal(p) {
+		t.Fatal("in-RAM entry disturbed by RecordSegments")
+	}
+
+	// Round-trip through the file format.
+	path := filepath.Join(t.TempDir(), "wisdom.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"segments"`, `"resident_budget"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("saved file missing %s:\n%s", key, data)
+		}
+	}
+	w2, err := LoadFor(path, w.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, budget2, ok := w2.LookupSegments(16, Float64)
+	if !ok || budget2 != 8 || !got2.Equal(g) {
+		t.Fatalf("after round trip: (%v, %d, %v)", got2, budget2, ok)
+	}
+
+	// A faster flat record must not discard the segmented form.
+	if _, err := w.Record(Float64, p, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := w.LookupSegments(16, Float64); !ok {
+		t.Fatal("segmented form lost when the in-RAM entry was displaced")
+	}
+}
+
+func TestRecordSegmentsCreatesEntryWhenAbsent(t *testing.T) {
+	w := NewFor(Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4})
+	g := segForm(t, 14, 8)
+	if err := w.RecordSegments(Float64, g, 8, 7000); err != nil {
+		t.Fatal(err)
+	}
+	p, ns, ok := w.Lookup(14, Float64)
+	if !ok || ns != 7000 {
+		t.Fatalf("Lookup = (%v, %g, %v)", p, ns, ok)
+	}
+	if p.Log2Size() != 14 {
+		t.Fatalf("flat-twin entry has size 2^%d", p.Log2Size())
+	}
+}
+
+func TestRecordSegmentsRejectsBadInput(t *testing.T) {
+	w := NewFor(Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4})
+	g := segForm(t, 14, 8)
+	if err := w.RecordSegments(Float64, g, g.MaxLocalLog()-1, 100); err == nil {
+		t.Fatal("budget below the form's working set must be rejected")
+	}
+	if err := w.RecordSegments(Float64, nil, 8, 100); err == nil {
+		t.Fatal("nil form must be rejected")
+	}
+	if err := w.RecordSegments(Float64, g, 8, 0); err == nil {
+		t.Fatal("non-positive measurement must be rejected")
+	}
+}
+
+func TestLoadRejectsBadSegmentFields(t *testing.T) {
+	fp := Fingerprint{OS: "linux", Arch: "amd64", MaxProcs: 4}
+	base := `{"version":1,"fingerprint":{"os":"linux","arch":"amd64","maxprocs":4},"entries":[%s]}`
+	for name, entry := range map[string]string{
+		"budget without form": `{"n":14,"type":"float64","plan":"split[small[6],small[8]]","ns_per_run":1,"resident_budget":8}`,
+		"unparseable form":    `{"n":14,"type":"float64","plan":"split[small[6],small[8]]","ns_per_run":1,"segments":"phase[small[6]]","resident_budget":8}`,
+		"size mismatch":       `{"n":14,"type":"float64","plan":"split[small[6],small[8]]","ns_per_run":1,"segments":"phase[small[6],small[6]]","resident_budget":8}`,
+		"budget too small":    `{"n":14,"type":"float64","plan":"split[small[6],small[8]]","ns_per_run":1,"segments":"phase[small[6],small[8]]","resident_budget":7}`,
+	} {
+		path := filepath.Join(t.TempDir(), "w.json")
+		if err := os.WriteFile(path, []byte(strings.ReplaceAll(base, "%s", entry)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFor(path, fp); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// And the happy path through the same raw-JSON channel.
+	ok := `{"n":14,"type":"float64","plan":"split[small[6],small[8]]","ns_per_run":1,"segments":"phase[small[6],small[8]]","resident_budget":8}`
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, []byte(strings.ReplaceAll(base, "%s", ok)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadFor(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, budget, found := w.LookupSegments(14, Float64); !found || budget != 8 {
+		t.Fatal("valid segmented entry did not load")
+	}
+}

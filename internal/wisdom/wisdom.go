@@ -26,9 +26,12 @@
 // block-tier leaves (small[9..14]); they parse and validate like any
 // other leaf.  Further optional per-entry fields: "soa_min_batch" (the
 // SoA batch crossover), "parallel_mode" ("barrier" or "pipelined" to pin
-// the multi-worker dispatch tier), and "block_parts" (measured in-window
-// factorizations for block leaves, keyed by decimal log-size).  All are
-// omitted when untuned, so older version-1 files keep loading.
+// the multi-worker dispatch tier), "block_parts" (measured in-window
+// factorizations for block leaves, keyed by decimal log-size), and the
+// out-of-core pair "segments" / "resident_budget" (the measured
+// two-phase segmented form in the plan.ParseSeg grammar and the log2
+// resident-window budget it fits).  All are omitted when untuned, so
+// older version-1 files keep loading.
 //
 // The optional "stage_backends" field records the tuner's per-stage
 // backend pins (exec.Schedule.SetStageBackends): one spelling per
@@ -207,6 +210,20 @@ type Entry struct {
 	// codelet.SetBlockParts validates its arguments; absent keys run the
 	// generated default factorization.
 	BlockParts map[string][]int `json:"block_parts,omitempty"`
+
+	// Segments records the measured-fastest two-phase segmented form for
+	// out-of-core execution of this size, in the plan.ParseSeg grammar
+	// ("phase[...]").  Absent means no out-of-core tuning was run.  The
+	// segmented form is an independent execution tier: it need not
+	// factor the entry's Plan — its flat twin is bitwise-equal to any
+	// plan of the same size — so it rides alongside the in-RAM record
+	// rather than replacing it.
+	Segments string `json:"segments,omitempty"`
+
+	// ResidentBudget is the log2 resident-window budget the Segments
+	// form was measured under (its MaxLocalLog fits inside it).  Present
+	// exactly when Segments is.
+	ResidentBudget int `json:"resident_budget,omitempty"`
 }
 
 // Policy returns the variant-selection policy recorded with the entry.
@@ -340,6 +357,33 @@ func validParallelMode(s string) error {
 	return fmt.Errorf("wisdom: unknown parallel mode %q", s)
 }
 
+// validSegments checks an entry's out-of-core fields: an absent form
+// must carry no budget, and a present one must parse in the segmented
+// grammar, validate, match the entry's size, and fit its recorded
+// resident budget.
+func validSegments(e Entry) error {
+	if e.Segments == "" {
+		if e.ResidentBudget != 0 {
+			return fmt.Errorf("wisdom: resident_budget %d without a segmented form", e.ResidentBudget)
+		}
+		return nil
+	}
+	g, err := plan.ParseSeg(e.Segments)
+	if err != nil {
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if g.Log2Size() != e.N {
+		return fmt.Errorf("wisdom: segmented form size 2^%d does not match n=%d", g.Log2Size(), e.N)
+	}
+	if e.ResidentBudget < 1 || g.MaxLocalLog() > e.ResidentBudget {
+		return fmt.Errorf("wisdom: segmented form's local working set 2^%d exceeds budget 2^%d", g.MaxLocalLog(), e.ResidentBudget)
+	}
+	return nil
+}
+
 // validBlockParts checks the serialized block-parts map: decimal keys
 // and, per key, the factorization rules of codelet.SetBlockParts.
 func validBlockParts(bp map[string][]int) error {
@@ -455,14 +499,68 @@ func (w *Wisdom) RecordFull(typ string, p *plan.Node, tc Tuned, nsPerRun float64
 }
 
 // keepFaster installs e unless a strictly faster entry already holds its
-// key.  Callers hold w.mu.
+// key.  A recorded segmented form survives the in-RAM entry being
+// displaced: the out-of-core tier is tuned on an independent axis, so a
+// faster flat plan must not silently discard it.  Callers hold w.mu.
 func (w *Wisdom) keepFaster(e Entry) bool {
 	k := Key{N: e.N, Type: e.Type}
-	if old, ok := w.entries[k]; ok && old.NsPerRun <= e.NsPerRun {
-		return false
+	if old, ok := w.entries[k]; ok {
+		if old.NsPerRun <= e.NsPerRun {
+			return false
+		}
+		if e.Segments == "" && old.Segments != "" {
+			e.Segments, e.ResidentBudget = old.Segments, old.ResidentBudget
+		}
 	}
 	w.entries[k] = e
 	return true
+}
+
+// RecordSegments attaches a measured out-of-core segmented form to the
+// entry for (size, typ), overwriting any previous form — the segmented
+// sweep compares its own candidates, so the latest recording is the
+// measured winner.  When no in-RAM entry exists yet, one is created
+// from the form's flat twin with the provided measurement, so a
+// segments-only tuning run still persists.
+func (w *Wisdom) RecordSegments(typ string, g *plan.SegNode, residentLog int, nsPerRun float64) error {
+	if err := validType(typ); err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("wisdom: nil segmented form")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("wisdom: %w", err)
+	}
+	if residentLog < 1 || g.MaxLocalLog() > residentLog {
+		return fmt.Errorf("wisdom: segmented form's local working set 2^%d exceeds budget 2^%d", g.MaxLocalLog(), residentLog)
+	}
+	if nsPerRun <= 0 {
+		return fmt.Errorf("wisdom: non-positive measurement %g", nsPerRun)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := Key{N: g.Log2Size(), Type: typ}
+	e, ok := w.entries[k]
+	if !ok {
+		flat := g.Flatten()
+		e = Entry{N: flat.Log2Size(), Type: typ, Plan: flat.String(), NsPerRun: nsPerRun}
+	}
+	e.Segments = g.String()
+	e.ResidentBudget = residentLog
+	w.entries[k] = e
+	return nil
+}
+
+// LookupSegments returns the recorded out-of-core segmented form and
+// its resident budget for (n, typ).
+func (w *Wisdom) LookupSegments(n int, typ string) (*plan.SegNode, int, bool) {
+	e, ok := w.lookupEntry(n, typ)
+	if !ok || e.Segments == "" {
+		return nil, 0, false
+	}
+	// Entries are validated on the way in, so the stored string parses.
+	return plan.MustParseSeg(e.Segments), e.ResidentBudget, true
 }
 
 // Lookup returns the stored plan and measured ns/run for (n, typ).
@@ -654,6 +752,9 @@ func LoadFor(path string, fp Fingerprint) (*Wisdom, error) {
 			return nil, corruptEntry(path, i, err)
 		}
 		if err := validBlockParts(e.BlockParts); err != nil {
+			return nil, corruptEntry(path, i, err)
+		}
+		if err := validSegments(e); err != nil {
 			return nil, corruptEntry(path, i, err)
 		}
 		if !sameArch || (!sameISA && !entryScalarPinned(e)) {

@@ -1,0 +1,129 @@
+package wht_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/wht"
+)
+
+// TransformLarge over an in-RAM store is bitwise the flat engine, for
+// both element types, with and without an explicit budget.
+func TestTransformLargeMatchesFlat(t *testing.T) {
+	const n = 12
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	want := append([]float64(nil), x...)
+	if err := wht.Transform(want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opt := range []wht.LargeOptions{
+		{},                           // default budget (n-2)
+		{ResidentLog: 7, Workers: 3}, // explicit budget under the vector
+		{ResidentLog: n, Workers: 2}, // budget == size: flat fallback
+	} {
+		got := append([]float64(nil), x...)
+		st := wht.NewSliceStore(got)
+		if err := wht.TransformLarge(nil, st, opt); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: element %d: %g != %g", opt, i, got[i], want[i])
+			}
+		}
+	}
+
+	x32 := make([]float32, 1<<n)
+	for i := range x32 {
+		x32[i] = float32(i%13) - 6
+	}
+	want32 := append([]float32(nil), x32...)
+	if err := wht.Transform32(want32); err != nil {
+		t.Fatal(err)
+	}
+	got32 := append([]float32(nil), x32...)
+	if err := wht.TransformLarge32(nil, wht.NewSliceStore(got32), wht.LargeOptions{ResidentLog: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got32 {
+		if got32[i] != want32[i] {
+			t.Fatalf("float32 element %d: %g != %g", i, got32[i], want32[i])
+		}
+	}
+}
+
+// TransformLarge over the disk shard store: the full out-of-core path
+// through the public API, sealed and reopened.
+func TestTransformLargeOverShards(t *testing.T) {
+	const n, budget = 11, 7
+	x := make([]float64, 1<<n)
+	for i := range x {
+		x[i] = float64((i*31)%23) - 11
+	}
+	want := append([]float64(nil), x...)
+	if err := wht.Transform(want); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "vec")
+	st, err := wht.CreateShardStore[float64](dir, len(x), wht.ShardOptions{StripeLog: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.TransformLarge(nil, st, wht.LargeOptions{ResidentLog: budget, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := wht.OpenShardStore[float64](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := make([]float64, len(x))
+	if err := re.Read(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %g != %g", i, got[i], want[i])
+		}
+	}
+}
+
+// Mismatched forms and budgets are rejected up front.
+func TestTransformLargeRejectsBadOptions(t *testing.T) {
+	x := make([]float64, 1<<10)
+	g, err := wht.TwoPhase(wht.Balanced(12, 6), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.TransformLarge(nil, wht.NewSliceStore(x), wht.LargeOptions{Form: g}); err == nil {
+		t.Fatal("size-mismatched form accepted")
+	}
+	g10, err := wht.TwoPhase(wht.Balanced(10, 6), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wht.TransformLarge(nil, wht.NewSliceStore(x), wht.LargeOptions{Form: g10, ResidentLog: g10.MaxLocalLog() - 1}); err == nil {
+		t.Fatal("budget under the form's working set accepted")
+	}
+	if err := wht.TransformLarge(nil, nil, wht.LargeOptions{}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if err := wht.TransformLarge(nil, wht.NewSliceStore(make([]float64, 100)), wht.LargeOptions{}); err == nil {
+		t.Fatal("non-power-of-two store accepted")
+	}
+}
